@@ -1,0 +1,55 @@
+// Ablation — V/f curve shape vs fitted exponent: sweep the voltage curve's
+// gamma and show how the fitted power-law exponent b (Table IV) tracks it.
+// This isolates why Broadwell fits b~5 while Skylake fits b~23: the knee
+// position of the voltage curve, not the compressor, sets the exponent.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/power_law.hpp"
+#include "power/voltage_curve.hpp"
+
+int main() {
+  using namespace lcp;
+  bench::print_banner(
+      "A1", "ablation — voltage-curve gamma vs fitted exponent b",
+      "later/sharper V(f) knee => larger fitted b (f^5 Broadwell vs f^23 "
+      "Skylake)");
+
+  Table table{{"gamma", "knee f/fmax", "fitted b", "fitted c", "RMSE"}};
+  table.set_title("P(f)=Ps+k*V(f)^2*f scaled, fitted with a*f^b+c");
+
+  const double f_max = 2.2;
+  const double p_static = 16.0;
+  const double k_dyn = 2.067;
+  for (double gamma : {1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 12.0}) {
+    const power::VoltageCurve vf{Volts{0.70}, Volts{1.05}, GigaHertz{f_max},
+                                 gamma};
+    std::vector<double> f;
+    std::vector<double> p;
+    for (double x = 0.8; x <= f_max + 1e-9; x += 0.05) {
+      const double v = vf.at(GigaHertz{x}).volts();
+      f.push_back(x);
+      p.push_back(p_static + k_dyn * v * v * x);
+    }
+    const double p_max = p.back();
+    for (double& v : p) {
+      v /= p_max;
+    }
+    const auto fit = model::fit_power_law(f, p);
+    if (!fit) {
+      std::fprintf(stderr, "fit failed for gamma %.1f\n", gamma);
+      return 1;
+    }
+    table.add_row({format_double(gamma, 1),
+                   format_double(vf.clamp_frequency().ghz() / f_max, 3),
+                   format_double(fit->b, 2), format_double(fit->c, 3),
+                   format_double(fit->stats.rmse, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: the fitted exponent grows monotonically with gamma — the\n"
+      "paper's f^23 Skylake fit is the signature of a voltage knee very\n"
+      "close to f_max, not of anything compressor-specific.\n");
+  return 0;
+}

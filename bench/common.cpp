@@ -1,0 +1,172 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+
+#include "support/status.hpp"
+
+namespace lcp::bench {
+
+void print_banner(const std::string& experiment_id,
+                  const std::string& paper_artifact,
+                  const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), paper_artifact.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_comparison(const std::string& quantity, const std::string& paper,
+                      const std::string& reproduced) {
+  std::printf("  %-42s paper: %-18s reproduced: %s\n", quantity.c_str(),
+              paper.c_str(), reproduced.c_str());
+}
+
+bool full_scale_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+core::CompressionStudyConfig paper_compression_config(bool full_scale) {
+  core::CompressionStudyConfig cfg;
+  cfg.scale = full_scale ? data::Scale::kPaper : data::Scale::kCi;
+  cfg.repeats = 10;
+  return cfg;  // all other fields default to the paper grid
+}
+
+core::TransitStudyConfig paper_transit_config() {
+  core::TransitStudyConfig cfg;
+  cfg.repeats = 10;
+  return cfg;
+}
+
+const core::CompressionStudyResult& shared_compression_study(bool full_scale) {
+  static std::optional<core::CompressionStudyResult> cached;
+  static bool cached_full = false;
+  if (!cached.has_value() || cached_full != full_scale) {
+    std::fprintf(stderr,
+                 "[bench] running compression study (%s scale)...\n",
+                 full_scale ? "paper" : "CI");
+    auto result = core::run_compression_study(
+        paper_compression_config(full_scale));
+    LCP_REQUIRE(result.has_value(), "compression study failed");
+    cached = std::move(*result);
+    cached_full = full_scale;
+  }
+  return *cached;
+}
+
+const core::TransitStudyResult& shared_transit_study() {
+  static std::optional<core::TransitStudyResult> cached;
+  if (!cached.has_value()) {
+    std::fprintf(stderr, "[bench] running transit study...\n");
+    auto result = core::run_transit_study(paper_transit_config());
+    LCP_REQUIRE(result.has_value(), "transit study failed");
+    cached = std::move(*result);
+  }
+  return *cached;
+}
+
+AggregatedCurve aggregate_scaled(
+    const std::string& label,
+    const std::vector<const std::vector<core::SweepPoint>*>& sweeps,
+    core::SweepMetric metric) {
+  LCP_REQUIRE(!sweeps.empty(), "aggregate needs at least one sweep");
+  AggregatedCurve out;
+  out.label = label;
+
+  std::vector<core::ScaledCurve> curves;
+  curves.reserve(sweeps.size());
+  for (const auto* sweep : sweeps) {
+    curves.push_back(core::scale_by_max_frequency(*sweep, metric));
+    LCP_REQUIRE(curves.back().f_ghz.size() == curves.front().f_ghz.size(),
+                "sweeps must share a frequency grid");
+  }
+  const std::size_t n = curves.front().f_ghz.size();
+  out.f_ghz = curves.front().f_ghz;
+  out.mean.resize(n);
+  out.ci95.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values;
+    values.reserve(curves.size());
+    for (const auto& curve : curves) {
+      values.push_back(curve.value[i]);
+    }
+    const auto summary = summarize(values);
+    out.mean[i] = summary.mean;
+    // Combine across-series spread with per-series measurement CI.
+    double ci = summary.ci95_half;
+    for (const auto& curve : curves) {
+      ci = std::max(ci, curve.ci95[i]);
+    }
+    out.ci95[i] = ci;
+  }
+  return out;
+}
+
+void emit_figure(const std::string& name, const std::string& title,
+                 const std::string& y_label,
+                 const std::vector<AggregatedCurve>& curves) {
+  static const char kGlyphs[] = "BSZWXO*+";
+  std::vector<PlotSeries> series;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    PlotSeries s;
+    s.name = curves[i].label;
+    s.glyph = curves[i].label.empty()
+                  ? kGlyphs[i % (sizeof(kGlyphs) - 1)]
+                  : curves[i].label[0];
+    // Ensure distinct glyphs when labels collide on the first letter.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (series[j].glyph == s.glyph) {
+        s.glyph = kGlyphs[i % (sizeof(kGlyphs) - 1)];
+      }
+    }
+    s.x = curves[i].f_ghz;
+    s.y = curves[i].mean;
+    series.push_back(std::move(s));
+  }
+  PlotOptions options;
+  options.title = title;
+  options.x_label = "frequency (GHz)";
+  options.y_label = y_label;
+  std::printf("%s", render_plot(series, options).c_str());
+
+  CsvWriter csv{{"series", "f_ghz", "value", "ci95_half"}};
+  for (const auto& curve : curves) {
+    for (std::size_t i = 0; i < curve.f_ghz.size(); ++i) {
+      csv.add_row({curve.label, format_double(curve.f_ghz[i], 3),
+                   format_double(curve.mean[i], 5),
+                   format_double(curve.ci95[i], 5)});
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  const auto status = csv.write_file(path);
+  if (status.is_ok()) {
+    std::printf("  [csv] %s\n", path.c_str());
+  }
+}
+
+void print_model_table(const std::string& title,
+                       const std::vector<core::ModelTableRow>& rows) {
+  Table table{{"Model Data", "P(f)", "SSE", "RMSE", "R^2", "n"}};
+  table.set_title(title);
+  for (const auto& row : rows) {
+    table.add_row({row.partition.name, row.fit.to_string(),
+                   format_double(row.fit.stats.sse, 3),
+                   format_double(row.fit.stats.rmse, 4),
+                   format_double(row.fit.stats.r_squared, 4),
+                   std::to_string(row.observations)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace lcp::bench

@@ -1,0 +1,68 @@
+#pragma once
+// Shared harness for the paper-reproduction bench binaries: standard study
+// configurations, paper-vs-measured reporting, figure rendering (ASCII +
+// CSV dump), and series aggregation for the characteristic plots.
+
+#include <string>
+#include <vector>
+
+#include "core/compression_study.hpp"
+#include "core/model_tables.hpp"
+#include "core/sweep.hpp"
+#include "core/transit_study.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace lcp::bench {
+
+/// Prints the standard experiment banner (id, paper artifact, claim).
+void print_banner(const std::string& experiment_id,
+                  const std::string& paper_artifact,
+                  const std::string& paper_claim);
+
+/// "paper: X | reproduced: Y" comparison line.
+void print_comparison(const std::string& quantity, const std::string& paper,
+                      const std::string& reproduced);
+
+/// True when `--full` was passed: run at paper-scale dimensions.
+[[nodiscard]] bool full_scale_requested(int argc, char** argv);
+
+/// Standard study configs used by several benches (CI scale by default).
+[[nodiscard]] core::CompressionStudyConfig paper_compression_config(
+    bool full_scale);
+[[nodiscard]] core::TransitStudyConfig paper_transit_config();
+
+/// Runs (and memoizes within the process) the full compression study.
+[[nodiscard]] const core::CompressionStudyResult& shared_compression_study(
+    bool full_scale);
+
+/// Runs (and memoizes) the full transit study.
+[[nodiscard]] const core::TransitStudyResult& shared_transit_study();
+
+/// Mean scaled curve (plus CI) over all sweeps in a group, pointwise.
+struct AggregatedCurve {
+  std::string label;
+  std::vector<double> f_ghz;
+  std::vector<double> mean;
+  std::vector<double> ci95;
+};
+
+/// Aggregates scaled curves of the given metric over `sweeps` (all sweeps
+/// must share a frequency grid).
+[[nodiscard]] AggregatedCurve aggregate_scaled(
+    const std::string& label,
+    const std::vector<const std::vector<core::SweepPoint>*>& sweeps,
+    core::SweepMetric metric);
+
+/// Renders aggregated curves as an ASCII plot and writes a CSV next to the
+/// binary (bench_out/<name>.csv).
+void emit_figure(const std::string& name, const std::string& title,
+                 const std::string& y_label,
+                 const std::vector<AggregatedCurve>& curves);
+
+/// Prints a Table IV/V-style model table.
+void print_model_table(const std::string& title,
+                       const std::vector<core::ModelTableRow>& rows);
+
+}  // namespace lcp::bench

@@ -1,0 +1,78 @@
+// Figure 1 — compression scaled power characteristics: scaled power vs
+// frequency per (chip x compressor), aggregated over datasets and error
+// bounds with 95% CI, matching the paper's plotting method (Section V-A).
+
+#include <cstdio>
+
+#include <filesystem>
+
+#include "common.hpp"
+#include "core/study_export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lcp;
+  const bool full = bench::full_scale_requested(argc, argv);
+  bench::print_banner(
+      "F1", "Fig 1 — compression scaled power characteristics",
+      "critical power slope: flat ~0.8 floor then sharp rise to 1.0 near "
+      "f_max; Skylake range narrower than Broadwell");
+
+  const auto& study = bench::shared_compression_study(full);
+
+  std::vector<bench::AggregatedCurve> curves;
+  for (power::ChipId chip : power::all_chips()) {
+    for (compress::CodecId codec : compress::all_codecs()) {
+      std::vector<const std::vector<core::SweepPoint>*> sweeps;
+      for (const auto& series : study.series) {
+        if (series.chip == chip && series.codec == codec) {
+          sweeps.push_back(&series.sweep);
+        }
+      }
+      std::string label = power::chip_series_name(chip);
+      label += "-";
+      label += compress::codec_name(codec);
+      curves.push_back(
+          bench::aggregate_scaled(label, sweeps, core::SweepMetric::kPower));
+    }
+  }
+  {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    (void)core::export_compression_study(study).write_file(
+        "bench_out/compression_study_full.csv");
+    (void)core::export_calibrations(study).write_file(
+        "bench_out/compression_calibrations.csv");
+    std::printf("  [csv] bench_out/compression_study_full.csv\n");
+    std::printf("  [csv] bench_out/compression_calibrations.csv\n");
+  }
+  bench::emit_figure("fig1_compression_power",
+                     "Fig 1 (reproduced): scaled power vs frequency",
+                     "P(f)/P(f_max)", curves);
+
+  std::printf("\nShape checks vs the paper:\n");
+  for (const auto& curve : curves) {
+    bench::print_comparison("floor at f_min [" + curve.label + "]",
+                            "~0.80", format_double(curve.mean.front(), 3));
+  }
+  // Error-bound invariance (the paper found the scaled trends
+  // indistinguishable across bounds).
+  const auto& s0 = study.series;
+  double max_gap = 0.0;
+  for (std::size_t a = 0; a < s0.size(); ++a) {
+    for (std::size_t b = a + 1; b < s0.size(); ++b) {
+      if (s0[a].chip == s0[b].chip && s0[a].codec == s0[b].codec &&
+          s0[a].dataset == s0[b].dataset) {
+        const auto ca =
+            core::scale_by_max_frequency(s0[a].sweep, core::SweepMetric::kPower);
+        const auto cb =
+            core::scale_by_max_frequency(s0[b].sweep, core::SweepMetric::kPower);
+        for (std::size_t i = 0; i < ca.value.size(); ++i) {
+          max_gap = std::max(max_gap, std::abs(ca.value[i] - cb.value[i]));
+        }
+      }
+    }
+  }
+  bench::print_comparison("max scaled gap across error bounds",
+                          "indiscernible", format_double(max_gap, 3));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 2 — compression scaled runtime characteristics: scaled runtime vs
+// frequency per (chip x compressor); best runtime at max clock, SZ and ZFP
+// trends overlapping.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lcp;
+  const bool full = bench::full_scale_requested(argc, argv);
+  bench::print_banner(
+      "F2", "Fig 2 — compression scaled runtime characteristics",
+      "runtime falls monotonically to 1.0 at f_max (~1.8x at f_min); SZ and "
+      "ZFP overlap; -12.5% f => ~+7.5% runtime");
+
+  const auto& study = bench::shared_compression_study(full);
+
+  std::vector<bench::AggregatedCurve> curves;
+  for (power::ChipId chip : power::all_chips()) {
+    for (compress::CodecId codec : compress::all_codecs()) {
+      std::vector<const std::vector<core::SweepPoint>*> sweeps;
+      for (const auto& series : study.series) {
+        if (series.chip == chip && series.codec == codec) {
+          sweeps.push_back(&series.sweep);
+        }
+      }
+      std::string label = power::chip_series_name(chip);
+      label += "-";
+      label += compress::codec_name(codec);
+      curves.push_back(
+          bench::aggregate_scaled(label, sweeps, core::SweepMetric::kRuntime));
+    }
+  }
+  bench::emit_figure("fig2_compression_runtime",
+                     "Fig 2 (reproduced): scaled runtime vs frequency",
+                     "t(f)/t(f_max)", curves);
+
+  std::printf("\nShape checks vs the paper:\n");
+  for (const auto& curve : curves) {
+    bench::print_comparison("scaled runtime at f_min [" + curve.label + "]",
+                            "~1.8", format_double(curve.mean.front(), 3));
+    // Runtime increase at the Eqn 3 compression point (-12.5%).
+    const double f_tuned = curve.f_ghz.back() * 0.875;
+    double nearest = curve.mean.back();
+    double best_gap = 1e9;
+    for (std::size_t i = 0; i < curve.f_ghz.size(); ++i) {
+      const double gap = std::abs(curve.f_ghz[i] - f_tuned);
+      if (gap < best_gap) {
+        best_gap = gap;
+        nearest = curve.mean[i];
+      }
+    }
+    bench::print_comparison("runtime at 0.875 f_max [" + curve.label + "]",
+                            "~1.075", format_double(nearest, 3));
+  }
+
+  // SZ/ZFP overlap: compare the two codecs on the same chip.
+  for (power::ChipId chip : power::all_chips()) {
+    const bench::AggregatedCurve* sz = nullptr;
+    const bench::AggregatedCurve* zfp = nullptr;
+    for (const auto& curve : curves) {
+      if (curve.label.find(power::chip_series_name(chip)) == std::string::npos) {
+        continue;
+      }
+      if (curve.label.find("-sz") != std::string::npos) {
+        sz = &curve;
+      } else {
+        zfp = &curve;
+      }
+    }
+    double max_gap = 0.0;
+    for (std::size_t i = 0; i < sz->mean.size(); ++i) {
+      max_gap = std::max(max_gap, std::abs(sz->mean[i] - zfp->mean[i]));
+    }
+    bench::print_comparison(
+        std::string("SZ/ZFP overlap gap [") + power::chip_series_name(chip) +
+            "]",
+        "overlapping", format_double(max_gap, 3));
+  }
+  return 0;
+}

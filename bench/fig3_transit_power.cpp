@@ -1,0 +1,74 @@
+// Figure 3 — data transit scaled power characteristics: scaled power vs
+// frequency per chip, aggregated over the 1-16 GB sizes (the paper found
+// no size dependence after scaling).
+
+#include <cstdio>
+
+#include <filesystem>
+
+#include "common.hpp"
+#include "core/study_export.hpp"
+
+int main() {
+  using namespace lcp;
+  bench::print_banner(
+      "F3", "Fig 3 — data transit scaled power characteristics",
+      "floor ~0.9 (writing is more static-dominated than compression); "
+      "Skylake range narrower than Broadwell");
+
+  const auto& study = bench::shared_transit_study();
+
+  std::vector<bench::AggregatedCurve> curves;
+  for (power::ChipId chip : power::all_chips()) {
+    std::vector<const std::vector<core::SweepPoint>*> sweeps;
+    for (const auto& series : study.series) {
+      if (series.chip == chip) {
+        sweeps.push_back(&series.sweep);
+      }
+    }
+    curves.push_back(bench::aggregate_scaled(power::chip_series_name(chip),
+                                             sweeps,
+                                             core::SweepMetric::kPower));
+  }
+  {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    (void)core::export_transit_study(study).write_file(
+        "bench_out/transit_study_full.csv");
+    std::printf("  [csv] bench_out/transit_study_full.csv\n");
+  }
+  bench::emit_figure("fig3_transit_power",
+                     "Fig 3 (reproduced): transit scaled power vs frequency",
+                     "P(f)/P(f_max)", curves);
+
+  std::printf("\nShape checks vs the paper:\n");
+  for (const auto& curve : curves) {
+    bench::print_comparison("floor at f_min [" + curve.label + "]", "~0.90",
+                            format_double(curve.mean.front(), 3));
+  }
+  const double range_bdw = 1.0 - curves[0].mean.front();
+  const double range_skl = 1.0 - curves[1].mean.front();
+  bench::print_comparison("Skylake range < Broadwell range", "yes",
+                          range_skl < range_bdw ? "yes" : "NO");
+
+  // Size-invariance after scaling (Section V-A: "no significant difference
+  // in the power consumption ... based on data size").
+  double max_gap = 0.0;
+  for (std::size_t a = 0; a < study.series.size(); ++a) {
+    for (std::size_t b = a + 1; b < study.series.size(); ++b) {
+      if (study.series[a].chip != study.series[b].chip) {
+        continue;
+      }
+      const auto ca = core::scale_by_max_frequency(study.series[a].sweep,
+                                                   core::SweepMetric::kPower);
+      const auto cb = core::scale_by_max_frequency(study.series[b].sweep,
+                                                   core::SweepMetric::kPower);
+      for (std::size_t i = 0; i < ca.value.size(); ++i) {
+        max_gap = std::max(max_gap, std::abs(ca.value[i] - cb.value[i]));
+      }
+    }
+  }
+  bench::print_comparison("max scaled gap across sizes 1-16GB",
+                          "indiscernible", format_double(max_gap, 3));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 4 — data transit scaled runtime characteristics: scaled runtime
+// vs frequency per chip. Broadwell keeps scaling (CPU-bound write path);
+// Skylake is stagnant over the upper range (pipeline floor).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lcp;
+  bench::print_banner(
+      "F4", "Fig 4 — data transit scaled runtime characteristics",
+      "lowest runtime at max clock; Skylake runtime stagnant (floor-bound); "
+      "-15% f => ~+9.3% runtime on average");
+
+  const auto& study = bench::shared_transit_study();
+
+  std::vector<bench::AggregatedCurve> curves;
+  for (power::ChipId chip : power::all_chips()) {
+    std::vector<const std::vector<core::SweepPoint>*> sweeps;
+    for (const auto& series : study.series) {
+      if (series.chip == chip) {
+        sweeps.push_back(&series.sweep);
+      }
+    }
+    curves.push_back(bench::aggregate_scaled(power::chip_series_name(chip),
+                                             sweeps,
+                                             core::SweepMetric::kRuntime));
+  }
+  bench::emit_figure("fig4_transit_runtime",
+                     "Fig 4 (reproduced): transit scaled runtime vs frequency",
+                     "t(f)/t(f_max)", curves);
+
+  std::printf("\nShape checks vs the paper:\n");
+  double mean_increase = 0.0;
+  for (const auto& curve : curves) {
+    // Stagnation metric: relative runtime change over the top third of the
+    // frequency range.
+    const std::size_t top_third = curve.f_ghz.size() * 2 / 3;
+    const double top_change =
+        curve.mean[top_third] / curve.mean.back() - 1.0;
+    bench::print_comparison(
+        "runtime change over top third [" + curve.label + "]",
+        curve.label == "Skylake" ? "~0 (stagnant)" : "scaling",
+        format_percent(top_change, 1));
+
+    const double f_tuned = curve.f_ghz.back() * 0.85;
+    double nearest = curve.mean.back();
+    double best_gap = 1e9;
+    for (std::size_t i = 0; i < curve.f_ghz.size(); ++i) {
+      const double gap = std::abs(curve.f_ghz[i] - f_tuned);
+      if (gap < best_gap) {
+        best_gap = gap;
+        nearest = curve.mean[i];
+      }
+    }
+    mean_increase += nearest - 1.0;
+    bench::print_comparison("runtime at 0.85 f_max [" + curve.label + "]",
+                            "+9.3% avg", format_percent(nearest - 1.0, 1));
+  }
+  bench::print_comparison("mean runtime increase at -15% f", "+9.3%",
+                          format_percent(mean_increase / curves.size(), 1));
+  return 0;
+}

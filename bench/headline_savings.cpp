@@ -1,0 +1,108 @@
+// Headline numbers of Sections V-A.3 and VII: power/energy savings and
+// runtime costs of the Eqn 3 tuning rule, averaged over chips and stages.
+//   - compression: 19.4% power savings at -12.5% f, +7.5% runtime
+//   - data writing: 11.2% power savings at -15% f, +9.3% runtime
+//   - combined: 14.3% average savings at +8.4% runtime
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/dump_experiment.hpp"
+#include "io/transit_model.hpp"
+#include "tuning/optimizer.hpp"
+#include "tuning/rule.hpp"
+
+int main() {
+  using namespace lcp;
+  bench::print_banner(
+      "H", "headline savings (Sections V-A.3, VII)",
+      "19.4%@-12.5% compression | 11.2%@-15% writing | 14.3% avg @ +8.4% t");
+
+  const auto rule = tuning::paper_rule();
+
+  Table table{{"stage", "chip", "f_base", "f_tuned", "power saved",
+               "runtime +", "energy saved"}};
+  table.set_title("Eqn 3 applied per stage and chip (model, noise-free)");
+
+  double comp_power = 0.0;
+  double comp_runtime = 0.0;
+  double write_power = 0.0;
+  double write_runtime = 0.0;
+  double all_energy = 0.0;
+  double all_runtime = 0.0;
+  int n_comp = 0;
+  int n_write = 0;
+
+  for (power::ChipId id : power::all_chips()) {
+    const auto& spec = power::chip(id);
+
+    const auto comp =
+        power::compression_workload(spec, Seconds{10.0}, 0.53, 1.0);
+    const auto comp_report = tuning::evaluate_tuning(
+        spec, comp, spec.f_max, rule.compression_frequency(spec.f_max));
+    comp_power += comp_report.power_savings();
+    comp_runtime += comp_report.runtime_increase();
+    all_energy += comp_report.energy_savings();
+    all_runtime += comp_report.runtime_increase();
+    ++n_comp;
+    table.add_row({"compression", spec.series,
+                   format_double(comp_report.f_base.ghz(), 2) + "GHz",
+                   format_double(comp_report.f_tuned.ghz(), 2) + "GHz",
+                   format_percent(comp_report.power_savings(), 1),
+                   format_percent(comp_report.runtime_increase(), 1),
+                   format_percent(comp_report.energy_savings(), 1)});
+
+    const auto write = io::transit_workload(spec, Bytes::from_gb(4), {});
+    const auto write_report = tuning::evaluate_tuning(
+        spec, write, spec.f_max, rule.transit_frequency(spec.f_max));
+    write_power += write_report.power_savings();
+    write_runtime += write_report.runtime_increase();
+    all_energy += write_report.energy_savings();
+    all_runtime += write_report.runtime_increase();
+    ++n_write;
+    table.add_row({"data writing", spec.series,
+                   format_double(write_report.f_base.ghz(), 2) + "GHz",
+                   format_double(write_report.f_tuned.ghz(), 2) + "GHz",
+                   format_percent(write_report.power_savings(), 1),
+                   format_percent(write_report.runtime_increase(), 1),
+                   format_percent(write_report.energy_savings(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Headline comparisons:\n");
+  bench::print_comparison("compression power savings @ -12.5% f", "19.4%",
+                          format_percent(comp_power / n_comp, 1));
+  bench::print_comparison("compression runtime increase", "+7.5%",
+                          format_percent(comp_runtime / n_comp, 1));
+  bench::print_comparison("writing power savings @ -15% f", "11.2%",
+                          format_percent(write_power / n_write, 1));
+  bench::print_comparison("writing runtime increase", "+9.3%",
+                          format_percent(write_runtime / n_write, 1));
+  bench::print_comparison(
+      "average power savings (the paper's 14.3% figure)", "14.3%",
+      format_percent((comp_power + write_power) / (n_comp + n_write), 1));
+  bench::print_comparison(
+      "average TRUE energy savings (P x t)",
+      "~7% (implied by the paper's own Table IV/V models)",
+      format_percent(all_energy / (n_comp + n_write), 1));
+  bench::print_comparison(
+      "average runtime increase (all stages)", "+8.4%",
+      format_percent(all_runtime / (n_comp + n_write), 1));
+
+  // Fleet extrapolation in the abstract's spirit ("tens of MWs"): a
+  // 10,000-node system running one tuned 512 GB compressed dump per node
+  // per day.
+  core::DumpConfig dump_cfg;
+  dump_cfg.error_bounds = {1e-3};
+  const auto dump = core::run_dump_experiment(dump_cfg);
+  if (dump) {
+    const double per_node_kj = dump->outcomes[0].plan.energy_saved().kj();
+    const double nodes = 10000.0;
+    const double mwh_per_day = per_node_kj * nodes / 3.6e6;
+    std::printf(
+        "\nexascale extrapolation: %.2f kJ saved per tuned 512 GB dump x "
+        "%.0f nodes/day\n  = %.1f kWh/day = %.2f MWh/day of I/O energy\n",
+        per_node_kj, nodes, mwh_per_day * 1000.0, mwh_per_day);
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark) of the compressor kernels and
+// end-to-end codecs — the native calibration path of the power studies —
+// plus the Huffman-vs-raw and lossless-backend ablations called out in
+// DESIGN.md section 6.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "compress/common/registry.hpp"
+#include "compress/sz/huffman.hpp"
+#include "compress/sz/sz_compressor.hpp"
+#include "compress/sz/zlite.hpp"
+#include "compress/zfp/transform.hpp"
+#include "compress/zfp/zfp_compressor.hpp"
+#include "data/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lcp;
+
+const data::Field& cesm_field() {
+  static const data::Field field = data::generate_cesm_atm(8, 90, 180, 1);
+  return field;
+}
+
+const data::Field& nyx_field() {
+  static const data::Field field = data::generate_nyx(48, 2);
+  return field;
+}
+
+void BM_SzCompressCesm(benchmark::State& state) {
+  const double eb = std::pow(10.0, -static_cast<double>(state.range(0)));
+  sz::SzCompressor codec;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto result =
+        codec.compress(cesm_field(), compress::ErrorBound::absolute(eb));
+    benchmark::DoNotOptimize(result);
+    bytes += cesm_field().size_bytes().bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SzCompressCesm)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_ZfpCompressCesm(benchmark::State& state) {
+  const double eb = std::pow(10.0, -static_cast<double>(state.range(0)));
+  zfp::ZfpCompressor codec;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto result =
+        codec.compress(cesm_field(), compress::ErrorBound::absolute(eb));
+    benchmark::DoNotOptimize(result);
+    bytes += cesm_field().size_bytes().bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ZfpCompressCesm)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_SzRoundTripNyx(benchmark::State& state) {
+  sz::SzCompressor codec;
+  for (auto _ : state) {
+    auto compressed =
+        codec.compress(nyx_field(), compress::ErrorBound::absolute(1e-3));
+    auto decoded = codec.decompress(compressed->container);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(nyx_field().size_bytes().bytes()));
+}
+BENCHMARK(BM_SzRoundTripNyx)->Unit(benchmark::kMillisecond);
+
+// Ablation: SZ with and without the zlite lossless backend.
+void BM_SzBackendAblation(benchmark::State& state) {
+  sz::SzOptions options;
+  options.use_lossless_backend = state.range(0) != 0;
+  sz::SzCompressor codec{options};
+  double ratio = 0.0;
+  for (auto _ : state) {
+    auto result =
+        codec.compress(cesm_field(), compress::ErrorBound::absolute(1e-2));
+    ratio = result->compression_ratio();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ratio"] = ratio;
+}
+BENCHMARK(BM_SzBackendAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Ablation: first- vs second-order Lorenzo predictor (paper ref [7]).
+void BM_SzPredictorAblation(benchmark::State& state) {
+  sz::SzOptions options;
+  options.predictor = state.range(0) != 0 ? sz::SzPredictor::kSecondOrder
+                                          : sz::SzPredictor::kFirstOrder;
+  sz::SzCompressor codec{options};
+  double ratio = 0.0;
+  for (auto _ : state) {
+    auto result =
+        codec.compress(cesm_field(), compress::ErrorBound::absolute(1e-3));
+    ratio = result->compression_ratio();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ratio"] = ratio;
+}
+BENCHMARK(BM_SzPredictorAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ZFP fixed-rate mode throughput across rates.
+void BM_ZfpFixedRate(benchmark::State& state) {
+  zfp::ZfpCompressor codec;
+  const double rate = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto result = codec.compress(cesm_field(),
+                                 compress::ErrorBound::fixed_rate(rate));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cesm_field().size_bytes().bytes()));
+}
+BENCHMARK(BM_ZfpFixedRate)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<std::uint32_t> symbols(1 << 18);
+  for (auto& s : symbols) {
+    // SZ-like: codes concentrated around the center of a 2^16 alphabet.
+    s = static_cast<std::uint32_t>(
+        std::clamp<double>(32768.0 + rng.normal(0.0, 40.0), 0.0, 65535.0));
+  }
+  for (auto _ : state) {
+    auto blob = sz::huffman_encode(symbols, 65536);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanEncode)->Unit(benchmark::kMillisecond);
+
+void BM_ZliteCompress(benchmark::State& state) {
+  Rng rng{4};
+  std::vector<std::uint8_t> input(1 << 20);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>(rng.uniform_index(9));
+  }
+  for (auto _ : state) {
+    auto out = sz::zlite_compress(input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_ZliteCompress)->Unit(benchmark::kMillisecond);
+
+void BM_ZfpTransform3D(benchmark::State& state) {
+  Rng rng{5};
+  std::vector<std::int64_t> block(64);
+  for (auto& v : block) {
+    v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 40));
+  }
+  for (auto _ : state) {
+    zfp::forward_transform(block, 3);
+    zfp::inverse_transform(block, 3);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ZfpTransform3D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table II — hardware utilized: print the chip registry next to the
+// published rows, plus the power-model parameters behind the simulation.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "dvfs/frequency_range.hpp"
+#include "power/chip_model.hpp"
+#include "power/rapl_reader.hpp"
+
+int main() {
+  using namespace lcp;
+  bench::print_banner("T2", "Table II — hardware utilized",
+                      "m510 Xeon D-1548 0.8-2.0GHz Broadwell | "
+                      "c220g5 Xeon Silver 4114 0.8-2.2GHz Skylake");
+
+  Table table{{"CloudLab", "CPU", "CPU Min - Base Clock", "Series", "TDP",
+               "DVFS points"}};
+  table.set_title("TABLE II (simulated chip models)");
+  for (power::ChipId id : power::all_chips()) {
+    const auto& spec = power::chip(id);
+    const dvfs::FrequencyRange range{spec.f_min, spec.f_max, spec.f_step};
+    char clocks[64];
+    std::snprintf(clocks, sizeof(clocks), "%.1fGHz - %.1fGHz",
+                  spec.f_min.ghz(), spec.f_max.ghz());
+    table.add_row({spec.cloudlab_node, spec.cpu_name, clocks, spec.series,
+                   format_double(spec.tdp.watts(), 0) + "W",
+                   std::to_string(range.steps().size())});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nPower-model parameters (calibrated, see DESIGN.md):\n");
+  Table params{{"Series", "P_static", "k_dyn", "Vmin-Vmax", "V(f) gamma",
+                "knee f/fmax", "P(fmin)/P(fmax) @u=1"}};
+  for (power::ChipId id : power::all_chips()) {
+    const auto& spec = power::chip(id);
+    const double floor = power::package_power(spec, spec.f_min, 1.0) /
+                         power::package_power(spec, spec.f_max, 1.0);
+    char vrange[32];
+    std::snprintf(vrange, sizeof(vrange), "%.2f-%.2fV",
+                  spec.vf.v_min().volts(), spec.vf.v_max().volts());
+    params.add_row(
+        {spec.series, format_double(spec.static_power.watts(), 1) + "W",
+         format_double(spec.dyn_coeff, 3), vrange,
+         format_double(spec.vf.gamma(), 1),
+         format_double(spec.vf.clamp_frequency().ghz() / spec.f_max.ghz(), 3),
+         format_double(floor, 3)});
+  }
+  std::printf("%s", params.render().c_str());
+
+  power::RaplReader rapl;
+  std::printf("\nreal RAPL interface: %s\n",
+              rapl.available()
+                  ? "available (hardware energy counters readable)"
+                  : "unavailable (expected in containers; simulated "
+                    "counters substitute)");
+  bench::print_comparison("frequency step", "50 MHz", "50 MHz");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "compress/common/codec.hpp"
+
+#include <cmath>
+
+namespace lcp::compress {
+
+const std::vector<double>& paper_error_bounds() {
+  static const std::vector<double> bounds = {1e-1, 1e-2, 1e-3, 1e-4};
+  return bounds;
+}
+
+Status validate_finite(const data::Field& field) {
+  for (float v : field.values()) {
+    if (!std::isfinite(v)) {
+      return Status::invalid_argument(
+          "field contains non-finite values; lossy codecs require finite data");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace lcp::compress

@@ -1,0 +1,102 @@
+#include "compress/common/container.hpp"
+
+#include "support/bytestream.hpp"
+
+namespace lcp::compress {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4350434cU;  // "LCPC" little-endian
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> build_container(const std::string& codec,
+                                          const ErrorBound& bound,
+                                          const data::Dims& dims,
+                                          const std::string& field_name,
+                                          std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.write_u32(kMagic);
+  w.write_u8(kVersion);
+  w.write_string(codec);
+  w.write_u8(static_cast<std::uint8_t>(bound.mode));
+  w.write_f64(bound.value);
+  w.write_u8(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t e : dims.extents()) {
+    w.write_u64(e);
+  }
+  w.write_string(field_name);
+  w.write_u64(payload.size());
+  w.write_bytes(payload);
+  return w.finish();
+}
+
+Expected<ContainerView> parse_container(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto magic = r.read_u32();
+  if (!magic || *magic != kMagic) {
+    return Status::corrupt_data("bad container magic");
+  }
+  auto version = r.read_u8();
+  if (!version || *version != kVersion) {
+    return Status::unsupported("unknown container version");
+  }
+  ContainerView view;
+  auto codec = r.read_string();
+  if (!codec) {
+    return codec.status();
+  }
+  view.codec = std::move(*codec);
+
+  auto mode = r.read_u8();
+  if (!mode ||
+      *mode > static_cast<std::uint8_t>(BoundMode::kPointwiseRelative)) {
+    return Status::unsupported("unknown bound mode in container");
+  }
+  auto value = r.read_f64();
+  if (!value) {
+    return value.status();
+  }
+  view.bound = ErrorBound{static_cast<BoundMode>(*mode), *value};
+
+  auto rank = r.read_u8();
+  if (!rank || *rank == 0 || *rank > 4) {
+    return Status::corrupt_data("container rank out of range");
+  }
+  std::vector<std::size_t> extents;
+  extents.reserve(*rank);
+  std::uint64_t elements = 1;
+  for (std::uint8_t i = 0; i < *rank; ++i) {
+    auto e = r.read_u64();
+    if (!e || *e == 0) {
+      return Status::corrupt_data("container extent invalid");
+    }
+    // Overflow-safe product check before trusting the header with any
+    // allocation downstream.
+    if (*e > kMaxContainerElements || elements > kMaxContainerElements / *e) {
+      return Status::corrupt_data("container dims exceed element limit");
+    }
+    elements *= *e;
+    extents.push_back(static_cast<std::size_t>(*e));
+  }
+  view.dims = data::Dims{std::move(extents)};
+
+  auto name = r.read_string();
+  if (!name) {
+    return name.status();
+  }
+  view.field_name = std::move(*name);
+
+  auto payload_size = r.read_u64();
+  if (!payload_size) {
+    return payload_size.status();
+  }
+  auto payload = r.read_bytes(static_cast<std::size_t>(*payload_size));
+  if (!payload) {
+    return payload.status();
+  }
+  view.payload = *payload;
+  return view;
+}
+
+}  // namespace lcp::compress

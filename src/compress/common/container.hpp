@@ -1,0 +1,43 @@
+#pragma once
+// Self-describing container framing shared by both codecs:
+//   magic "LCPC" | version | codec name | bound | dims | field name | payload
+// so a compressed blob can be routed to the right decoder and carries
+// everything needed to rebuild the Field.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/common/codec.hpp"
+#include "data/field.hpp"
+#include "support/status.hpp"
+
+namespace lcp::compress {
+
+/// Upper bound on decoded elements accepted from a container header
+/// (2^31 floats = 8 GiB — an order of magnitude above the paper's largest
+/// field). Corrupt or hostile headers with larger claims are rejected
+/// before any allocation happens.
+inline constexpr std::uint64_t kMaxContainerElements = std::uint64_t{1} << 31;
+
+/// Parsed container header plus a view of the codec payload.
+struct ContainerView {
+  std::string codec;
+  ErrorBound bound;
+  data::Dims dims;
+  std::string field_name;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Serializes a container around `payload`.
+[[nodiscard]] std::vector<std::uint8_t> build_container(
+    const std::string& codec, const ErrorBound& bound, const data::Dims& dims,
+    const std::string& field_name, std::span<const std::uint8_t> payload);
+
+/// Parses and validates a container. The returned payload view borrows from
+/// `bytes`, which must outlive the view.
+[[nodiscard]] Expected<ContainerView> parse_container(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace lcp::compress

@@ -1,0 +1,48 @@
+#include "compress/common/metrics.hpp"
+
+namespace lcp::compress {
+
+Expected<RoundTripReport> round_trip(const Compressor& codec,
+                                     const data::Field& field,
+                                     const ErrorBound& bound) {
+  auto compressed = codec.compress(field, bound);
+  if (!compressed) {
+    return compressed.status();
+  }
+  auto decompressed = codec.decompress(compressed->container);
+  if (!decompressed) {
+    return decompressed.status();
+  }
+  auto error = data::compare_fields(field, decompressed->field);
+  if (!error) {
+    return error.status();
+  }
+
+  RoundTripReport report;
+  report.codec = codec.name();
+  report.error_bound = bound.value;
+  report.compression_ratio = compressed->compression_ratio();
+  report.bit_rate =
+      field.element_count() == 0
+          ? 0.0
+          : 8.0 * static_cast<double>(compressed->output_bytes.bytes()) /
+                static_cast<double>(field.element_count());
+  report.error = *error;
+  report.compress_time = compressed->native_wall_time;
+  report.decompress_time = decompressed->native_wall_time;
+  if (bound.mode == BoundMode::kAbsolute) {
+    // A hair of slack for float32 rounding at the reconstruction step.
+    report.bound_respected =
+        error->max_abs_error <= bound.value * (1.0 + 1e-6) + 1e-30;
+  } else if (bound.mode == BoundMode::kPointwiseRelative) {
+    report.bound_respected =
+        error->max_rel_error <= bound.value * (1.0 + 1e-6);
+  } else {
+    // Fixed rate promises size, not accuracy; the size promise is exact at
+    // block granularity and verified by the codec tests.
+    report.bound_respected = true;
+  }
+  return report;
+}
+
+}  // namespace lcp::compress

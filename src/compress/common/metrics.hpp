@@ -1,0 +1,27 @@
+#pragma once
+// Round-trip quality/size metrics reported by examples and benches.
+
+#include "compress/common/codec.hpp"
+#include "data/field.hpp"
+#include "support/status.hpp"
+
+namespace lcp::compress {
+
+/// Everything a user typically wants to know about one compression run.
+struct RoundTripReport {
+  std::string codec;
+  double error_bound = 0.0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;  ///< compressed bits per element
+  data::FieldErrorStats error;
+  Seconds compress_time;
+  Seconds decompress_time;
+  bool bound_respected = false;  ///< max_abs_error <= error_bound (+ ulp slack)
+};
+
+/// Compresses and decompresses `field`, verifying the bound.
+[[nodiscard]] Expected<RoundTripReport> round_trip(const Compressor& codec,
+                                                   const data::Field& field,
+                                                   const ErrorBound& bound);
+
+}  // namespace lcp::compress

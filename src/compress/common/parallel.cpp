@@ -1,0 +1,211 @@
+#include "compress/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "compress/common/container.hpp"
+#include "support/bytestream.hpp"
+#include "support/timer.hpp"
+
+namespace lcp::compress {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4d50434cU;  // "LCPM"
+constexpr std::uint8_t kFrameVersion = 1;
+
+/// Extents of one chunk: dims with axis 0 replaced by `rows`.
+data::Dims chunk_dims(const data::Dims& dims, std::size_t rows) {
+  auto extents = dims.extents();
+  extents[0] = rows;
+  return data::Dims{extents};
+}
+
+/// Elements per slowest-axis hyperplane.
+std::size_t plane_elements(const data::Dims& dims) {
+  return dims.element_count() / dims.extent(0);
+}
+
+}  // namespace
+
+std::vector<std::size_t> chunk_rows(const data::Dims& dims,
+                                    std::size_t target_elements) {
+  const std::size_t rows_total = dims.extent(0);
+  const std::size_t plane = plane_elements(dims);
+  const std::size_t rows_per_chunk = std::clamp<std::size_t>(
+      plane == 0 ? rows_total : target_elements / std::max<std::size_t>(plane, 1),
+      1, rows_total);
+  std::vector<std::size_t> out;
+  std::size_t remaining = rows_total;
+  while (remaining > 0) {
+    const std::size_t take = std::min(rows_per_chunk, remaining);
+    out.push_back(take);
+    remaining -= take;
+  }
+  return out;
+}
+
+Expected<CompressResult> parallel_compress(const Compressor& codec,
+                                           const data::Field& field,
+                                           const ErrorBound& bound,
+                                           ThreadPool& pool,
+                                           const ParallelOptions& options) {
+  if (field.element_count() == 0) {
+    return Status::invalid_argument("parallel_compress: empty field");
+  }
+  Timer timer;
+  const auto rows = chunk_rows(field.dims(), options.target_chunk_elements);
+  const std::size_t plane = plane_elements(field.dims());
+
+  struct ChunkJob {
+    std::size_t row_begin = 0;
+    std::size_t row_count = 0;
+    Expected<CompressResult> result{Status::internal("not run")};
+  };
+  std::vector<ChunkJob> jobs(rows.size());
+  {
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < rows.size(); ++c) {
+      jobs[c].row_begin = row;
+      jobs[c].row_count = rows[c];
+      row += rows[c];
+    }
+  }
+
+  pool.parallel_for(0, jobs.size(), [&](std::size_t c) {
+    ChunkJob& job = jobs[c];
+    const auto values = field.values().subspan(job.row_begin * plane,
+                                               job.row_count * plane);
+    data::Field chunk{field.name(), chunk_dims(field.dims(), job.row_count),
+                      std::vector<float>(values.begin(), values.end())};
+    job.result = codec.compress(chunk, bound);
+  });
+
+  ByteWriter frame;
+  frame.write_u32(kFrameMagic);
+  frame.write_u8(kFrameVersion);
+  frame.write_string(codec.name());
+  frame.write_u8(static_cast<std::uint8_t>(field.dims().rank()));
+  for (std::size_t e : field.dims().extents()) {
+    frame.write_u64(e);
+  }
+  frame.write_string(field.name());
+  frame.write_u32(static_cast<std::uint32_t>(jobs.size()));
+  for (auto& job : jobs) {
+    if (!job.result.has_value()) {
+      return job.result.status();
+    }
+    frame.write_u64(job.row_count);
+    frame.write_u64(job.result->container.size());
+    frame.write_bytes(job.result->container);
+  }
+
+  CompressResult result;
+  result.container = frame.finish();
+  result.input_bytes = field.size_bytes();
+  result.output_bytes = Bytes{result.container.size()};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+Expected<DecompressResult> parallel_decompress(
+    const Compressor& codec, std::span<const std::uint8_t> frame,
+    ThreadPool& pool) {
+  Timer timer;
+  ByteReader r{frame};
+  auto magic = r.read_u32();
+  if (!magic || *magic != kFrameMagic) {
+    return Status::corrupt_data("parallel frame: bad magic");
+  }
+  auto version = r.read_u8();
+  if (!version || *version != kFrameVersion) {
+    return Status::unsupported("parallel frame: unknown version");
+  }
+  auto codec_name = r.read_string();
+  if (!codec_name) {
+    return codec_name.status();
+  }
+  if (*codec_name != codec.name()) {
+    return Status::invalid_argument("parallel frame: codec mismatch (" +
+                                    *codec_name + ")");
+  }
+  auto rank = r.read_u8();
+  if (!rank || *rank == 0 || *rank > 4) {
+    return Status::corrupt_data("parallel frame: bad rank");
+  }
+  std::vector<std::size_t> extents;
+  std::uint64_t elements = 1;
+  for (std::uint8_t i = 0; i < *rank; ++i) {
+    auto e = r.read_u64();
+    if (!e || *e == 0) {
+      return Status::corrupt_data("parallel frame: bad extent");
+    }
+    if (*e > kMaxContainerElements ||
+        elements > kMaxContainerElements / *e) {
+      return Status::corrupt_data("parallel frame: dims exceed element limit");
+    }
+    elements *= *e;
+    extents.push_back(static_cast<std::size_t>(*e));
+  }
+  const data::Dims dims{std::move(extents)};
+  auto field_name = r.read_string();
+  if (!field_name) {
+    return field_name.status();
+  }
+  auto chunk_count = r.read_u32();
+  if (!chunk_count || *chunk_count == 0) {
+    return Status::corrupt_data("parallel frame: no chunks");
+  }
+
+  struct ChunkSlot {
+    std::size_t row_begin = 0;
+    std::size_t row_count = 0;
+    std::span<const std::uint8_t> bytes;
+    Expected<DecompressResult> result{Status::internal("not run")};
+  };
+  std::vector<ChunkSlot> slots(*chunk_count);
+  std::size_t row = 0;
+  for (auto& slot : slots) {
+    auto rows_here = r.read_u64();
+    auto size = r.read_u64();
+    if (!rows_here || !size) {
+      return Status::corrupt_data("parallel frame: truncated chunk header");
+    }
+    auto bytes = r.read_bytes(static_cast<std::size_t>(*size));
+    if (!bytes) {
+      return bytes.status();
+    }
+    slot.row_begin = row;
+    slot.row_count = static_cast<std::size_t>(*rows_here);
+    slot.bytes = *bytes;
+    row += slot.row_count;
+  }
+  if (row != dims.extent(0)) {
+    return Status::corrupt_data("parallel frame: chunk rows do not sum to dims");
+  }
+
+  pool.parallel_for(0, slots.size(), [&](std::size_t c) {
+    slots[c].result = codec.decompress(slots[c].bytes);
+  });
+
+  const std::size_t plane = plane_elements(dims);
+  std::vector<float> values(dims.element_count());
+  for (auto& slot : slots) {
+    if (!slot.result.has_value()) {
+      return slot.result.status();
+    }
+    const auto& chunk_field = slot.result->field;
+    if (chunk_field.element_count() != slot.row_count * plane) {
+      return Status::corrupt_data("parallel frame: chunk size mismatch");
+    }
+    std::copy(chunk_field.values().begin(), chunk_field.values().end(),
+              values.begin() +
+                  static_cast<std::ptrdiff_t>(slot.row_begin * plane));
+  }
+
+  DecompressResult result;
+  result.field = data::Field{*field_name, dims, std::move(values)};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+}  // namespace lcp::compress

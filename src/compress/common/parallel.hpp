@@ -1,0 +1,43 @@
+#pragma once
+// Chunk-parallel compression: splits a field along its slowest axis into
+// independent sub-fields, compresses each on a thread pool, and frames the
+// results in a multi-chunk container. This is the shared-memory scaling
+// path the paper's single-core study leaves as future work — upstream SZ
+// and ZFP parallelize the same way (independent blocks/chunks).
+//
+// Chunking resets cross-chunk prediction, so ratios can differ slightly
+// from single-shot compression; the absolute error bound is unaffected
+// (each chunk honours it independently).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/common/codec.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lcp::compress {
+
+struct ParallelOptions {
+  /// Target elements per chunk; the slowest-axis split is rounded to whole
+  /// hyperplanes. Chunks never get smaller than one hyperplane.
+  std::size_t target_chunk_elements = 1 << 20;
+};
+
+/// Compresses `field` with `codec` across `pool`. The returned container
+/// is a multi-chunk frame decodable only by parallel_decompress.
+[[nodiscard]] Expected<CompressResult> parallel_compress(
+    const Compressor& codec, const data::Field& field, const ErrorBound& bound,
+    ThreadPool& pool, const ParallelOptions& options = {});
+
+/// Decompresses a multi-chunk frame produced by parallel_compress.
+[[nodiscard]] Expected<DecompressResult> parallel_decompress(
+    const Compressor& codec, std::span<const std::uint8_t> frame,
+    ThreadPool& pool);
+
+/// Splits dims into per-chunk slowest-axis extents (exposed for tests):
+/// returns the row counts of each chunk, summing to dims.extent(0).
+[[nodiscard]] std::vector<std::size_t> chunk_rows(const data::Dims& dims,
+                                                  std::size_t target_elements);
+
+}  // namespace lcp::compress

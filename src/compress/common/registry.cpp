@@ -1,0 +1,71 @@
+#include "compress/common/registry.hpp"
+
+#include "compress/common/container.hpp"
+#include "compress/lossless/shuffle_codec.hpp"
+#include "compress/sz/sz_compressor.hpp"
+#include "compress/zfp/zfp_compressor.hpp"
+
+namespace lcp::compress {
+
+const char* codec_name(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kSz:
+      return "sz";
+    case CodecId::kZfp:
+      return "zfp";
+  }
+  return "?";
+}
+
+const std::vector<CodecId>& all_codecs() {
+  static const std::vector<CodecId> ids = {CodecId::kSz, CodecId::kZfp};
+  return ids;
+}
+
+std::unique_ptr<Compressor> make_compressor(CodecId id) {
+  switch (id) {
+    case CodecId::kSz:
+      return std::make_unique<sz::SzCompressor>();
+    case CodecId::kZfp:
+      return std::make_unique<zfp::ZfpCompressor>();
+  }
+  LCP_REQUIRE(false, "unknown codec id");
+  return nullptr;
+}
+
+Expected<std::unique_ptr<Compressor>> make_compressor(const std::string& name) {
+  for (CodecId id : all_codecs()) {
+    if (name == codec_name(id)) {
+      return make_compressor(id);
+    }
+  }
+  if (name == "lossless") {
+    return std::unique_ptr<Compressor>{
+        std::make_unique<lossless::ShuffleCodec>()};
+  }
+  if (name == "sz2") {
+    // SZ with the second-order Lorenzo predictor (HPDC'20). Containers it
+    // produces still self-describe as "sz" — the predictor id travels in
+    // the payload, so any SZ decoder handles them.
+    sz::SzOptions options;
+    options.predictor = sz::SzPredictor::kSecondOrder;
+    return std::unique_ptr<Compressor>{
+        std::make_unique<sz::SzCompressor>(options)};
+  }
+  return Status::invalid_argument("unknown codec: " + name);
+}
+
+Expected<DecompressResult> decompress_any(
+    std::span<const std::uint8_t> container) {
+  auto view = parse_container(container);
+  if (!view) {
+    return view.status();
+  }
+  auto codec = make_compressor(view->codec);
+  if (!codec) {
+    return codec.status();
+  }
+  return (*codec)->decompress(container);
+}
+
+}  // namespace lcp::compress

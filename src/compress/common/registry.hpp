@@ -1,0 +1,32 @@
+#pragma once
+// Codec registry: name -> Compressor, so studies can be configured by
+// string ("sz", "zfp") exactly as the paper's Table III partitions are.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/common/codec.hpp"
+
+namespace lcp::compress {
+
+/// Compressor family ids used across studies and model partitions.
+enum class CodecId : std::uint8_t { kSz = 0, kZfp = 1 };
+
+[[nodiscard]] const char* codec_name(CodecId id) noexcept;
+
+/// Both codecs, in paper order {SZ, ZFP}.
+[[nodiscard]] const std::vector<CodecId>& all_codecs();
+
+/// Creates a codec instance. Never fails for a valid id.
+[[nodiscard]] std::unique_ptr<Compressor> make_compressor(CodecId id);
+
+/// Looks up by name ("sz"/"zfp", case-sensitive).
+[[nodiscard]] Expected<std::unique_ptr<Compressor>> make_compressor(
+    const std::string& name);
+
+/// Decompresses any valid container by routing on its codec field.
+[[nodiscard]] Expected<DecompressResult> decompress_any(
+    std::span<const std::uint8_t> container);
+
+}  // namespace lcp::compress

@@ -1,0 +1,105 @@
+#include "compress/lossless/shuffle_codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "compress/common/container.hpp"
+#include "compress/sz/zlite.hpp"
+#include "support/bytestream.hpp"
+#include "support/timer.hpp"
+
+namespace lcp::lossless {
+namespace {
+
+constexpr std::uint8_t kPayloadVersion = 1;
+
+}  // namespace
+
+void shuffle_bytes(std::span<const float> values,
+                   std::span<std::uint8_t> out) noexcept {
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(values[i]);
+    out[0 * n + i] = static_cast<std::uint8_t>(bits);
+    out[1 * n + i] = static_cast<std::uint8_t>(bits >> 8);
+    out[2 * n + i] = static_cast<std::uint8_t>(bits >> 16);
+    out[3 * n + i] = static_cast<std::uint8_t>(bits >> 24);
+  }
+}
+
+void unshuffle_bytes(std::span<const std::uint8_t> bytes,
+                     std::span<float> out) noexcept {
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(bytes[0 * n + i]) |
+        (static_cast<std::uint32_t>(bytes[1 * n + i]) << 8) |
+        (static_cast<std::uint32_t>(bytes[2 * n + i]) << 16) |
+        (static_cast<std::uint32_t>(bytes[3 * n + i]) << 24);
+    out[i] = std::bit_cast<float>(bits);
+  }
+}
+
+Expected<compress::CompressResult> ShuffleCodec::compress(
+    const data::Field& field, const compress::ErrorBound& bound) const {
+  Timer timer;
+  std::vector<std::uint8_t> shuffled(field.element_count() * sizeof(float));
+  shuffle_bytes(field.values(), shuffled);
+  const auto packed = sz::zlite_compress(shuffled);
+
+  ByteWriter payload;
+  payload.write_u8(kPayloadVersion);
+  payload.write_u64(packed.size());
+  payload.write_bytes(packed);
+  const auto payload_bytes = payload.finish();
+
+  compress::CompressResult result;
+  result.container = compress::build_container("lossless", bound, field.dims(),
+                                               field.name(), payload_bytes);
+  result.input_bytes = field.size_bytes();
+  result.output_bytes = Bytes{result.container.size()};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+Expected<compress::DecompressResult> ShuffleCodec::decompress(
+    std::span<const std::uint8_t> container) const {
+  Timer timer;
+  auto view = compress::parse_container(container);
+  if (!view) {
+    return view.status();
+  }
+  if (view->codec != "lossless") {
+    return Status::invalid_argument("container codec is not lossless");
+  }
+  ByteReader r{view->payload};
+  auto version = r.read_u8();
+  if (!version || *version != kPayloadVersion) {
+    return Status::unsupported("unknown lossless payload version");
+  }
+  auto packed_size = r.read_u64();
+  if (!packed_size) {
+    return packed_size.status();
+  }
+  auto packed = r.read_bytes(static_cast<std::size_t>(*packed_size));
+  if (!packed) {
+    return packed.status();
+  }
+  const std::size_t n = view->dims.element_count();
+  auto shuffled = sz::zlite_decompress(*packed, n * sizeof(float));
+  if (!shuffled) {
+    return shuffled.status();
+  }
+  if (shuffled->size() != n * sizeof(float)) {
+    return Status::corrupt_data("lossless: shuffled size mismatch");
+  }
+  std::vector<float> values(n);
+  unshuffle_bytes(*shuffled, values);
+
+  compress::DecompressResult result;
+  result.field = data::Field{view->field_name, view->dims, std::move(values)};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+}  // namespace lcp::lossless

@@ -1,0 +1,290 @@
+#include "compress/sz/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/bytestream.hpp"
+
+namespace lcp::sz {
+namespace {
+
+constexpr unsigned kMaxCodeLength = 32;
+
+struct HeapNode {
+  std::uint64_t weight;
+  std::uint32_t index;  // tie-break for determinism
+  bool operator>(const HeapNode& o) const {
+    return weight != o.weight ? weight > o.weight : index > o.index;
+  }
+};
+
+/// Builds code lengths by standard Huffman tree construction.
+std::vector<std::uint8_t> build_lengths(std::span<const std::uint64_t> freq) {
+  const std::uint32_t n = static_cast<std::uint32_t>(freq.size());
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  // Internal representation: parent links over (symbols + internal nodes).
+  std::vector<std::uint32_t> parent;
+  parent.reserve(2 * n);
+  std::vector<std::uint64_t> weight;
+  weight.reserve(2 * n);
+
+  std::priority_queue<HeapNode, std::vector<HeapNode>, std::greater<>> heap;
+  std::uint32_t live = 0;
+  std::uint32_t last_symbol = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    weight.push_back(freq[s]);
+    parent.push_back(UINT32_MAX);
+    if (freq[s] > 0) {
+      heap.push({freq[s], s});
+      ++live;
+      last_symbol = s;
+    }
+  }
+  if (live == 0) {
+    return lengths;
+  }
+  if (live == 1) {
+    lengths[last_symbol] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const HeapNode a = heap.top();
+    heap.pop();
+    const HeapNode b = heap.top();
+    heap.pop();
+    const auto node = static_cast<std::uint32_t>(weight.size());
+    weight.push_back(a.weight + b.weight);
+    parent.push_back(UINT32_MAX);
+    parent[a.index] = node;
+    parent[b.index] = node;
+    heap.push({a.weight + b.weight, node});
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) {
+      continue;
+    }
+    unsigned depth = 0;
+    std::uint32_t cur = s;
+    while (parent[cur] != UINT32_MAX) {
+      cur = parent[cur];
+      ++depth;
+    }
+    lengths[s] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, index).
+std::vector<std::uint64_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint64_t> codes(lengths.size(), 0);
+  std::vector<std::uint32_t> count(kMaxCodeLength + 1, 0);
+  for (std::uint8_t l : lengths) {
+    if (l > 0) {
+      ++count[l];
+    }
+  }
+  std::vector<std::uint64_t> next(kMaxCodeLength + 2, 0);
+  std::uint64_t code = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      codes[s] = next[lengths[s]]++;
+    }
+  }
+  return codes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freq) {
+  // Cap excessive depths by flattening frequencies and rebuilding. With a
+  // 2^16-ish alphabet and 64-bit weights, a single pass virtually always
+  // fits in 32 bits, but skewed adversarial inputs are handled by halving.
+  std::vector<std::uint64_t> work(freq.begin(), freq.end());
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto lengths = build_lengths(work);
+    const auto deepest =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (deepest <= kMaxCodeLength) {
+      return lengths;
+    }
+    for (auto& w : work) {
+      if (w > 0) {
+        w = (w + 1) / 2;
+      }
+    }
+  }
+  // Degenerate fallback: fixed-length codes.
+  std::vector<std::uint8_t> lengths(freq.size(), 0);
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < freq.size()) {
+    ++bits;
+  }
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      lengths[s] = static_cast<std::uint8_t>(bits);
+    }
+  }
+  return lengths;
+}
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
+                                         std::uint32_t alphabet_size) {
+  LCP_REQUIRE(alphabet_size > 0, "alphabet must be non-empty");
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (std::uint32_t s : symbols) {
+    LCP_REQUIRE(s < alphabet_size, "symbol out of alphabet range");
+    ++freq[s];
+  }
+  const auto lengths = huffman_code_lengths(freq);
+  const auto codes = canonical_codes(lengths);
+
+  ByteWriter header;
+  header.write_u32(alphabet_size);
+  header.write_u64(symbols.size());
+  // RLE of the length table: (length byte, run length u32).
+  std::uint32_t runs = 0;
+  ByteWriter rle;
+  for (std::size_t i = 0; i < lengths.size();) {
+    std::size_t j = i;
+    while (j < lengths.size() && lengths[j] == lengths[i]) {
+      ++j;
+    }
+    rle.write_u8(lengths[i]);
+    rle.write_u32(static_cast<std::uint32_t>(j - i));
+    ++runs;
+    i = j;
+  }
+  header.write_u32(runs);
+  auto rle_bytes = rle.finish();
+  header.write_bytes(rle_bytes);
+
+  BitWriter bits;
+  for (std::uint32_t s : symbols) {
+    // Canonical codes are MSB-first by construction; emit MSB-first so the
+    // decoder can extend a prefix one bit at a time.
+    const unsigned len = lengths[s];
+    const std::uint64_t code = codes[s];
+    for (unsigned b = 0; b < len; ++b) {
+      bits.write_bit(((code >> (len - 1 - b)) & 1) != 0);
+    }
+  }
+  auto payload = bits.finish();
+
+  ByteWriter out;
+  auto header_bytes = header.finish();
+  out.write_bytes(header_bytes);
+  out.write_u64(payload.size());
+  out.write_bytes(payload);
+  return out.finish();
+}
+
+Expected<std::vector<std::uint32_t>> huffman_decode(
+    std::span<const std::uint8_t> blob, std::uint64_t max_count) {
+  ByteReader r{blob};
+  auto alphabet = r.read_u32();
+  if (!alphabet || *alphabet == 0) {
+    return Status::corrupt_data("huffman: bad alphabet size");
+  }
+  auto count = r.read_u64();
+  if (!count) {
+    return count.status();
+  }
+  if (*count > max_count) {
+    return Status::corrupt_data("huffman: symbol count exceeds expectation");
+  }
+  auto runs = r.read_u32();
+  if (!runs) {
+    return runs.status();
+  }
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(*alphabet);
+  for (std::uint32_t run = 0; run < *runs; ++run) {
+    auto len = r.read_u8();
+    auto n = r.read_u32();
+    if (!len || !n) {
+      return Status::corrupt_data("huffman: truncated length table");
+    }
+    if (*len > kMaxCodeLength) {
+      return Status::corrupt_data("huffman: code length too large");
+    }
+    if (lengths.size() + *n > *alphabet) {
+      return Status::corrupt_data("huffman: length table overflow");
+    }
+    lengths.insert(lengths.end(), *n, *len);
+  }
+  if (lengths.size() != *alphabet) {
+    return Status::corrupt_data("huffman: length table size mismatch");
+  }
+
+  // Canonical decode tables: for each length, the first code and the index
+  // into the symbol list ordered by (length, symbol).
+  std::vector<std::uint32_t> count_by_len(kMaxCodeLength + 1, 0);
+  for (std::uint8_t l : lengths) {
+    if (l > 0) {
+      ++count_by_len[l];
+    }
+  }
+  std::vector<std::uint64_t> first_code(kMaxCodeLength + 2, 0);
+  std::vector<std::uint32_t> first_index(kMaxCodeLength + 2, 0);
+  std::uint64_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + count_by_len[l - 1]) << 1;
+    first_code[l] = code;
+    first_index[l] = index;
+    index += count_by_len[l];
+  }
+  std::vector<std::uint32_t> symbols_by_rank;
+  symbols_by_rank.reserve(index);
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    for (std::uint32_t s = 0; s < *alphabet; ++s) {
+      if (lengths[s] == l) {
+        symbols_by_rank.push_back(s);
+      }
+    }
+  }
+
+  auto payload_size = r.read_u64();
+  if (!payload_size) {
+    return payload_size.status();
+  }
+  auto payload = r.read_bytes(static_cast<std::size_t>(*payload_size));
+  if (!payload) {
+    return payload.status();
+  }
+
+  BitReader bits{*payload};
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    std::uint64_t acc = 0;
+    unsigned len = 0;
+    std::uint32_t symbol = UINT32_MAX;
+    while (len < kMaxCodeLength) {
+      acc = (acc << 1) | (bits.read_bit() ? 1u : 0u);
+      ++len;
+      if (count_by_len[len] == 0) {
+        continue;
+      }
+      const std::uint64_t offset = acc - first_code[len];
+      if (acc >= first_code[len] && offset < count_by_len[len]) {
+        symbol = symbols_by_rank[first_index[len] + offset];
+        break;
+      }
+    }
+    if (symbol == UINT32_MAX || bits.overflowed()) {
+      return Status::corrupt_data("huffman: invalid code in stream");
+    }
+    out.push_back(symbol);
+  }
+  return out;
+}
+
+}  // namespace lcp::sz

@@ -1,0 +1,33 @@
+#pragma once
+// Canonical Huffman coder for SZ quantization codes.
+//
+// Encoding: build per-symbol lengths from frequencies (package-merge-free
+// heap construction with a 32-bit length cap enforced by frequency
+// flattening), derive canonical codes, serialize the length table with RLE,
+// then emit the symbol stream. Decoding rebuilds the canonical table and
+// walks the bit stream length-by-length.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bitstream.hpp"
+#include "support/status.hpp"
+
+namespace lcp::sz {
+
+/// Encodes `symbols` (values < alphabet_size) into a self-contained blob.
+[[nodiscard]] std::vector<std::uint8_t> huffman_encode(
+    std::span<const std::uint32_t> symbols, std::uint32_t alphabet_size);
+
+/// Decodes a blob from huffman_encode. `expected_count` guards against
+/// corrupt streams claiming absurd sizes.
+[[nodiscard]] lcp::Expected<std::vector<std::uint32_t>> huffman_decode(
+    std::span<const std::uint8_t> blob, std::uint64_t max_count = UINT64_MAX);
+
+/// Computes canonical code lengths for `freq` (internal; exposed for tests).
+/// Lengths are capped at 32 bits. Symbols with zero frequency get length 0.
+[[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freq);
+
+}  // namespace lcp::sz

@@ -1,0 +1,4 @@
+#include "compress/sz/lorenzo.hpp"
+
+// Predictors are header-inline for the hot loops; this TU anchors the
+// object in the library.

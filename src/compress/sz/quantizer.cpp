@@ -1,0 +1,3 @@
+#include "compress/sz/quantizer.hpp"
+
+// Header-inline; TU anchors the library object.

@@ -1,0 +1,60 @@
+#pragma once
+// Linear-scaling quantizer: maps prediction residuals to integer codes with
+// bin width 2*eb, guaranteeing |reconstructed - original| <= eb for every
+// quantized sample. Residuals outside the code radius (or whose float32
+// reconstruction would violate the bound) are flagged unpredictable and
+// stored exactly.
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+namespace lcp::sz {
+
+/// Code 0 is reserved for "unpredictable"; valid codes are [1, 2*radius).
+class LinearQuantizer {
+ public:
+  LinearQuantizer(double error_bound, std::uint32_t radius = 32768) noexcept
+      : eb_(error_bound), radius_(radius) {}
+
+  [[nodiscard]] double error_bound() const noexcept { return eb_; }
+  [[nodiscard]] std::uint32_t radius() const noexcept { return radius_; }
+  [[nodiscard]] std::uint32_t alphabet_size() const noexcept {
+    return 2 * radius_;
+  }
+
+  /// Attempts to quantize `value` against `prediction`. On success returns
+  /// the code and writes the float32 reconstruction to `reconstructed`.
+  [[nodiscard]] std::optional<std::uint32_t> quantize(
+      double value, double prediction, float& reconstructed) const noexcept {
+    const double diff = value - prediction;
+    const double scaled = diff / (2.0 * eb_);
+    if (!(std::fabs(scaled) < static_cast<double>(radius_) - 1.0)) {
+      return std::nullopt;  // also catches NaN
+    }
+    const auto q = static_cast<std::int64_t>(std::llround(scaled));
+    const float recon =
+        static_cast<float>(prediction + static_cast<double>(q) * 2.0 * eb_);
+    // float32 rounding of the reconstruction can push the realized error
+    // past the bound near huge magnitudes; such samples go unpredictable.
+    if (!(std::fabs(static_cast<double>(recon) - value) <= eb_)) {
+      return std::nullopt;
+    }
+    reconstructed = recon;
+    return static_cast<std::uint32_t>(q + radius_);
+  }
+
+  /// Reconstruction for a code produced by quantize (code != 0).
+  [[nodiscard]] float reconstruct(std::uint32_t code,
+                                  double prediction) const noexcept {
+    const auto q =
+        static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius_);
+    return static_cast<float>(prediction + static_cast<double>(q) * 2.0 * eb_);
+  }
+
+ private:
+  double eb_;
+  std::uint32_t radius_;
+};
+
+}  // namespace lcp::sz

@@ -1,0 +1,380 @@
+#include "compress/sz/sz_compressor.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "compress/common/container.hpp"
+#include "compress/sz/huffman.hpp"
+#include "compress/sz/lorenzo.hpp"
+#include "compress/sz/quantizer.hpp"
+#include "compress/sz/zlite.hpp"
+#include "support/bytestream.hpp"
+#include "support/timer.hpp"
+
+namespace lcp::sz {
+namespace {
+
+constexpr std::uint8_t kPayloadVersion = 1;
+
+/// Collapses rank-4 fields to 3-D by merging the two slowest axes; SZ's
+/// highest-order stencil is 3-D.
+std::vector<std::size_t> effective_extents(const data::Dims& dims) {
+  auto ext = dims.extents();
+  while (ext.size() > 3) {
+    ext[1] *= ext[0];
+    ext.erase(ext.begin());
+  }
+  return ext;
+}
+
+/// Prediction at one site with the configured stencil family.
+float predict(std::span<const float> decoded, SzPredictor predictor,
+              std::span<const std::size_t> ext, std::size_t idx, std::size_t i,
+              std::size_t j, std::size_t k) {
+  const bool second = predictor == SzPredictor::kSecondOrder;
+  if (ext.size() == 1) {
+    return second ? lorenzo2_predict_1d(decoded, idx)
+                  : lorenzo_predict_1d(decoded, idx);
+  }
+  if (ext.size() == 2) {
+    return second ? lorenzo2_predict_2d(decoded, i, j, ext[1])
+                  : lorenzo_predict_2d(decoded, i, j, ext[1]);
+  }
+  return second ? lorenzo2_predict_3d(decoded, i, j, k, ext[1], ext[2])
+                : lorenzo_predict_3d(decoded, i, j, k, ext[1], ext[2]);
+}
+
+/// Runs prediction+quantization over the field in row-major order.
+/// Fills `codes` (one per element) and `exact` (raw bits of unpredictable
+/// samples, in stream order). `decoded` carries the decoder-visible values.
+void predict_quantize(std::span<const float> values,
+                      std::span<const std::size_t> ext,
+                      SzPredictor predictor, const LinearQuantizer& quantizer,
+                      std::vector<std::uint32_t>& codes,
+                      std::vector<std::uint32_t>& exact,
+                      std::vector<float>& decoded) {
+  const std::size_t n = values.size();
+  codes.resize(n);
+  decoded.assign(n, 0.0F);
+
+  auto emit = [&](std::size_t idx, float prediction) {
+    float recon = 0.0F;
+    const auto code = quantizer.quantize(values[idx], prediction, recon);
+    if (code.has_value()) {
+      codes[idx] = *code;
+      decoded[idx] = recon;
+    } else {
+      codes[idx] = 0;
+      exact.push_back(std::bit_cast<std::uint32_t>(values[idx]));
+      decoded[idx] = values[idx];
+    }
+  };
+
+  if (ext.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      emit(i, predict(decoded, predictor, ext, i, i, 0, 0));
+    }
+  } else if (ext.size() == 2) {
+    const std::size_t n1 = ext[1];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < ext[0]; ++i) {
+      for (std::size_t j = 0; j < n1; ++j, ++idx) {
+        emit(idx, predict(decoded, predictor, ext, idx, i, j, 0));
+      }
+    }
+  } else {
+    const std::size_t n1 = ext[1];
+    const std::size_t n2 = ext[2];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < ext[0]; ++i) {
+      for (std::size_t j = 0; j < n1; ++j) {
+        for (std::size_t k = 0; k < n2; ++k, ++idx) {
+          emit(idx, predict(decoded, predictor, ext, idx, i, j, k));
+        }
+      }
+    }
+  }
+}
+
+/// Packs one bit per element into bytes (LSB-first).
+std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits) {
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    }
+  }
+  return out;
+}
+
+bool unpack_bit(std::span<const std::uint8_t> bytes, std::size_t i) {
+  return ((bytes[i >> 3] >> (i & 7)) & 1u) != 0;
+}
+
+}  // namespace
+
+Expected<compress::CompressResult> SzCompressor::compress(
+    const data::Field& field, const compress::ErrorBound& bound) const {
+  const bool relative =
+      bound.mode == compress::BoundMode::kPointwiseRelative;
+  if (bound.mode != compress::BoundMode::kAbsolute && !relative) {
+    return Status::unsupported(
+        "sz supports absolute and pointwise-relative bounds only");
+  }
+  if (bound.value <= 0.0) {
+    return Status::invalid_argument("error bound must be positive");
+  }
+  if (relative && (bound.value < 1e-6 || bound.value > 0.5)) {
+    return Status::invalid_argument(
+        "pointwise-relative bound must be in [1e-6, 0.5]");
+  }
+  LCP_RETURN_IF_ERROR(compress::validate_finite(field));
+
+  Timer timer;
+  const auto ext = effective_extents(field.dims());
+
+  // PW_REL (the paper's ref [4]): compress log|x| with an absolute bound of
+  // log(1+rel); |log x' - log x| <= log(1+rel) implies |x'-x| <= rel*|x|.
+  // Signs and exact zeros travel in side bitmaps. The 0.95 margin absorbs
+  // the float32 rounding of the log and exp evaluations.
+  std::span<const float> work = field.values();
+  std::vector<float> logs;
+  std::vector<std::uint8_t> sign_bytes;
+  std::vector<std::uint8_t> zero_bytes;
+  double eb_abs = bound.value;
+  if (relative) {
+    eb_abs = std::log1p(bound.value) * 0.95;
+    const std::size_t n = field.element_count();
+    logs.resize(n);
+    std::vector<bool> negatives(n, false);
+    std::vector<bool> zeros(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = field.values()[i];
+      if (v == 0.0F) {
+        zeros[i] = true;
+        logs[i] = 0.0F;
+      } else {
+        negatives[i] = v < 0.0F;
+        logs[i] = static_cast<float>(std::log(std::fabs(static_cast<double>(v))));
+      }
+    }
+    sign_bytes = zlite_compress(pack_bits(negatives));
+    zero_bytes = zlite_compress(pack_bits(zeros));
+    work = logs;
+  }
+
+  const LinearQuantizer quantizer{eb_abs, options_.quantizer_radius};
+
+  std::vector<std::uint32_t> codes;
+  std::vector<std::uint32_t> exact;
+  std::vector<float> decoded;
+  predict_quantize(work, ext, options_.predictor, quantizer, codes,
+                   exact, decoded);
+
+  auto huffman = huffman_encode(codes, quantizer.alphabet_size());
+  std::vector<std::uint8_t> entropy_blob;
+  if (options_.use_lossless_backend) {
+    entropy_blob = zlite_compress(huffman);
+  } else {
+    entropy_blob = std::move(huffman);
+  }
+
+  ByteWriter payload;
+  payload.write_u8(kPayloadVersion);
+  payload.write_u8(options_.use_lossless_backend ? 1 : 0);
+  payload.write_u8(static_cast<std::uint8_t>(options_.predictor));
+  payload.write_u8(relative ? 1 : 0);  // transform: 0 = none, 1 = log
+  if (relative) {
+    payload.write_blob(sign_bytes);
+    payload.write_blob(zero_bytes);
+  }
+  payload.write_u32(quantizer.radius());
+  payload.write_u64(entropy_blob.size());
+  payload.write_bytes(entropy_blob);
+  payload.write_u64(exact.size());
+  for (std::uint32_t bits : exact) {
+    payload.write_u32(bits);
+  }
+
+  const auto payload_bytes = payload.finish();
+  compress::CompressResult result;
+  result.container = compress::build_container("sz", bound, field.dims(),
+                                               field.name(), payload_bytes);
+  result.input_bytes = field.size_bytes();
+  result.output_bytes = Bytes{result.container.size()};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+Expected<compress::DecompressResult> SzCompressor::decompress(
+    std::span<const std::uint8_t> container) const {
+  Timer timer;
+  auto view = compress::parse_container(container);
+  if (!view) {
+    return view.status();
+  }
+  if (view->codec != "sz") {
+    return Status::invalid_argument("container codec is not sz");
+  }
+
+  ByteReader r{view->payload};
+  auto version = r.read_u8();
+  if (!version || *version != kPayloadVersion) {
+    return Status::unsupported("unknown sz payload version");
+  }
+  auto lossless = r.read_u8();
+  if (!lossless) {
+    return lossless.status();
+  }
+  auto predictor_raw = r.read_u8();
+  if (!predictor_raw || *predictor_raw > 1) {
+    return Status::corrupt_data("sz: unknown predictor id");
+  }
+  const auto predictor = static_cast<SzPredictor>(*predictor_raw);
+  auto transform = r.read_u8();
+  if (!transform || *transform > 1) {
+    return Status::corrupt_data("sz: unknown transform id");
+  }
+  const bool relative = *transform == 1;
+  std::span<const std::uint8_t> sign_blob;
+  std::span<const std::uint8_t> zero_blob;
+  if (relative) {
+    auto signs = r.read_blob();
+    auto zeros = r.read_blob();
+    if (!signs || !zeros) {
+      return Status::corrupt_data("sz: truncated sign/zero bitmaps");
+    }
+    sign_blob = *signs;
+    zero_blob = *zeros;
+  }
+  auto radius = r.read_u32();
+  if (!radius || *radius == 0) {
+    return Status::corrupt_data("sz: bad quantizer radius");
+  }
+  auto entropy_size = r.read_u64();
+  if (!entropy_size) {
+    return entropy_size.status();
+  }
+  auto entropy_blob = r.read_bytes(static_cast<std::size_t>(*entropy_size));
+  if (!entropy_blob) {
+    return entropy_blob.status();
+  }
+
+  const std::size_t n = view->dims.element_count();
+  std::vector<std::uint32_t> codes;
+  if (*lossless != 0) {
+    // Cap the inflated size: huffman blob is bounded by table + payload.
+    auto huffman = zlite_decompress(*entropy_blob, 64 + 8 * n + (n + 1) * 16);
+    if (!huffman) {
+      return huffman.status();
+    }
+    auto decoded_codes = huffman_decode(*huffman, n);
+    if (!decoded_codes) {
+      return decoded_codes.status();
+    }
+    codes = std::move(*decoded_codes);
+  } else {
+    auto decoded_codes = huffman_decode(*entropy_blob, n);
+    if (!decoded_codes) {
+      return decoded_codes.status();
+    }
+    codes = std::move(*decoded_codes);
+  }
+  if (codes.size() != n) {
+    return Status::corrupt_data("sz: code count mismatch");
+  }
+
+  auto exact_count = r.read_u64();
+  if (!exact_count) {
+    return exact_count.status();
+  }
+  if (*exact_count > n) {
+    return Status::corrupt_data("sz: more unpredictables than elements");
+  }
+  std::vector<float> exact;
+  exact.reserve(static_cast<std::size_t>(*exact_count));
+  for (std::uint64_t i = 0; i < *exact_count; ++i) {
+    auto bits = r.read_u32();
+    if (!bits) {
+      return bits.status();
+    }
+    exact.push_back(std::bit_cast<float>(*bits));
+  }
+
+  const double eb_abs = relative ? std::log1p(view->bound.value) * 0.95
+                                 : view->bound.value;
+  const LinearQuantizer quantizer{eb_abs, *radius};
+  const auto ext = effective_extents(view->dims);
+  std::vector<float> decoded(n, 0.0F);
+  std::size_t exact_pos = 0;
+
+  auto reconstruct = [&](std::size_t idx, float prediction) -> bool {
+    const std::uint32_t code = codes[idx];
+    if (code == 0) {
+      if (exact_pos >= exact.size()) {
+        return false;
+      }
+      decoded[idx] = exact[exact_pos++];
+    } else if (code < quantizer.alphabet_size()) {
+      decoded[idx] = quantizer.reconstruct(code, prediction);
+    } else {
+      return false;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  if (ext.size() == 1) {
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      ok = reconstruct(i, predict(decoded, predictor, ext, i, i, 0, 0));
+    }
+  } else if (ext.size() == 2) {
+    const std::size_t n1 = ext[1];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < ext[0] && ok; ++i) {
+      for (std::size_t j = 0; j < n1 && ok; ++j, ++idx) {
+        ok = reconstruct(idx, predict(decoded, predictor, ext, idx, i, j, 0));
+      }
+    }
+  } else {
+    const std::size_t n1 = ext[1];
+    const std::size_t n2 = ext[2];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < ext[0] && ok; ++i) {
+      for (std::size_t j = 0; j < n1 && ok; ++j) {
+        for (std::size_t k = 0; k < n2 && ok; ++k, ++idx) {
+          ok = reconstruct(idx, predict(decoded, predictor, ext, idx, i, j, k));
+        }
+      }
+    }
+  }
+  if (!ok || exact_pos != exact.size()) {
+    return Status::corrupt_data("sz: stream inconsistent with unpredictables");
+  }
+
+  if (relative) {
+    const auto signs = zlite_decompress(sign_blob, (n + 7) / 8);
+    const auto zeros = zlite_decompress(zero_blob, (n + 7) / 8);
+    if (!signs || !zeros || signs->size() != (n + 7) / 8 ||
+        zeros->size() != (n + 7) / 8) {
+      return Status::corrupt_data("sz: sign/zero bitmap mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (unpack_bit(*zeros, i)) {
+        decoded[i] = 0.0F;
+      } else {
+        const double magnitude = std::exp(static_cast<double>(decoded[i]));
+        decoded[i] = static_cast<float>(unpack_bit(*signs, i) ? -magnitude
+                                                              : magnitude);
+      }
+    }
+  }
+
+  compress::DecompressResult result;
+  result.field = data::Field{view->field_name, view->dims, std::move(decoded)};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+}  // namespace lcp::sz

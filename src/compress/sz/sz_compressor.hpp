@@ -1,0 +1,41 @@
+#pragma once
+// SZ-class lossy compressor: Lorenzo prediction -> linear-scaling
+// quantization -> canonical Huffman -> zlite lossless backend, honouring an
+// absolute error bound (the configuration the paper studies).
+
+#include "compress/common/codec.hpp"
+
+namespace lcp::sz {
+
+/// Prediction stencil family.
+enum class SzPredictor : std::uint8_t {
+  kFirstOrder = 0,   ///< classic Lorenzo (SZ 1.x/2.x default path)
+  kSecondOrder = 1,  ///< second-order Lorenzo (Zhao et al., HPDC'20)
+};
+
+/// Tunables; defaults match upstream SZ conventions.
+struct SzOptions {
+  std::uint32_t quantizer_radius = 32768;  ///< codes span [1, 2*radius)
+  bool use_lossless_backend = true;        ///< zlite pass over Huffman output
+  SzPredictor predictor = SzPredictor::kFirstOrder;
+};
+
+class SzCompressor final : public compress::Compressor {
+ public:
+  SzCompressor() = default;
+  explicit SzCompressor(SzOptions options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "sz"; }
+
+  [[nodiscard]] Expected<compress::CompressResult> compress(
+      const data::Field& field,
+      const compress::ErrorBound& bound) const override;
+
+  [[nodiscard]] Expected<compress::DecompressResult> decompress(
+      std::span<const std::uint8_t> container) const override;
+
+ private:
+  SzOptions options_;
+};
+
+}  // namespace lcp::sz

@@ -1,0 +1,145 @@
+#include "compress/sz/zlite.hpp"
+
+#include <cstring>
+
+namespace lcp::sz {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 1 << 20;
+constexpr std::size_t kHashBits = 16;
+
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761U) >> (32 - kHashBits);
+}
+
+void write_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool read_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                 std::uint64_t& v) noexcept {
+  v = 0;
+  unsigned shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> zlite_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  write_varint(out, input.size());
+
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, UINT32_MAX);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  while (pos + kMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(&input[pos]);
+    const std::uint32_t candidate = head[h];
+    head[h] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    if (candidate != UINT32_MAX && pos - candidate <= kMaxDistance &&
+        std::memcmp(&input[candidate], &input[pos], kMinMatch) == 0) {
+      match_len = kMinMatch;
+      const std::size_t limit = input.size() - pos;
+      while (match_len < limit &&
+             input[candidate + match_len] == input[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      // literal run | match
+      write_varint(out, pos - literal_start);
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(literal_start),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos));
+      write_varint(out, match_len);
+      write_varint(out, pos - candidate);
+      // Insert sparse hash entries inside the match to keep the table warm.
+      const std::size_t end = pos + match_len;
+      for (std::size_t i = pos + 1; i + kMinMatch <= end; i += 3) {
+        head[hash4(&input[i])] = static_cast<std::uint32_t>(i);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals with a terminating zero-length match.
+  write_varint(out, input.size() - literal_start);
+  out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(literal_start),
+             input.end());
+  write_varint(out, 0);
+  return out;
+}
+
+Expected<std::vector<std::uint8_t>> zlite_decompress(
+    std::span<const std::uint8_t> input, std::uint64_t max_output) {
+  std::size_t pos = 0;
+  std::uint64_t total = 0;
+  if (!read_varint(input, pos, total)) {
+    return Status::corrupt_data("zlite: missing size prefix");
+  }
+  if (total > max_output) {
+    return Status::corrupt_data("zlite: declared size exceeds limit");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(total));
+
+  while (true) {
+    std::uint64_t literal_len = 0;
+    if (!read_varint(input, pos, literal_len)) {
+      return Status::corrupt_data("zlite: truncated literal length");
+    }
+    if (pos + literal_len > input.size() || out.size() + literal_len > total) {
+      return Status::corrupt_data("zlite: literal run out of bounds");
+    }
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+               input.begin() + static_cast<std::ptrdiff_t>(pos + literal_len));
+    pos += static_cast<std::size_t>(literal_len);
+
+    std::uint64_t match_len = 0;
+    if (!read_varint(input, pos, match_len)) {
+      return Status::corrupt_data("zlite: truncated match length");
+    }
+    if (match_len == 0) {
+      break;
+    }
+    std::uint64_t dist = 0;
+    if (!read_varint(input, pos, dist)) {
+      return Status::corrupt_data("zlite: truncated match distance");
+    }
+    if (dist == 0 || dist > out.size() || out.size() + match_len > total) {
+      return Status::corrupt_data("zlite: match out of bounds");
+    }
+    // Byte-by-byte copy: overlapping matches (dist < len) are legal.
+    std::size_t src = out.size() - static_cast<std::size_t>(dist);
+    for (std::uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + static_cast<std::size_t>(i)]);
+    }
+  }
+  if (out.size() != total) {
+    return Status::corrupt_data("zlite: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace lcp::sz

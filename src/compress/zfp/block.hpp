@@ -1,0 +1,50 @@
+#pragma once
+// Block partitioning for the ZFP-class codec: fields are processed in 4^d
+// blocks (d = effective rank, 1..3). Boundary blocks are padded by edge
+// replication on gather; scatter writes only the in-domain region.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace lcp::zfp {
+
+/// Effective extents: rank-4 fields merge their two slowest axes (the
+/// transform is at most 3-D), lower ranks pass through.
+[[nodiscard]] std::vector<std::size_t> effective_extents(const data::Dims& dims);
+
+/// Geometry of the 4^d block grid over a field.
+class BlockGrid {
+ public:
+  explicit BlockGrid(std::vector<std::size_t> extents);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return ext_.size(); }
+  [[nodiscard]] std::size_t block_elements() const noexcept {
+    return std::size_t{1} << (2 * rank());  // 4^rank
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept;
+
+  /// Copies block `b` into `out` (size block_elements()), replicating edge
+  /// samples into the padding of boundary blocks.
+  void gather(std::span<const float> field, std::size_t b,
+              std::span<float> out) const;
+
+  /// Writes block `b` from `in` back into `field`, skipping padding.
+  void scatter(std::span<const float> in, std::size_t b,
+               std::span<float> field) const;
+
+ private:
+  struct BlockBox {
+    std::array<std::size_t, 3> origin{};
+    std::array<std::size_t, 3> valid{};  // in-domain extent per axis (1..4)
+  };
+  [[nodiscard]] BlockBox box(std::size_t b) const;
+
+  std::vector<std::size_t> ext_;     // field extents, padded to rank entries
+  std::vector<std::size_t> blocks_;  // block counts per axis
+};
+
+}  // namespace lcp::zfp

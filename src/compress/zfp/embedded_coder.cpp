@@ -1,0 +1,184 @@
+#include "compress/zfp/embedded_coder.hpp"
+
+#include "support/status.hpp"
+
+namespace lcp::zfp {
+
+void encode_block_planes(std::span<const std::uint64_t> coeffs,
+                         unsigned plane_hi, unsigned plane_lo,
+                         BitWriter& writer) {
+  LCP_REQUIRE(plane_hi < 64 && plane_lo <= plane_hi, "invalid plane range");
+  const std::size_t n = coeffs.size();
+  std::size_t sig = 0;  // coefficients [0, sig) are already significant
+
+  for (unsigned plane = plane_hi + 1; plane-- > plane_lo;) {
+    // Verbatim bits for the significant prefix.
+    for (std::size_t i = 0; i < sig; ++i) {
+      writer.write_bit(((coeffs[i] >> plane) & 1) != 0);
+    }
+    // Grow the significant prefix: locate each new coefficient whose first
+    // one-bit is in this plane.
+    std::size_t scan = sig;
+    while (scan < n) {
+      std::size_t j = scan;
+      while (j < n && ((coeffs[j] >> plane) & 1) == 0) {
+        ++j;
+      }
+      if (j == n) {
+        writer.write_bit(false);  // no more significance in this plane
+        break;
+      }
+      writer.write_bit(true);
+      writer.write_unary(static_cast<unsigned>(j - scan));
+      sig = j + 1;
+      scan = sig;
+    }
+  }
+}
+
+bool decode_block_planes(std::span<std::uint64_t> coeffs, unsigned plane_hi,
+                         unsigned plane_lo, BitReader& reader) {
+  LCP_REQUIRE(plane_hi < 64 && plane_lo <= plane_hi, "invalid plane range");
+  const std::size_t n = coeffs.size();
+  std::size_t sig = 0;
+
+  for (unsigned plane = plane_hi + 1; plane-- > plane_lo;) {
+    for (std::size_t i = 0; i < sig; ++i) {
+      if (reader.read_bit()) {
+        coeffs[i] |= std::uint64_t{1} << plane;
+      }
+    }
+    std::size_t scan = sig;
+    while (scan < n) {
+      if (!reader.read_bit()) {
+        break;  // plane has no further significance
+      }
+      const unsigned offset = reader.read_unary();
+      const std::size_t j = scan + offset;
+      if (j >= n) {
+        return false;  // corrupt stream
+      }
+      coeffs[j] |= std::uint64_t{1} << plane;
+      sig = j + 1;
+      scan = sig;
+    }
+    if (reader.overflowed()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void encode_block_planes_capped(std::span<const std::uint64_t> coeffs,
+                                unsigned plane_hi, std::uint64_t budget_bits,
+                                BitWriter& writer) {
+  LCP_REQUIRE(plane_hi < 64, "invalid plane");
+  const std::size_t n = coeffs.size();
+  const std::uint64_t start = writer.bit_count();
+  std::uint64_t used = 0;
+  auto remaining = [&] { return budget_bits - used; };
+  auto put = [&](bool bit) {
+    writer.write_bit(bit);
+    ++used;
+  };
+
+  std::size_t sig = 0;
+  for (unsigned plane = plane_hi + 1; plane-- > 0 && remaining() > 0;) {
+    for (std::size_t i = 0; i < sig && remaining() > 0; ++i) {
+      put(((coeffs[i] >> plane) & 1) != 0);
+    }
+    std::size_t scan = sig;
+    while (scan < n && remaining() > 0) {
+      std::size_t j = scan;
+      while (j < n && ((coeffs[j] >> plane) & 1) == 0) {
+        ++j;
+      }
+      if (j == n) {
+        put(false);
+        break;
+      }
+      // The (flag, unary) token costs 1 + (j - scan) + 1 bits. If it does
+      // not fit, emit zeros to exhaust the budget — the decoder reads the
+      // same zeros and likewise never completes the token.
+      const std::uint64_t token = 2 + (j - scan);
+      if (token > remaining()) {
+        while (remaining() > 0) {
+          put(false);
+        }
+        break;
+      }
+      put(true);
+      for (std::size_t z = scan; z < j; ++z) {
+        put(false);
+      }
+      put(true);
+      sig = j + 1;
+      scan = sig;
+    }
+  }
+  // Zero-pad to exactly the budget so every block occupies the same size.
+  while (writer.bit_count() - start < budget_bits) {
+    writer.write_bit(false);
+  }
+}
+
+bool decode_block_planes_capped(std::span<std::uint64_t> coeffs,
+                                unsigned plane_hi, std::uint64_t budget_bits,
+                                BitReader& reader) {
+  LCP_REQUIRE(plane_hi < 64, "invalid plane");
+  const std::size_t n = coeffs.size();
+  const std::uint64_t start = reader.bit_position();
+  std::uint64_t used = 0;
+  auto remaining = [&] { return budget_bits - used; };
+  auto take = [&]() {
+    ++used;
+    return reader.read_bit();
+  };
+
+  std::size_t sig = 0;
+  for (unsigned plane = plane_hi + 1; plane-- > 0 && remaining() > 0;) {
+    for (std::size_t i = 0; i < sig && remaining() > 0; ++i) {
+      if (take()) {
+        coeffs[i] |= std::uint64_t{1} << plane;
+      }
+    }
+    std::size_t scan = sig;
+    while (scan < n && remaining() > 0) {
+      if (!take()) {
+        // Either "no more significance" or the start of budget padding —
+        // indistinguishable by design; both mean "stop this plane" unless
+        // we are mid-token, which the encoder never leaves us in.
+        break;
+      }
+      // Read the unary offset, bounded by both the budget and the block.
+      std::size_t j = scan;
+      bool terminated = false;
+      while (remaining() > 0) {
+        if (take()) {
+          terminated = true;
+          break;
+        }
+        ++j;
+        if (j >= n) {
+          return false;  // corrupt: offset past the block
+        }
+      }
+      if (!terminated) {
+        break;  // budget exhausted mid-token (encoder padded): stop
+      }
+      coeffs[j] |= std::uint64_t{1} << plane;
+      sig = j + 1;
+      scan = sig;
+    }
+    if (reader.overflowed()) {
+      return false;
+    }
+  }
+  // Skip padding up to the block boundary.
+  while (reader.bit_position() - start < budget_bits) {
+    (void)reader.read_bit();
+  }
+  return !reader.overflowed();
+}
+
+}  // namespace lcp::zfp

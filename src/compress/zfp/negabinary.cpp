@@ -1,0 +1,3 @@
+#include "compress/zfp/negabinary.hpp"
+
+// Header-inline; TU anchors the library object.

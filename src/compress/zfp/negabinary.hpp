@@ -1,0 +1,32 @@
+#pragma once
+// Negabinary (base -2) recoding of transform coefficients. Unlike
+// two's-complement, small-magnitude values of either sign have all high
+// bits zero, which is what lets the embedded bit-plane coder truncate
+// uniformly from the top.
+
+#include <cstdint>
+
+namespace lcp::zfp {
+
+inline constexpr std::uint64_t kNegabinaryMask = 0xaaaaaaaaaaaaaaaaULL;
+
+/// int64 -> negabinary bit pattern.
+[[nodiscard]] constexpr std::uint64_t to_negabinary(std::int64_t x) noexcept {
+  return (static_cast<std::uint64_t>(x) + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+/// Inverse of to_negabinary.
+[[nodiscard]] constexpr std::int64_t from_negabinary(std::uint64_t nb) noexcept {
+  return static_cast<std::int64_t>((nb ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+/// Magnitude of the value change caused by zeroing bits [0, plane) of a
+/// negabinary pattern is at most sum_{p<plane} 2^p < 2^plane... in base -2
+/// the dropped digits encode a value in (-2^plane*2/3, 2^plane*1/3*2], so
+/// |delta| < 2^(plane+1) is a safe bound used for the accuracy analysis.
+[[nodiscard]] constexpr std::int64_t truncation_error_bound(
+    unsigned plane) noexcept {
+  return plane >= 62 ? INT64_MAX : (std::int64_t{1} << (plane + 1));
+}
+
+}  // namespace lcp::zfp

@@ -1,0 +1,163 @@
+#include "compress/zfp/transform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "support/status.hpp"
+
+namespace lcp::zfp {
+namespace {
+
+/// Pair S-transform: (a, b) -> (s, d) with s = a + (d >> 1), d = b - a.
+/// Inverse: a = s - (d >> 1), b = a + d. Exact for all int64 inputs without
+/// overflow as long as |a|,|b| stay below 2^62.
+inline void fwd_pair(std::int64_t& a, std::int64_t& b) noexcept {
+  const std::int64_t d = b - a;
+  const std::int64_t s = a + (d >> 1);
+  a = s;
+  b = d;
+}
+
+inline void inv_pair(std::int64_t& s, std::int64_t& d) noexcept {
+  const std::int64_t a = s - (d >> 1);
+  const std::int64_t b = a + d;
+  s = a;
+  d = b;
+}
+
+/// Frequency weight of an intra-line position after forward_lift4:
+/// slot 0 = level-2 smooth, slot 1 = level-2 detail, slots 2,3 = level-1
+/// details.
+constexpr std::array<unsigned, 4> kSlotWeight = {0, 1, 2, 2};
+
+}  // namespace
+
+void forward_lift4(std::int64_t* p, std::size_t s) noexcept {
+  std::int64_t x0 = p[0];
+  std::int64_t x1 = p[s];
+  std::int64_t x2 = p[2 * s];
+  std::int64_t x3 = p[3 * s];
+  fwd_pair(x0, x1);  // x0 = sA, x1 = dA
+  fwd_pair(x2, x3);  // x2 = sB, x3 = dB
+  fwd_pair(x0, x2);  // x0 = ss, x2 = ds
+  p[0] = x0;       // smooth
+  p[s] = x2;       // level-2 detail
+  p[2 * s] = x1;   // level-1 detail A
+  p[3 * s] = x3;   // level-1 detail B
+}
+
+void inverse_lift4(std::int64_t* p, std::size_t s) noexcept {
+  std::int64_t ss = p[0];
+  std::int64_t ds = p[s];
+  std::int64_t dA = p[2 * s];
+  std::int64_t dB = p[3 * s];
+  inv_pair(ss, ds);  // ss = sA, ds = sB
+  std::int64_t sA = ss;
+  std::int64_t sB = ds;
+  inv_pair(sA, dA);  // sA = x0, dA = x1
+  inv_pair(sB, dB);  // sB = x2, dB = x3
+  p[0] = sA;
+  p[s] = dA;
+  p[2 * s] = sB;
+  p[3 * s] = dB;
+}
+
+void forward_transform(std::span<std::int64_t> block, std::size_t rank) noexcept {
+  if (rank == 1) {
+    forward_lift4(block.data(), 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      forward_lift4(block.data() + i * 4, 1);  // along axis 1 (rows)
+    }
+    for (std::size_t j = 0; j < 4; ++j) {
+      forward_lift4(block.data() + j, 4);  // along axis 0 (columns)
+    }
+    return;
+  }
+  // rank 3: lines along axis 2, then axis 1, then axis 0.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      forward_lift4(block.data() + (i * 4 + j) * 4, 1);
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      forward_lift4(block.data() + i * 16 + k, 4);
+    }
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      forward_lift4(block.data() + j * 4 + k, 16);
+    }
+  }
+}
+
+void inverse_transform(std::span<std::int64_t> block, std::size_t rank) noexcept {
+  if (rank == 1) {
+    inverse_lift4(block.data(), 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      inverse_lift4(block.data() + j, 4);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      inverse_lift4(block.data() + i * 4, 1);
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      inverse_lift4(block.data() + j * 4 + k, 16);
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      inverse_lift4(block.data() + i * 16 + k, 4);
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      inverse_lift4(block.data() + (i * 4 + j) * 4, 1);
+    }
+  }
+}
+
+const std::vector<std::uint16_t>& coefficient_order(std::size_t rank) {
+  LCP_REQUIRE(rank >= 1 && rank <= 3, "coefficient order rank must be 1..3");
+  static const auto make_order = [](std::size_t r) {
+    const std::size_t n = std::size_t{1} << (2 * r);
+    std::vector<std::uint16_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    auto weight = [r](std::uint16_t idx) {
+      unsigned total = 0;
+      std::size_t rem = idx;
+      for (std::size_t a = 0; a < r; ++a) {
+        total += kSlotWeight[rem & 3];
+        rem >>= 2;
+      }
+      return total;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint16_t a, std::uint16_t b) {
+                       return weight(a) < weight(b);
+                     });
+    return order;
+  };
+  static const std::vector<std::uint16_t> order1 = make_order(1);
+  static const std::vector<std::uint16_t> order2 = make_order(2);
+  static const std::vector<std::uint16_t> order3 = make_order(3);
+  switch (rank) {
+    case 1:
+      return order1;
+    case 2:
+      return order2;
+    default:
+      return order3;
+  }
+}
+
+}  // namespace lcp::zfp

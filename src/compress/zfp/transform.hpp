@@ -1,0 +1,33 @@
+#pragma once
+// Integer decorrelating transform for 4^d blocks: a two-level S-transform
+// (integer Haar lifting) applied along each axis. Exactly invertible on
+// int64 coefficients, so all loss comes from fixed-point conversion and
+// bit-plane truncation — which is what makes the accuracy guarantee
+// analyzable (see zfp_compressor.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lcp::zfp {
+
+/// Forward lift of one 4-sample line at stride `s` starting at `p`.
+void forward_lift4(std::int64_t* p, std::size_t s) noexcept;
+
+/// Exact inverse of forward_lift4.
+void inverse_lift4(std::int64_t* p, std::size_t s) noexcept;
+
+/// Forward transform of a 4^rank block (rank 1..3), all axes.
+void forward_transform(std::span<std::int64_t> block, std::size_t rank) noexcept;
+
+/// Inverse transform of a 4^rank block.
+void inverse_transform(std::span<std::int64_t> block, std::size_t rank) noexcept;
+
+/// Coefficient visit order for embedded coding: low-frequency (smooth)
+/// coefficients first, so significance tends to concentrate in the prefix.
+/// Returns a permutation of [0, 4^rank).
+[[nodiscard]] const std::vector<std::uint16_t>& coefficient_order(
+    std::size_t rank);
+
+}  // namespace lcp::zfp

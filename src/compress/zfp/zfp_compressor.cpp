@@ -1,0 +1,446 @@
+#include "compress/zfp/zfp_compressor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cmath>
+#include <vector>
+
+#include "compress/common/container.hpp"
+#include "compress/zfp/block.hpp"
+#include "compress/zfp/embedded_coder.hpp"
+#include "compress/zfp/negabinary.hpp"
+#include "compress/zfp/transform.hpp"
+#include "support/bytestream.hpp"
+#include "support/timer.hpp"
+
+namespace lcp::zfp {
+namespace {
+
+constexpr std::uint8_t kPayloadVersion = 1;
+
+/// Fixed-point precision: samples scale to |i| <= 2^kQ; the 3-axis lifting
+/// transform grows magnitudes by at most 8x, staying well inside int64.
+constexpr int kQ = 58;
+
+/// Guard bits absorbing the inverse transform's worst-case amplification of
+/// truncation error (~1.5 per lifting step over 6 steps, ~2^4.5 total, plus
+/// rounding; 2^6 is a proven-safe budget — see the analysis in this file's
+/// accompanying tests).
+constexpr int kGuardBits = 6;
+
+/// Exponent e with |v| < 2^e for the block maximum magnitude `m` (m > 0).
+int block_exponent(float m) noexcept { return std::ilogb(m) + 1; }
+
+/// Analytic lower bound for the lowest bit plane that must be kept for
+/// tolerance `eb` in a block with exponent `emax`: the worst-case inverse-
+/// transform amplification (kGuardBits) makes it provably safe, but it is
+/// pessimistic by several planes for typical data. May be negative (keep
+/// everything) or > 63 (keep none).
+int min_plane(double eb, int emax) noexcept {
+  return std::ilogb(eb) + kQ - emax - kGuardBits;
+}
+
+/// When the fixed-point grid itself is coarser than the tolerance the block
+/// cannot be coded losslessly enough; it is stored verbatim.
+bool needs_verbatim(double eb, int emax) noexcept {
+  return std::ilogb(eb) <= emax - (kQ + 2);
+}
+
+struct BlockScratch {
+  std::vector<float> samples;
+  std::vector<std::int64_t> ints;
+  std::vector<std::int64_t> pre_transform;
+  std::vector<std::int64_t> probe;
+  std::vector<std::uint64_t> nb;
+};
+
+/// Exact int-domain reconstruction error when planes below `p_lo` are
+/// dropped: truncate, inverse-transform, compare against the pre-transform
+/// integers. One inverse transform per candidate — cheap next to entropy
+/// coding, and it turns the worst-case guard analysis into a per-block
+/// measurement.
+std::int64_t truncation_error(const BlockScratch& scratch,
+                              std::span<const std::uint16_t> order,
+                              std::size_t rank, int p_lo,
+                              std::vector<std::int64_t>& probe) {
+  const std::size_t n = scratch.nb.size();
+  std::uint64_t mask = ~std::uint64_t{0};
+  if (p_lo >= 64) {
+    mask = 0;
+  } else if (p_lo > 0) {
+    mask = ~((std::uint64_t{1} << static_cast<unsigned>(p_lo)) - 1);
+  }
+  probe.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    probe[order[i]] = from_negabinary(scratch.nb[i] & mask);
+  }
+  inverse_transform(probe, rank);
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max<std::int64_t>(
+        worst, std::llabs(probe[i] - scratch.pre_transform[i]));
+  }
+  return worst;
+}
+
+/// Chooses the highest cutoff plane whose verified truncation error fits
+/// the integer-domain budget. Starts one plane below the ideal cutoff and
+/// walks down toward the analytic worst-case plane (which needs no
+/// verification by construction).
+int choose_min_plane(const BlockScratch& scratch,
+                     std::span<const std::uint16_t> order, std::size_t rank,
+                     double eb, int emax,
+                     std::vector<std::int64_t>& probe) {
+  const double eb_int = eb * std::ldexp(1.0, kQ - emax);
+  // Budget: leave room for the fixed-point conversion error (1 int unit)
+  // and the float32 rounding of the final reconstruction (half an ulp at
+  // the block's magnitude, 2^(emax-24) in float = 2^(kQ-24) int units).
+  const double float_ulp_reserve = std::ldexp(1.0, kQ - 24);
+  const double budget_f = eb_int - float_ulp_reserve - 1.0;
+  if (budget_f < 0.0) {
+    // Encode everything: the reconstruction is then within one conversion
+    // rounding of the original float, which casts back to it exactly.
+    return 0;
+  }
+  const auto budget = static_cast<std::int64_t>(budget_f);
+  const int analytic = std::clamp(min_plane(eb, emax), 0, 64);
+  const int ideal = std::clamp(min_plane(eb, emax) + kGuardBits - 1, 0, 64);
+  for (int p = ideal; p > analytic; --p) {
+    if (truncation_error(scratch, order, rank, p, probe) <= budget) {
+      return p;
+    }
+  }
+  return analytic;
+}
+
+void encode_block(std::span<const float> samples, std::size_t rank, double eb,
+                  BlockScratch& scratch, BitWriter& writer) {
+  const std::size_t n = samples.size();
+  float maxabs = 0.0F;
+  for (float v : samples) {
+    maxabs = std::max(maxabs, std::fabs(v));
+  }
+  if (maxabs == 0.0F) {
+    writer.write_bit(false);  // zero block
+    return;
+  }
+  writer.write_bit(true);
+
+  const int emax = block_exponent(maxabs);
+  if (needs_verbatim(eb, emax)) {
+    writer.write_bit(true);  // verbatim
+    for (float v : samples) {
+      writer.write_bits(std::bit_cast<std::uint32_t>(v), 32);
+    }
+    return;
+  }
+  writer.write_bit(false);  // coded
+  writer.write_bits(static_cast<std::uint64_t>(emax + 256), 9);
+
+  scratch.ints.resize(n);
+  const double scale = std::ldexp(1.0, kQ - emax);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.ints[i] = std::llround(static_cast<double>(samples[i]) * scale);
+  }
+  scratch.pre_transform = scratch.ints;
+  forward_transform(scratch.ints, rank);
+
+  const auto& order = coefficient_order(rank);
+  scratch.nb.resize(n);
+  std::uint64_t all = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.nb[i] = to_negabinary(scratch.ints[order[i]]);
+    all |= scratch.nb[i];
+  }
+
+  const int p_lo =
+      choose_min_plane(scratch, order, rank, eb, emax, scratch.probe);
+  const int p_hi = all == 0 ? -1 : std::bit_width(all) - 1;
+  // Both plane bounds travel with the block: p_hi is only recomputable by
+  // the encoder, and p_lo is chosen adaptively per block. 64 means "no
+  // planes encoded".
+  const int stored_hi = p_hi < p_lo ? 64 : p_hi;
+  writer.write_bits(static_cast<std::uint64_t>(stored_hi), 7);
+  writer.write_bits(static_cast<std::uint64_t>(std::min(p_lo, 63)), 6);
+  if (stored_hi == 64) {
+    return;  // nothing above the cutoff: coefficients decode as zero
+  }
+  encode_block_planes(scratch.nb, static_cast<unsigned>(stored_hi),
+                      static_cast<unsigned>(std::min(p_lo, 63)), writer);
+}
+
+bool decode_block(std::span<float> samples, std::size_t rank, double eb,
+                  BlockScratch& scratch, BitReader& reader) {
+  (void)eb;  // plane bounds now travel in the stream
+  const std::size_t n = samples.size();
+  if (!reader.read_bit()) {
+    std::fill(samples.begin(), samples.end(), 0.0F);
+    return !reader.overflowed();
+  }
+  if (reader.read_bit()) {  // verbatim
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[i] = std::bit_cast<float>(
+          static_cast<std::uint32_t>(reader.read_bits(32)));
+    }
+    return !reader.overflowed();
+  }
+  const int emax = static_cast<int>(reader.read_bits(9)) - 256;
+  const int stored_hi = static_cast<int>(reader.read_bits(7));
+  const int p_lo = static_cast<int>(reader.read_bits(6));
+  if (reader.overflowed() || stored_hi > 64) {
+    return false;
+  }
+
+  scratch.nb.assign(n, 0);
+  if (stored_hi != 64) {
+    if (p_lo > stored_hi) {
+      return false;  // inconsistent plane bounds: corrupt stream
+    }
+    if (!decode_block_planes(scratch.nb, static_cast<unsigned>(stored_hi),
+                             static_cast<unsigned>(p_lo), reader)) {
+      return false;
+    }
+  }
+
+  const auto& order = coefficient_order(rank);
+  scratch.ints.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.ints[order[i]] = from_negabinary(scratch.nb[i]);
+  }
+  inverse_transform(scratch.ints, rank);
+
+  const double inv_scale = std::ldexp(1.0, emax - kQ);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] =
+        static_cast<float>(static_cast<double>(scratch.ints[i]) * inv_scale);
+  }
+  return true;
+}
+
+
+/// Fixed-rate block layout: 9 bits of biased exponent (0 = all-zero
+/// block), 7 bits of top plane, then exactly budget-16 bits of capped
+/// embedded planes. Every block costs precisely `budget_bits`.
+void encode_block_fixed_rate(std::span<const float> samples, std::size_t rank,
+                             std::uint64_t budget_bits, BlockScratch& scratch,
+                             BitWriter& writer) {
+  const std::uint64_t start = writer.bit_count();
+  const std::size_t n = samples.size();
+  float maxabs = 0.0F;
+  for (float v : samples) {
+    maxabs = std::max(maxabs, std::fabs(v));
+  }
+  bool zero = maxabs == 0.0F;
+  int p_hi = 0;
+  if (!zero) {
+    const int emax = block_exponent(maxabs);
+    scratch.ints.resize(n);
+    const double scale = std::ldexp(1.0, kQ - emax);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.ints[i] = std::llround(static_cast<double>(samples[i]) * scale);
+    }
+    forward_transform(scratch.ints, rank);
+    const auto& order = coefficient_order(rank);
+    scratch.nb.resize(n);
+    std::uint64_t all = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.nb[i] = to_negabinary(scratch.ints[order[i]]);
+      all |= scratch.nb[i];
+    }
+    if (all == 0) {
+      zero = true;
+    } else {
+      p_hi = std::bit_width(all) - 1;
+      writer.write_bits(static_cast<std::uint64_t>(emax + 256), 9);
+      writer.write_bits(static_cast<std::uint64_t>(p_hi), 7);
+      encode_block_planes_capped(scratch.nb, static_cast<unsigned>(p_hi),
+                                 budget_bits - 16, writer);
+    }
+  }
+  if (zero) {
+    writer.write_bits(0, 9);
+  }
+  while (writer.bit_count() - start < budget_bits) {
+    writer.write_bit(false);
+  }
+}
+
+bool decode_block_fixed_rate(std::span<float> samples, std::size_t rank,
+                             std::uint64_t budget_bits, BlockScratch& scratch,
+                             BitReader& reader) {
+  const std::uint64_t start = reader.bit_position();
+  const std::size_t n = samples.size();
+  const int emax_raw = static_cast<int>(reader.read_bits(9));
+  bool ok = true;
+  if (emax_raw == 0) {
+    std::fill(samples.begin(), samples.end(), 0.0F);
+  } else {
+    const int emax = emax_raw - 256;
+    const int p_hi = static_cast<int>(reader.read_bits(7));
+    if (p_hi > 63) {
+      return false;
+    }
+    scratch.nb.assign(n, 0);
+    ok = decode_block_planes_capped(scratch.nb, static_cast<unsigned>(p_hi),
+                                    budget_bits - 16, reader);
+    const auto& order = coefficient_order(rank);
+    scratch.ints.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.ints[order[i]] = from_negabinary(scratch.nb[i]);
+    }
+    inverse_transform(scratch.ints, rank);
+    const double inv_scale = std::ldexp(1.0, emax - kQ);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[i] =
+          static_cast<float>(static_cast<double>(scratch.ints[i]) * inv_scale);
+    }
+  }
+  // Skip to the fixed block boundary.
+  while (reader.bit_position() - start < budget_bits &&
+         !reader.overflowed()) {
+    (void)reader.read_bit();
+  }
+  return ok && !reader.overflowed();
+}
+
+/// Bits per block for a requested rate (headers included), floored at the
+/// 17 bits a non-trivial block needs.
+Expected<std::uint64_t> fixed_rate_block_bits(double rate,
+                                              std::size_t block_elements) {
+  if (!(rate > 0.0) || rate > 64.0) {
+    return Status::invalid_argument("fixed rate must be in (0, 64] bits/value");
+  }
+  const auto bits = static_cast<std::uint64_t>(
+      std::llround(rate * static_cast<double>(block_elements)));
+  if (bits < 17) {
+    return Status::invalid_argument(
+        "fixed rate too low: a block needs at least 17 bits");
+  }
+  return bits;
+}
+
+}  // namespace
+
+Expected<compress::CompressResult> ZfpCompressor::compress(
+    const data::Field& field, const compress::ErrorBound& bound) const {
+  if (bound.mode != compress::BoundMode::kAbsolute &&
+      bound.mode != compress::BoundMode::kFixedRate) {
+    return Status::unsupported(
+        "zfp supports absolute (fixed-accuracy) and fixed-rate bounds only");
+  }
+  if (bound.value <= 0.0) {
+    return Status::invalid_argument("error bound must be positive");
+  }
+  LCP_RETURN_IF_ERROR(compress::validate_finite(field));
+
+  Timer timer;
+  const BlockGrid grid{effective_extents(field.dims())};
+  const std::size_t rank = grid.rank();
+  const std::size_t block_n = grid.block_elements();
+
+  std::uint64_t block_bits = 0;
+  if (bound.mode == compress::BoundMode::kFixedRate) {
+    auto bits_per_block = fixed_rate_block_bits(bound.value, block_n);
+    if (!bits_per_block) {
+      return bits_per_block.status();
+    }
+    block_bits = *bits_per_block;
+  }
+
+  BitWriter writer;
+  BlockScratch scratch;
+  scratch.samples.resize(block_n);
+  for (std::size_t b = 0; b < grid.block_count(); ++b) {
+    grid.gather(field.values(), b, scratch.samples);
+    if (bound.mode == compress::BoundMode::kFixedRate) {
+      encode_block_fixed_rate(scratch.samples, rank, block_bits, scratch,
+                              writer);
+    } else {
+      encode_block(scratch.samples, rank, bound.value, scratch, writer);
+    }
+  }
+  auto bits = writer.finish();
+
+  ByteWriter payload;
+  payload.write_u8(kPayloadVersion);
+  payload.write_u8(static_cast<std::uint8_t>(kQ));
+  payload.write_u8(static_cast<std::uint8_t>(kGuardBits));
+  payload.write_u64(bits.size());
+  payload.write_bytes(bits);
+  const auto payload_bytes = payload.finish();
+
+  compress::CompressResult result;
+  result.container = compress::build_container("zfp", bound, field.dims(),
+                                               field.name(), payload_bytes);
+  result.input_bytes = field.size_bytes();
+  result.output_bytes = Bytes{result.container.size()};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+Expected<compress::DecompressResult> ZfpCompressor::decompress(
+    std::span<const std::uint8_t> container) const {
+  Timer timer;
+  auto view = compress::parse_container(container);
+  if (!view) {
+    return view.status();
+  }
+  if (view->codec != "zfp") {
+    return Status::invalid_argument("container codec is not zfp");
+  }
+
+  ByteReader r{view->payload};
+  auto version = r.read_u8();
+  if (!version || *version != kPayloadVersion) {
+    return Status::unsupported("unknown zfp payload version");
+  }
+  auto q = r.read_u8();
+  auto guard = r.read_u8();
+  if (!q || !guard || *q != kQ || *guard != kGuardBits) {
+    return Status::unsupported("zfp payload parameters mismatch");
+  }
+  auto bit_size = r.read_u64();
+  if (!bit_size) {
+    return bit_size.status();
+  }
+  auto bits = r.read_bytes(static_cast<std::size_t>(*bit_size));
+  if (!bits) {
+    return bits.status();
+  }
+
+  const BlockGrid grid{effective_extents(view->dims)};
+  const std::size_t rank = grid.rank();
+  std::vector<float> out(view->dims.element_count(), 0.0F);
+
+  std::uint64_t block_bits = 0;
+  if (view->bound.mode == compress::BoundMode::kFixedRate) {
+    auto bits_per_block = fixed_rate_block_bits(view->bound.value,
+                                                grid.block_elements());
+    if (!bits_per_block) {
+      return bits_per_block.status();
+    }
+    block_bits = *bits_per_block;
+  }
+
+  BitReader reader{*bits};
+  BlockScratch scratch;
+  std::vector<float> block(grid.block_elements());
+  for (std::size_t b = 0; b < grid.block_count(); ++b) {
+    const bool ok =
+        view->bound.mode == compress::BoundMode::kFixedRate
+            ? decode_block_fixed_rate(block, rank, block_bits, scratch, reader)
+            : decode_block(block, rank, view->bound.value, scratch, reader);
+    if (!ok) {
+      return Status::corrupt_data("zfp: bit stream truncated or invalid");
+    }
+    grid.scatter(block, b, out);
+  }
+
+  compress::DecompressResult result;
+  result.field = data::Field{view->field_name, view->dims, std::move(out)};
+  result.native_wall_time = timer.elapsed();
+  return result;
+}
+
+}  // namespace lcp::zfp

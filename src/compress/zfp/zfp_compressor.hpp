@@ -1,0 +1,28 @@
+#pragma once
+// ZFP-class lossy compressor. 4^d blocks are promoted to
+// block-floating-point int64, decorrelated with an exact integer lifting
+// transform, negabinary-recoded and embedded-coded. Two modes, selected by
+// the ErrorBound passed to compress():
+//  - fixed accuracy (BoundMode::kAbsolute): planes are kept down to a
+//    per-block verified cutoff guaranteeing |x - x'| <= tolerance;
+//  - fixed rate (BoundMode::kFixedRate): every block gets exactly
+//    rate * 4^d bits (headers included), giving hard size guarantees and
+//    random block access at the cost of no error bound.
+
+#include "compress/common/codec.hpp"
+
+namespace lcp::zfp {
+
+class ZfpCompressor final : public compress::Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "zfp"; }
+
+  [[nodiscard]] Expected<compress::CompressResult> compress(
+      const data::Field& field,
+      const compress::ErrorBound& bound) const override;
+
+  [[nodiscard]] Expected<compress::DecompressResult> decompress(
+      std::span<const std::uint8_t> container) const override;
+};
+
+}  // namespace lcp::zfp

@@ -1,0 +1,71 @@
+#include "core/dump_experiment.hpp"
+
+namespace lcp::core {
+
+Joules DumpResult::mean_energy_saved() const noexcept {
+  if (outcomes.empty()) {
+    return Joules{0.0};
+  }
+  double total = 0.0;
+  for (const auto& o : outcomes) {
+    total += o.plan.energy_saved().joules();
+  }
+  return Joules{total / static_cast<double>(outcomes.size())};
+}
+
+double DumpResult::mean_energy_savings() const noexcept {
+  if (outcomes.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& o : outcomes) {
+    total += o.plan.energy_savings();
+  }
+  return total / static_cast<double>(outcomes.size());
+}
+
+Expected<DumpResult> run_dump_experiment(const DumpConfig& config) {
+  DumpConfig cfg = config;
+  if (cfg.error_bounds.empty()) {
+    cfg.error_bounds = compress::paper_error_bounds();
+  }
+  if (cfg.total_bytes.bytes() == 0) {
+    return Status::invalid_argument("dump experiment needs a positive volume");
+  }
+  const power::ChipSpec& spec = power::chip(cfg.chip);
+
+  DumpResult result;
+  for (double eb : cfg.error_bounds) {
+    auto cal =
+        calibrate_codec(cfg.codec, data::DatasetId::kNyx, eb, cfg.scale,
+                        cfg.seed);
+    if (!cal) {
+      return cal.status();
+    }
+
+    // Extrapolate the really-measured chunk to the full volume.
+    const double scale_up = static_cast<double>(cfg.total_bytes.bytes()) /
+                            static_cast<double>(cal->input_bytes.bytes());
+    Calibration full = *cal;
+    full.native_seconds = cal->native_seconds * scale_up;
+    full.input_bytes = cfg.total_bytes;
+
+    const auto compress_workload = workload_from_calibration(full, spec);
+    const Bytes compressed_bytes{static_cast<std::uint64_t>(
+        static_cast<double>(cfg.total_bytes.bytes()) /
+        cal->compression_ratio)};
+    const auto write_workload =
+        io::transit_workload(spec, compressed_bytes, cfg.transit);
+
+    DumpOutcome outcome;
+    outcome.error_bound = eb;
+    outcome.compression_ratio = cal->compression_ratio;
+    outcome.compressed_bytes = compressed_bytes;
+    outcome.plan = tuning::plan_compressed_dump(spec, compress_workload,
+                                                write_workload, cfg.rule);
+    result.outcomes.push_back(outcome);
+  }
+  return result;
+}
+
+}  // namespace lcp::core

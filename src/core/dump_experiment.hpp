@@ -1,0 +1,47 @@
+#pragma once
+// Section VI-B / Figure 6: compress 512 GB of NYX data with SZ and write
+// it over the NFS, comparing the base clock against the Eqn 3 tuned plan
+// at each error bound. The 512 GB input is obtained exactly as in the
+// paper — by logical concatenation: one chunk is really compressed, and
+// its per-byte cost and compression ratio extrapolate to the full volume.
+
+#include <vector>
+
+#include "core/compression_study.hpp"
+#include "io/transit_model.hpp"
+#include "tuning/io_plan.hpp"
+#include "tuning/rule.hpp"
+
+namespace lcp::core {
+
+struct DumpConfig {
+  Bytes total_bytes = Bytes::from_gb(512);
+  data::Scale scale = data::Scale::kCi;  ///< chunk size for calibration
+  std::vector<double> error_bounds;      ///< empty => the paper's four
+  power::ChipId chip = power::ChipId::kBroadwellD1548;
+  compress::CodecId codec = compress::CodecId::kSz;  ///< paper uses SZ
+  tuning::TuningRule rule = tuning::paper_rule();
+  io::TransitModelConfig transit;
+  std::uint64_t seed = 20220530;
+};
+
+/// One error bound's base-vs-tuned outcome.
+struct DumpOutcome {
+  double error_bound = 0.0;
+  double compression_ratio = 0.0;
+  Bytes compressed_bytes;
+  tuning::PlanComparison plan;
+};
+
+struct DumpResult {
+  std::vector<DumpOutcome> outcomes;
+
+  /// Mean energy saved across bounds (paper: ~6.5 kJ).
+  [[nodiscard]] Joules mean_energy_saved() const noexcept;
+  /// Mean fractional savings (paper: ~13%).
+  [[nodiscard]] double mean_energy_savings() const noexcept;
+};
+
+[[nodiscard]] Expected<DumpResult> run_dump_experiment(const DumpConfig& config);
+
+}  // namespace lcp::core

@@ -1,0 +1,78 @@
+#include "core/model_tables.hpp"
+
+namespace lcp::core {
+namespace {
+
+void append_scaled(const std::vector<SweepPoint>& sweep,
+                   ScaledObservations& out) {
+  const ScaledCurve curve = scale_by_max_frequency(sweep, SweepMetric::kPower);
+  out.f_ghz.insert(out.f_ghz.end(), curve.f_ghz.begin(), curve.f_ghz.end());
+  out.scaled_power.insert(out.scaled_power.end(), curve.value.begin(),
+                          curve.value.end());
+}
+
+}  // namespace
+
+model::CodecFilter to_codec_filter(compress::CodecId id) noexcept {
+  return id == compress::CodecId::kSz ? model::CodecFilter::kSz
+                                      : model::CodecFilter::kZfp;
+}
+
+ScaledObservations collect_compression_observations(
+    const CompressionStudyResult& result, const model::Partition& partition) {
+  ScaledObservations out;
+  for (const auto& series : result.series) {
+    if (partition.matches(to_codec_filter(series.codec), series.chip)) {
+      append_scaled(series.sweep, out);
+    }
+  }
+  return out;
+}
+
+ScaledObservations collect_transit_observations(
+    const TransitStudyResult& result, const model::Partition& partition) {
+  ScaledObservations out;
+  for (const auto& series : result.series) {
+    // Transit has no codec axis; reuse the chip filter only.
+    if (!partition.chip.has_value() || *partition.chip == series.chip) {
+      append_scaled(series.sweep, out);
+    }
+  }
+  return out;
+}
+
+Expected<std::vector<ModelTableRow>> build_compression_models(
+    const CompressionStudyResult& result) {
+  std::vector<ModelTableRow> rows;
+  for (const auto& partition : model::compression_partitions()) {
+    const auto obs = collect_compression_observations(result, partition);
+    if (obs.f_ghz.size() < 4) {
+      continue;  // partition not covered by this study's configuration
+    }
+    auto fit = model::fit_power_law(obs.f_ghz, obs.scaled_power);
+    if (!fit) {
+      return fit.status();
+    }
+    rows.push_back({partition, *fit, obs.f_ghz.size()});
+  }
+  return rows;
+}
+
+Expected<std::vector<ModelTableRow>> build_transit_models(
+    const TransitStudyResult& result) {
+  std::vector<ModelTableRow> rows;
+  for (const auto& partition : model::transit_partitions()) {
+    const auto obs = collect_transit_observations(result, partition);
+    if (obs.f_ghz.size() < 4) {
+      continue;
+    }
+    auto fit = model::fit_power_law(obs.f_ghz, obs.scaled_power);
+    if (!fit) {
+      return fit.status();
+    }
+    rows.push_back({partition, *fit, obs.f_ghz.size()});
+  }
+  return rows;
+}
+
+}  // namespace lcp::core

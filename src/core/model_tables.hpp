@@ -1,0 +1,45 @@
+#pragma once
+// Builds Tables IV and V: per-partition power-law regressions of the
+// scaled power observations produced by the studies.
+
+#include <vector>
+
+#include "core/compression_study.hpp"
+#include "core/transit_study.hpp"
+#include "model/partitions.hpp"
+#include "model/power_law.hpp"
+
+namespace lcp::core {
+
+/// One fitted row of Table IV / V.
+struct ModelTableRow {
+  model::Partition partition;
+  model::PowerLawFit fit;
+  std::size_t observations = 0;
+};
+
+/// Scaled-power observations pooled for a regression.
+struct ScaledObservations {
+  std::vector<double> f_ghz;
+  std::vector<double> scaled_power;
+};
+
+/// Pools the scaled power curve of every series matching `partition`.
+[[nodiscard]] ScaledObservations collect_compression_observations(
+    const CompressionStudyResult& result, const model::Partition& partition);
+
+[[nodiscard]] ScaledObservations collect_transit_observations(
+    const TransitStudyResult& result, const model::Partition& partition);
+
+/// Table IV: {Total, SZ, ZFP, Broadwell, Skylake} fits.
+[[nodiscard]] Expected<std::vector<ModelTableRow>> build_compression_models(
+    const CompressionStudyResult& result);
+
+/// Table V: {Total, Broadwell, Skylake} fits.
+[[nodiscard]] Expected<std::vector<ModelTableRow>> build_transit_models(
+    const TransitStudyResult& result);
+
+/// Codec id -> partition filter tag.
+[[nodiscard]] model::CodecFilter to_codec_filter(compress::CodecId id) noexcept;
+
+}  // namespace lcp::core

@@ -1,0 +1,26 @@
+#include "core/platform.hpp"
+
+namespace lcp::core {
+
+Platform::Platform(power::ChipId chip, power::NoiseModel noise,
+                   std::uint64_t seed)
+    : spec_(power::chip(chip)),
+      governor_(spec_),
+      sampler_(spec_, noise, seed) {}
+
+power::Measurement Platform::run(const power::Workload& w) {
+  return sampler_.sample(w, governor_.current());
+}
+
+Expected<power::Measurement> Platform::run_at(const power::Workload& w,
+                                              GigaHertz f) {
+  LCP_RETURN_IF_ERROR(governor_.set_frequency(f));
+  return run(w);
+}
+
+std::vector<power::Measurement> Platform::run_repeats(const power::Workload& w,
+                                                      std::size_t repeats) {
+  return sampler_.sample_repeats(w, governor_.current(), repeats);
+}
+
+}  // namespace lcp::core

@@ -1,0 +1,45 @@
+#pragma once
+// Platform: one simulated CloudLab node = chip model + userspace governor +
+// perf-style energy sampler. The experiment-facing seam of the library:
+// studies pin a frequency and run workloads, exactly mirroring the paper's
+// cpufreq-set + perf-stat measurement loop.
+
+#include "dvfs/governor.hpp"
+#include "power/chip_model.hpp"
+#include "power/noise_model.hpp"
+#include "power/perf_sampler.hpp"
+
+namespace lcp::core {
+
+class Platform {
+ public:
+  Platform(power::ChipId chip, power::NoiseModel noise, std::uint64_t seed);
+
+  [[nodiscard]] const power::ChipSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] dvfs::Governor& governor() noexcept { return governor_; }
+  [[nodiscard]] const dvfs::Governor& governor() const noexcept {
+    return governor_;
+  }
+
+  /// Runs `w` once at the governor's current frequency.
+  [[nodiscard]] power::Measurement run(const power::Workload& w);
+
+  /// Pins `f` and runs once. Fails if `f` is outside the DVFS range.
+  [[nodiscard]] Expected<power::Measurement> run_at(const power::Workload& w,
+                                                    GigaHertz f);
+
+  /// Repeated measurement at the current frequency (the paper's 10x loop).
+  [[nodiscard]] std::vector<power::Measurement> run_repeats(
+      const power::Workload& w, std::size_t repeats);
+
+  [[nodiscard]] const power::EnergyCounter& package_counter() const noexcept {
+    return sampler_.counter();
+  }
+
+ private:
+  const power::ChipSpec& spec_;
+  dvfs::Governor governor_;
+  power::PerfSampler sampler_;
+};
+
+}  // namespace lcp::core

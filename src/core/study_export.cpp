@@ -1,0 +1,91 @@
+#include "core/study_export.hpp"
+
+#include "compress/common/registry.hpp"
+#include "data/registry.hpp"
+#include "support/table.hpp"
+
+namespace lcp::core {
+namespace {
+
+void append_sweep_rows(CsvWriter& csv, const std::vector<SweepPoint>& sweep,
+                       const std::vector<std::string>& id_cells) {
+  const ScaledCurve power = scale_by_max_frequency(sweep, SweepMetric::kPower);
+  const ScaledCurve runtime =
+      scale_by_max_frequency(sweep, SweepMetric::kRuntime);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& p = sweep[i];
+    std::vector<std::string> row = id_cells;
+    row.push_back(format_double(p.frequency.ghz(), 3));
+    row.push_back(format_double(p.power_w.mean, 4));
+    row.push_back(format_double(p.power_w.ci95_half, 4));
+    row.push_back(format_double(p.runtime_s.mean, 6));
+    row.push_back(format_double(p.runtime_s.ci95_half, 6));
+    row.push_back(format_double(p.energy_j.mean, 4));
+    row.push_back(format_double(p.energy_j.ci95_half, 4));
+    row.push_back(format_double(power.value[i], 5));
+    row.push_back(format_double(runtime.value[i], 5));
+    csv.add_row(std::move(row));
+  }
+}
+
+const std::vector<std::string> kStatColumns = {
+    "f_ghz",          "power_w_mean",   "power_w_ci95",  "runtime_s_mean",
+    "runtime_s_ci95", "energy_j_mean",  "energy_j_ci95", "scaled_power",
+    "scaled_runtime"};
+
+std::vector<std::string> with_stats(std::vector<std::string> ids) {
+  ids.insert(ids.end(), kStatColumns.begin(), kStatColumns.end());
+  return ids;
+}
+
+}  // namespace
+
+CsvWriter export_compression_study(const CompressionStudyResult& result) {
+  CsvWriter csv{with_stats({"chip", "codec", "dataset", "error_bound"})};
+  for (const auto& series : result.series) {
+    append_sweep_rows(
+        csv, series.sweep,
+        {power::chip_series_name(series.chip),
+         compress::codec_name(series.codec),
+         data::dataset_name(series.dataset),
+         format_scientific(series.error_bound, 1)});
+  }
+  return csv;
+}
+
+CsvWriter export_transit_study(const TransitStudyResult& result) {
+  CsvWriter csv{with_stats({"chip", "size_gb"})};
+  for (const auto& series : result.series) {
+    append_sweep_rows(csv, series.sweep,
+                      {power::chip_series_name(series.chip),
+                       format_double(series.size.gb(), 2)});
+  }
+  return csv;
+}
+
+CsvWriter export_validation_study(const ValidationResult& result) {
+  CsvWriter csv{with_stats({"field", "codec"})};
+  for (const auto& series : result.series) {
+    append_sweep_rows(csv, series.sweep,
+                      {data::isabel_kind_name(series.kind),
+                       compress::codec_name(series.codec)});
+  }
+  return csv;
+}
+
+CsvWriter export_calibrations(const CompressionStudyResult& result) {
+  CsvWriter csv{{"codec", "dataset", "error_bound", "native_seconds",
+                 "compression_ratio", "max_abs_error", "input_mb"}};
+  for (const auto& cal : result.calibrations) {
+    csv.add_row({compress::codec_name(cal.codec),
+                 data::dataset_name(cal.dataset),
+                 format_scientific(cal.error_bound, 1),
+                 format_double(cal.native_seconds.seconds(), 6),
+                 format_double(cal.compression_ratio, 3),
+                 format_scientific(cal.max_abs_error, 3),
+                 format_double(cal.input_bytes.mb(), 2)});
+  }
+  return csv;
+}
+
+}  // namespace lcp::core

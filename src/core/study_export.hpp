@@ -1,0 +1,33 @@
+#pragma once
+// CSV export of study results: the long-format tables an analyst would
+// load into pandas/R to re-plot the paper's figures or run their own
+// regressions. One row per (series, frequency) with identifying columns
+// and the aggregated measurement statistics.
+
+#include <string>
+
+#include "core/compression_study.hpp"
+#include "core/transit_study.hpp"
+#include "core/validation_study.hpp"
+#include "support/csv.hpp"
+
+namespace lcp::core {
+
+/// Columns: chip, codec, dataset, error_bound, f_ghz, power_w_mean,
+/// power_w_ci95, runtime_s_mean, runtime_s_ci95, energy_j_mean,
+/// energy_j_ci95, scaled_power, scaled_runtime.
+[[nodiscard]] CsvWriter export_compression_study(
+    const CompressionStudyResult& result);
+
+/// Columns: chip, size_gb, f_ghz, power/runtime/energy stats, scaled_*.
+[[nodiscard]] CsvWriter export_transit_study(const TransitStudyResult& result);
+
+/// Columns: field, codec, f_ghz, stats, scaled_power.
+[[nodiscard]] CsvWriter export_validation_study(const ValidationResult& result);
+
+/// Columns: codec, dataset, error_bound, native_seconds,
+/// compression_ratio, max_abs_error, input_mb.
+[[nodiscard]] CsvWriter export_calibrations(
+    const CompressionStudyResult& result);
+
+}  // namespace lcp::core

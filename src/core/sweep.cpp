@@ -1,0 +1,77 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace lcp::core {
+
+std::vector<SweepPoint> frequency_sweep(Platform& platform,
+                                        const power::Workload& w,
+                                        std::size_t repeats) {
+  LCP_REQUIRE(repeats > 0, "sweep needs at least one repeat");
+  std::vector<SweepPoint> out;
+  const auto steps = platform.governor().range().steps();
+  out.reserve(steps.size());
+  for (GigaHertz f : steps) {
+    const Status set = platform.governor().set_frequency(f);
+    LCP_REQUIRE(set.is_ok(), "grid frequency rejected by governor");
+    const auto samples = platform.run_repeats(w, repeats);
+
+    std::vector<double> power;
+    std::vector<double> runtime;
+    std::vector<double> energy;
+    power.reserve(samples.size());
+    runtime.reserve(samples.size());
+    energy.reserve(samples.size());
+    for (const auto& m : samples) {
+      power.push_back(m.average_power().watts());
+      runtime.push_back(m.runtime.seconds());
+      energy.push_back(m.energy.joules());
+    }
+    SweepPoint point;
+    point.frequency = f;
+    point.power_w = summarize(power);
+    point.runtime_s = summarize(runtime);
+    point.energy_j = summarize(energy);
+    out.push_back(point);
+  }
+  platform.governor().reset();
+  return out;
+}
+
+ScaledCurve scale_by_max_frequency(const std::vector<SweepPoint>& points,
+                                   SweepMetric metric) {
+  LCP_REQUIRE(!points.empty(), "cannot scale an empty sweep");
+  auto pick = [metric](const SweepPoint& p) -> const SampleSummary& {
+    switch (metric) {
+      case SweepMetric::kPower:
+        return p.power_w;
+      case SweepMetric::kRuntime:
+        return p.runtime_s;
+      case SweepMetric::kEnergy:
+        return p.energy_j;
+    }
+    return p.power_w;  // unreachable
+  };
+  const auto max_it =
+      std::max_element(points.begin(), points.end(),
+                       [](const SweepPoint& a, const SweepPoint& b) {
+                         return a.frequency < b.frequency;
+                       });
+  const double denom = pick(*max_it).mean;
+  LCP_REQUIRE(denom > 0.0, "metric at max frequency must be positive");
+
+  ScaledCurve curve;
+  curve.f_ghz.reserve(points.size());
+  curve.value.reserve(points.size());
+  curve.ci95.reserve(points.size());
+  for (const auto& p : points) {
+    curve.f_ghz.push_back(p.frequency.ghz());
+    curve.value.push_back(pick(p).mean / denom);
+    curve.ci95.push_back(pick(p).ci95_half / denom);
+  }
+  return curve;
+}
+
+}  // namespace lcp::core

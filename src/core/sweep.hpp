@@ -1,0 +1,43 @@
+#pragma once
+// Frequency sweep: measure a workload at every DVFS grid point with
+// repeats (Section III-B: f_min..f_max in 50 MHz steps, 10 repeats each),
+// plus the scaling used by Figures 1-4 (divide every series by its value
+// at the max clock).
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace lcp::core {
+
+/// Aggregated measurements at one frequency.
+struct SweepPoint {
+  GigaHertz frequency;
+  SampleSummary power_w;
+  SampleSummary runtime_s;
+  SampleSummary energy_j;
+};
+
+/// Runs `w` at every grid frequency with `repeats` measurements each.
+[[nodiscard]] std::vector<SweepPoint> frequency_sweep(Platform& platform,
+                                                      const power::Workload& w,
+                                                      std::size_t repeats);
+
+/// Which metric of a sweep to extract.
+enum class SweepMetric { kPower, kRuntime, kEnergy };
+
+/// One scaled characteristic curve: value(f) / value(f_max), with the 95%
+/// CI half-width scaled identically.
+struct ScaledCurve {
+  std::vector<double> f_ghz;
+  std::vector<double> value;  ///< mean / mean-at-f_max
+  std::vector<double> ci95;   ///< CI half-width on the same scale
+};
+
+/// Scales `metric` of the sweep by its value at the highest frequency.
+[[nodiscard]] ScaledCurve scale_by_max_frequency(
+    const std::vector<SweepPoint>& points, SweepMetric metric);
+
+}  // namespace lcp::core

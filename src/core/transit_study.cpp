@@ -1,0 +1,37 @@
+#include "core/transit_study.hpp"
+
+namespace lcp::core {
+
+Expected<TransitStudyResult> run_transit_study(const TransitStudyConfig& config) {
+  TransitStudyConfig cfg = config;
+  if (cfg.sizes.empty()) {
+    cfg.sizes = io::paper_transit_sizes();
+  }
+  if (cfg.chips.empty()) {
+    cfg.chips = power::all_chips();
+  }
+  for (Bytes n : cfg.sizes) {
+    if (n.bytes() == 0) {
+      return Status::invalid_argument("transit sizes must be positive");
+    }
+  }
+
+  TransitStudyResult result;
+  std::uint64_t stream = 0;
+  for (power::ChipId chip : cfg.chips) {
+    Platform platform{chip, cfg.noise, cfg.seed ^ 0x7261u ^ stream};
+    for (Bytes size : cfg.sizes) {
+      const auto workload =
+          io::transit_workload(platform.spec(), size, cfg.transit);
+      TransitSeries series;
+      series.chip = chip;
+      series.size = size;
+      series.sweep = frequency_sweep(platform, workload, cfg.repeats);
+      result.series.push_back(std::move(series));
+      ++stream;
+    }
+  }
+  return result;
+}
+
+}  // namespace lcp::core

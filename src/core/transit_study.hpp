@@ -1,0 +1,38 @@
+#pragma once
+// Data-transit power study (Section IV-B): write 1-16 GB buffers to the
+// NFS over the DVFS range of both chips with repeats. No calibration phase
+// is needed — the transit model is parameterized directly by size and chip
+// (only size matters for transmission, per Section III-C).
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/sweep.hpp"
+#include "io/transit_model.hpp"
+#include "power/noise_model.hpp"
+
+namespace lcp::core {
+
+struct TransitStudyConfig {
+  std::vector<Bytes> sizes;  ///< empty => the paper's 1..16 GB ladder
+  std::size_t repeats = 10;
+  std::uint64_t seed = 20220530;
+  power::NoiseModel noise;
+  std::vector<power::ChipId> chips;  ///< empty => both
+  io::TransitModelConfig transit;
+};
+
+struct TransitSeries {
+  power::ChipId chip;
+  Bytes size;
+  std::vector<SweepPoint> sweep;
+};
+
+struct TransitStudyResult {
+  std::vector<TransitSeries> series;
+};
+
+[[nodiscard]] Expected<TransitStudyResult> run_transit_study(
+    const TransitStudyConfig& config);
+
+}  // namespace lcp::core

@@ -1,0 +1,60 @@
+#include "core/validation_study.hpp"
+
+#include "compress/common/metrics.hpp"
+
+namespace lcp::core {
+
+Expected<ValidationResult> run_validation_study(
+    const ValidationConfig& config, const model::PowerLawFit& broadwell_model) {
+  const auto& spec = data::isabel_dataset();
+  const auto& dims = data::dims_for(spec, config.scale);
+
+  ValidationResult result;
+  Platform platform{config.chip, config.noise, config.seed ^ 0x15abe1u};
+
+  std::vector<double> pooled_f;
+  std::vector<double> pooled_power;
+
+  for (data::IsabelKind kind : data::isabel_all_kinds()) {
+    const auto field =
+        data::generate_isabel(kind, dims.extent(0), dims.extent(1),
+                              dims.extent(2), config.seed);
+    for (compress::CodecId codec : compress::all_codecs()) {
+      const auto compressor = compress::make_compressor(codec);
+      auto report = compress::round_trip(
+          *compressor, field,
+          compress::ErrorBound::absolute(config.error_bound));
+      if (!report) {
+        return report.status();
+      }
+      if (!report->bound_respected) {
+        return Status::internal("codec violated bound on Isabel field");
+      }
+      const CodecProfile profile = codec_profile(codec);
+      const auto workload = power::compression_workload(
+          platform.spec(), report->compress_time, profile.cpu_fraction,
+          profile.activity);
+
+      ValidationSeries series;
+      series.kind = kind;
+      series.codec = codec;
+      series.sweep = frequency_sweep(platform, workload, config.repeats);
+
+      const ScaledCurve curve =
+          scale_by_max_frequency(series.sweep, SweepMetric::kPower);
+      pooled_f.insert(pooled_f.end(), curve.f_ghz.begin(), curve.f_ghz.end());
+      pooled_power.insert(pooled_power.end(), curve.value.begin(),
+                          curve.value.end());
+      result.series.push_back(std::move(series));
+    }
+  }
+
+  auto stats = model::validate_fit(broadwell_model, pooled_f, pooled_power);
+  if (!stats) {
+    return stats.status();
+  }
+  result.stats = *stats;
+  return result;
+}
+
+}  // namespace lcp::core

@@ -1,0 +1,42 @@
+#pragma once
+// Section VI-A / Figure 5: test the fitted Broadwell compression model on
+// data it never saw — the six Hurricane-ISABEL fields (PRECIP, P, TC, U,
+// V, W) compressed with SZ and ZFP at a 1e-4 bound — and report SSE/RMSE
+// of the fixed model against the new scaled-power observations.
+
+#include <vector>
+
+#include "core/compression_study.hpp"
+#include "core/model_tables.hpp"
+#include "data/generators.hpp"
+
+namespace lcp::core {
+
+struct ValidationConfig {
+  data::Scale scale = data::Scale::kCi;
+  double error_bound = 1e-4;
+  std::size_t repeats = 10;
+  std::uint64_t seed = 20220530;
+  power::NoiseModel noise;
+  power::ChipId chip = power::ChipId::kBroadwellD1548;
+};
+
+/// One validation series (per Isabel field x codec).
+struct ValidationSeries {
+  data::IsabelKind kind;
+  compress::CodecId codec;
+  std::vector<SweepPoint> sweep;
+};
+
+struct ValidationResult {
+  std::vector<ValidationSeries> series;
+  /// GF of `model` on the pooled new observations (paper: SSE 0.1463,
+  /// RMSE 0.0256).
+  model::FitStats stats;
+};
+
+/// Sweeps the Isabel fields and scores `broadwell_model` against them.
+[[nodiscard]] Expected<ValidationResult> run_validation_study(
+    const ValidationConfig& config, const model::PowerLawFit& broadwell_model);
+
+}  // namespace lcp::core

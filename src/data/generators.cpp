@@ -1,0 +1,262 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "data/noise.hpp"
+#include "support/rng.hpp"
+
+namespace lcp::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+Field generate_cesm_atm(std::size_t levels, std::size_t lat, std::size_t lon,
+                        std::uint64_t seed) {
+  Rng rng{seed ^ 0xce5011ull};
+  Field field{"CESM-ATM", Dims::d3(levels, lat, lon)};
+  auto out = field.mutable_values();
+
+  // Horizontal structure: large-scale smooth weather systems plus a zonal
+  // (latitude) mean profile; vertical structure: lapse-rate-like decay with
+  // level plus level-correlated perturbations.
+  const std::size_t cell = std::max<std::size_t>(2, lat / 12);
+  SmoothNoise3D synoptic(levels, lat, lon, cell, rng);
+  SmoothNoise3D meso(levels, lat, lon, std::max<std::size_t>(2, cell / 4), rng);
+
+  std::size_t idx = 0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const double level_frac = static_cast<double>(l) / static_cast<double>(levels);
+    const double lapse = 290.0 - 70.0 * level_frac;  // K, surface to stratosphere
+    for (std::size_t i = 0; i < lat; ++i) {
+      const double phi = kPi * (static_cast<double>(i) / static_cast<double>(lat) - 0.5);
+      const double zonal = 25.0 * std::cos(phi) * std::cos(phi);  // warm equator
+      for (std::size_t j = 0; j < lon; ++j) {
+        const double v = lapse + zonal + 6.0 * synoptic.at(l, i, j) +
+                         1.5 * meso.at(l, i, j);
+        out[idx++] = static_cast<float>(v);
+      }
+    }
+  }
+  return field;
+}
+
+const char* cesm_field_name(CesmField kind) noexcept {
+  switch (kind) {
+    case CesmField::kTemperature:
+      return "T";
+    case CesmField::kCloudFraction:
+      return "CLDTOT";
+    case CesmField::kHumidity:
+      return "Q";
+  }
+  return "?";
+}
+
+Field generate_cesm_field(CesmField kind, std::size_t levels, std::size_t lat,
+                          std::size_t lon, std::uint64_t seed) {
+  if (kind == CesmField::kTemperature) {
+    return generate_cesm_atm(levels, lat, lon, seed);
+  }
+  Rng rng{seed ^ (0xce5011ull + static_cast<std::uint64_t>(kind))};
+  Field field{cesm_field_name(kind), Dims::d3(levels, lat, lon)};
+  auto out = field.mutable_values();
+
+  const std::size_t cell = std::max<std::size_t>(2, lat / 10);
+  SmoothNoise3D weather(levels, lat, lon, cell, rng);
+
+  std::size_t idx = 0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const double level_frac = static_cast<double>(l) / static_cast<double>(levels);
+    for (std::size_t i = 0; i < lat; ++i) {
+      const double phi =
+          kPi * (static_cast<double>(i) / static_cast<double>(lat) - 0.5);
+      for (std::size_t j = 0; j < lon; ++j) {
+        const double g = weather.at(l, i, j);
+        double v = 0.0;
+        if (kind == CesmField::kCloudFraction) {
+          // Storm tracks cloud up the mid-latitudes; hard clamping yields
+          // the saturated exact-0 / exact-1 plateaus real CLD* fields have.
+          const double raw =
+              0.5 + 0.8 * g + 0.35 * std::cos(2.0 * phi) - 0.3 * level_frac;
+          v = std::min(1.0, std::max(0.0, raw));
+        } else {  // humidity: kg/kg, decaying exponentially with altitude
+          const double surface =
+              0.015 * std::cos(phi) * std::cos(phi) + 0.003;
+          const double fluct = std::max(0.0, 1.0 + 0.5 * g);
+          v = surface * fluct * std::exp(-4.0 * level_frac);
+        }
+        out[idx++] = static_cast<float>(v);
+      }
+    }
+  }
+  return field;
+}
+
+Field generate_hacc(std::size_t particles, std::uint64_t seed) {
+  Rng rng{seed ^ 0xaaccull};
+  Field field{"HACC", Dims::d1(particles)};
+  auto out = field.mutable_values();
+
+  // Halo model: a set of cluster centers in a periodic box; each particle
+  // belongs to a halo with an NFW-ish radial spread, or to a uniform
+  // background. Particle order is arbitrary (as in real HACC output), which
+  // is what makes the stream hard for pointwise predictors.
+  constexpr double kBox = 256.0;  // Mpc/h, matches HACC conventions
+  const std::size_t halo_count = std::max<std::size_t>(8, particles / 65536);
+  std::vector<double> centers(halo_count);
+  std::vector<double> radii(halo_count);
+  for (std::size_t h = 0; h < halo_count; ++h) {
+    centers[h] = rng.uniform(0.0, kBox);
+    radii[h] = rng.lognormal(0.0, 0.6);  // ~1 Mpc/h typical
+  }
+  for (std::size_t p = 0; p < particles; ++p) {
+    double x;
+    if (rng.uniform() < 0.7) {
+      const std::size_t h = rng.uniform_index(halo_count);
+      x = centers[h] + radii[h] * rng.normal();
+    } else {
+      x = rng.uniform(0.0, kBox);
+    }
+    // Wrap into the periodic box.
+    x = std::fmod(x, kBox);
+    if (x < 0.0) {
+      x += kBox;
+    }
+    out[p] = static_cast<float>(x);
+  }
+  return field;
+}
+
+Field generate_nyx(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed ^ 0x4e7978ull};  // "Nyx"
+  Field field{"NYX", Dims::d3(n, n, n)};
+  auto out = field.mutable_values();
+
+  // Log-normal baryon overdensity rho/rho_mean = exp(sigma * G(x)) where G
+  // is a smooth Gaussian random field; two octaves approximate the
+  // cosmological power spectrum's large- and mid-scale structure. The field
+  // is kept in normalized (dimensionless) units so the paper's absolute
+  // error bounds 1e-1..1e-4 span the meaningful lossy range, as they do for
+  // the normalized SDRBench snapshots.
+  const std::size_t cell1 = std::max<std::size_t>(2, n / 8);
+  const std::size_t cell2 = std::max<std::size_t>(2, n / 32);
+  SmoothNoise3D large(n, n, n, cell1, rng);
+  SmoothNoise3D mid(n, n, n, cell2, rng);
+
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double g = 1.1 * large.at(i, j, k) + 0.5 * mid.at(i, j, k);
+        out[idx++] = static_cast<float>(std::exp(1.2 * g));
+      }
+    }
+  }
+  return field;
+}
+
+const char* isabel_kind_name(IsabelKind kind) noexcept {
+  switch (kind) {
+    case IsabelKind::kPrecip:
+      return "PRECIP";
+    case IsabelKind::kPressure:
+      return "P";
+    case IsabelKind::kTemperature:
+      return "TC";
+    case IsabelKind::kWindU:
+      return "U";
+    case IsabelKind::kWindV:
+      return "V";
+    case IsabelKind::kWindW:
+      return "W";
+  }
+  return "?";
+}
+
+const std::array<IsabelKind, 6>& isabel_all_kinds() noexcept {
+  static const std::array<IsabelKind, 6> kinds = {
+      IsabelKind::kPrecip,   IsabelKind::kPressure, IsabelKind::kTemperature,
+      IsabelKind::kWindU,    IsabelKind::kWindV,    IsabelKind::kWindW};
+  return kinds;
+}
+
+Field generate_isabel(IsabelKind kind, std::size_t nz, std::size_t ny,
+                      std::size_t nx, std::uint64_t seed) {
+  Rng rng{seed ^ (0x15abe1ull + static_cast<std::uint64_t>(kind))};
+  Field field{isabel_kind_name(kind), Dims::d3(nz, ny, nx)};
+  auto out = field.mutable_values();
+
+  // A hurricane: cyclonic vortex centered in the domain. Winds follow a
+  // Rankine-like tangential profile, pressure dips at the eye, temperature
+  // is stratified with a warm core, precipitation is banded and sparse.
+  const double cy = 0.52 * static_cast<double>(ny);
+  const double cx = 0.48 * static_cast<double>(nx);
+  const double r_eye = 0.05 * static_cast<double>(nx);
+  const double r_max = 0.45 * static_cast<double>(nx);
+  const std::size_t cell = std::max<std::size_t>(2, nx / 16);
+  SmoothNoise3D turb(nz, ny, nx, cell, rng);
+
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z) {
+    const double zf = static_cast<double>(z) / static_cast<double>(nz);
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double dy = static_cast<double>(y) - cy;
+        const double dx = static_cast<double>(x) - cx;
+        const double r = std::sqrt(dx * dx + dy * dy) + 1e-9;
+        // Rankine vortex tangential speed (m/s), decaying with altitude.
+        double vt;
+        if (r < r_eye) {
+          vt = 65.0 * (r / r_eye);
+        } else {
+          vt = 65.0 * std::pow(r_eye / r, 0.6);
+        }
+        vt *= (1.0 - 0.5 * zf);
+        const double noise = turb.at(z, y, x);
+
+        double v = 0.0;
+        switch (kind) {
+          case IsabelKind::kWindU:
+            v = -vt * dy / r + 2.5 * noise;
+            break;
+          case IsabelKind::kWindV:
+            v = vt * dx / r + 2.5 * noise;
+            break;
+          case IsabelKind::kWindW:
+            // Updrafts in the eyewall, weak elsewhere.
+            v = 6.0 * std::exp(-((r - r_eye * 1.5) * (r - r_eye * 1.5)) /
+                               (2.0 * r_eye * r_eye)) +
+                0.4 * noise;
+            break;
+          case IsabelKind::kPressure: {
+            const double drop = 70.0 * std::exp(-r / (0.35 * r_max));
+            v = 1013.0 - drop - 90.0 * zf + 0.8 * noise;
+            break;
+          }
+          case IsabelKind::kTemperature: {
+            const double warm_core = 8.0 * std::exp(-r / (0.25 * r_max));
+            v = 28.0 - 60.0 * zf + warm_core + 0.5 * noise;
+            break;
+          }
+          case IsabelKind::kPrecip: {
+            // Spiral rain bands: sparse non-negative field.
+            const double theta = std::atan2(dy, dx);
+            const double band =
+                std::sin(3.0 * theta + 0.05 * r) * std::exp(-r / r_max);
+            const double p = band + 0.6 * noise - 0.4;
+            v = p > 0.0 ? 25.0 * p * std::exp(-2.5 * zf) : 0.0;
+            break;
+          }
+        }
+        out[idx++] = static_cast<float>(v);
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace lcp::data

@@ -1,0 +1,58 @@
+#pragma once
+// Synthetic stand-ins for the SDRBench datasets used in the paper (Table I
+// plus the Hurricane-ISABEL validation set of Section VI-A).
+//
+// Substitution note (see DESIGN.md): the paper downloads real simulation
+// snapshots; this repo generates fields with the same dimensionality and
+// correlation structure, which is what drives lossy-compressor behaviour.
+// Every generator is deterministic in (dims, seed).
+
+#include <array>
+#include <cstdint>
+
+#include "data/field.hpp"
+
+namespace lcp::data {
+
+/// CESM-ATM-like climate field: `levels` vertically-correlated smooth layers
+/// over a lat x lon grid with a strong latitude gradient (temperature-like).
+[[nodiscard]] Field generate_cesm_atm(std::size_t levels, std::size_t lat,
+                                      std::size_t lon, std::uint64_t seed);
+
+/// Named CESM-ATM field variants: the real dataset carries dozens of
+/// variables in distinct value regimes, and codecs behave differently in
+/// each. kTemperature is the generate_cesm_atm default; kCloudFraction is
+/// hard-clamped to [0, 1] with saturated plateaus (exact-0/exact-1 runs);
+/// kHumidity is non-negative with exponential vertical decay.
+enum class CesmField { kTemperature, kCloudFraction, kHumidity };
+
+[[nodiscard]] Field generate_cesm_field(CesmField kind, std::size_t levels,
+                                        std::size_t lat, std::size_t lon,
+                                        std::uint64_t seed);
+
+[[nodiscard]] const char* cesm_field_name(CesmField kind) noexcept;
+
+/// HACC-like particle coordinate stream: 1-D float array of particle
+/// positions inside a periodic box, drawn from a clustered (halo) model so
+/// the stream is hard to predict pointwise, like real HACC xx/yy/zz fields.
+[[nodiscard]] Field generate_hacc(std::size_t particles, std::uint64_t seed);
+
+/// NYX-like baryon density: exp of a smooth Gaussian random field on an
+/// n^3 grid (log-normal density, high dynamic range, smooth in log space).
+[[nodiscard]] Field generate_nyx(std::size_t n, std::uint64_t seed);
+
+/// Hurricane-ISABEL-like weather field on a (z, y, x) grid. `kind` selects
+/// among the six fields used in the paper's validation experiment.
+enum class IsabelKind { kPrecip, kPressure, kTemperature, kWindU, kWindV, kWindW };
+
+[[nodiscard]] Field generate_isabel(IsabelKind kind, std::size_t nz,
+                                    std::size_t ny, std::size_t nx,
+                                    std::uint64_t seed);
+
+/// Short name for an Isabel field kind ("PRECIP", "P", ...).
+[[nodiscard]] const char* isabel_kind_name(IsabelKind kind) noexcept;
+
+/// All six Isabel kinds in paper order (PRECIP, P, TC, U, V, W).
+[[nodiscard]] const std::array<IsabelKind, 6>& isabel_all_kinds() noexcept;
+
+}  // namespace lcp::data

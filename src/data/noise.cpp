@@ -1,0 +1,75 @@
+#include "data/noise.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace lcp::data {
+
+double smoothstep5(double t) noexcept {
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+SmoothNoise3D::SmoothNoise3D(std::size_t n0, std::size_t n1, std::size_t n2,
+                             std::size_t cell, Rng& rng)
+    : cell_(cell == 0 ? 1 : cell),
+      l0_(n0 / cell_ + 2),
+      l1_(n1 / cell_ + 2),
+      l2_(n2 / cell_ + 2),
+      values_(l0_ * l1_ * l2_) {
+  for (auto& v : values_) {
+    v = rng.normal();
+  }
+}
+
+double SmoothNoise3D::lattice(std::size_t a, std::size_t b, std::size_t c) const {
+  a = a < l0_ ? a : l0_ - 1;
+  b = b < l1_ ? b : l1_ - 1;
+  c = c < l2_ ? c : l2_ - 1;
+  return values_[(a * l1_ + b) * l2_ + c];
+}
+
+double SmoothNoise3D::at(std::size_t i, std::size_t j, std::size_t k) const {
+  const double fi = static_cast<double>(i) / static_cast<double>(cell_);
+  const double fj = static_cast<double>(j) / static_cast<double>(cell_);
+  const double fk = static_cast<double>(k) / static_cast<double>(cell_);
+  const auto a0 = static_cast<std::size_t>(fi);
+  const auto b0 = static_cast<std::size_t>(fj);
+  const auto c0 = static_cast<std::size_t>(fk);
+  const double ti = smoothstep5(fi - static_cast<double>(a0));
+  const double tj = smoothstep5(fj - static_cast<double>(b0));
+  const double tk = smoothstep5(fk - static_cast<double>(c0));
+
+  double out = 0.0;
+  for (int da = 0; da <= 1; ++da) {
+    for (int db = 0; db <= 1; ++db) {
+      for (int dc = 0; dc <= 1; ++dc) {
+        const double w = (da != 0 ? ti : 1.0 - ti) * (db != 0 ? tj : 1.0 - tj) *
+                         (dc != 0 ? tk : 1.0 - tk);
+        out += w * lattice(a0 + static_cast<std::size_t>(da),
+                           b0 + static_cast<std::size_t>(db),
+                           c0 + static_cast<std::size_t>(dc));
+      }
+    }
+  }
+  return out;
+}
+
+SmoothNoise1D::SmoothNoise1D(std::size_t n, std::size_t cell, Rng& rng)
+    : cell_(cell == 0 ? 1 : cell), values_(n / cell_ + 2) {
+  for (auto& v : values_) {
+    v = rng.normal();
+  }
+}
+
+double SmoothNoise1D::at(std::size_t i) const {
+  const double f = static_cast<double>(i) / static_cast<double>(cell_);
+  auto a0 = static_cast<std::size_t>(f);
+  if (a0 + 1 >= values_.size()) {
+    a0 = values_.size() - 2;
+  }
+  const double t = smoothstep5(f - static_cast<double>(a0));
+  return (1.0 - t) * values_[a0] + t * values_[a0 + 1];
+}
+
+}  // namespace lcp::data

@@ -1,0 +1,46 @@
+#pragma once
+// Smooth correlated-noise primitives backing the synthetic dataset
+// generators: value-noise lattices interpolated to the target grid give
+// fields with tunable spatial correlation length, the property that actually
+// determines lossy-compressor behaviour on scientific data.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::data {
+
+/// A lattice of Gaussian noise evaluated with smoothstep interpolation.
+/// `cell` is the correlation length in grid points (>= 1).
+class SmoothNoise3D {
+ public:
+  SmoothNoise3D(std::size_t n0, std::size_t n1, std::size_t n2,
+                std::size_t cell, Rng& rng);
+
+  /// Interpolated noise value at integer grid point (i, j, k).
+  [[nodiscard]] double at(std::size_t i, std::size_t j, std::size_t k) const;
+
+ private:
+  [[nodiscard]] double lattice(std::size_t a, std::size_t b, std::size_t c) const;
+
+  std::size_t cell_;
+  std::size_t l0_, l1_, l2_;  // lattice extents
+  std::vector<double> values_;
+};
+
+/// 1-D smooth noise with correlation length `cell`.
+class SmoothNoise1D {
+ public:
+  SmoothNoise1D(std::size_t n, std::size_t cell, Rng& rng);
+  [[nodiscard]] double at(std::size_t i) const;
+
+ private:
+  std::size_t cell_;
+  std::vector<double> values_;
+};
+
+/// Quintic smoothstep used by both noise classes (C2-continuous).
+[[nodiscard]] double smoothstep5(double t) noexcept;
+
+}  // namespace lcp::data

@@ -1,0 +1,76 @@
+#include "data/registry.hpp"
+
+#include "data/generators.hpp"
+
+namespace lcp::data {
+
+const std::vector<DatasetSpec>& table1_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {DatasetId::kCesmAtm, "CESM-ATM", Dims::d3(26, 1800, 3600),
+       Dims::d3(13, 180, 360), 673.9},
+      {DatasetId::kHacc, "HACC", Dims::d1(280953867), Dims::d1(2097152),
+       1046.9},
+      {DatasetId::kNyx, "NYX", Dims::d3(512, 512, 512), Dims::d3(96, 96, 96),
+       536.9},
+  };
+  return specs;
+}
+
+const DatasetSpec& isabel_dataset() {
+  static const DatasetSpec spec = {DatasetId::kIsabel, "Hurricane-ISABEL",
+                                   Dims::d3(100, 500, 500),
+                                   Dims::d3(32, 100, 100), 95.0};
+  return spec;
+}
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  if (id == DatasetId::kIsabel) {
+    return isabel_dataset();
+  }
+  for (const auto& spec : table1_datasets()) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  LCP_REQUIRE(false, "unknown dataset id");
+  return isabel_dataset();  // unreachable
+}
+
+const char* dataset_name(DatasetId id) noexcept {
+  switch (id) {
+    case DatasetId::kCesmAtm:
+      return "CESM-ATM";
+    case DatasetId::kHacc:
+      return "HACC";
+    case DatasetId::kNyx:
+      return "NYX";
+    case DatasetId::kIsabel:
+      return "Hurricane-ISABEL";
+  }
+  return "?";
+}
+
+const Dims& dims_for(const DatasetSpec& spec, Scale scale) noexcept {
+  return scale == Scale::kPaper ? spec.paper_dims : spec.ci_dims;
+}
+
+Field generate_dataset(DatasetId id, Scale scale, std::uint64_t seed) {
+  const DatasetSpec& spec = dataset_spec(id);
+  const Dims& dims = dims_for(spec, scale);
+  switch (id) {
+    case DatasetId::kCesmAtm:
+      return generate_cesm_atm(dims.extent(0), dims.extent(1), dims.extent(2),
+                               seed);
+    case DatasetId::kHacc:
+      return generate_hacc(dims.extent(0), seed);
+    case DatasetId::kNyx:
+      return generate_nyx(dims.extent(0), seed);
+    case DatasetId::kIsabel:
+      return generate_isabel(IsabelKind::kPressure, dims.extent(0),
+                             dims.extent(1), dims.extent(2), seed);
+  }
+  LCP_REQUIRE(false, "unknown dataset id");
+  return Field{};
+}
+
+}  // namespace lcp::data

@@ -1,0 +1,52 @@
+#pragma once
+// Dataset registry mirroring Table I of the paper, with two sizing modes:
+// paper-scale (the published dimensions) and CI-scale (proportionally
+// reduced grids that keep every experiment runnable in seconds).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace lcp::data {
+
+/// Which of the paper's datasets a spec describes.
+enum class DatasetId { kCesmAtm, kHacc, kNyx, kIsabel };
+
+/// Sizing mode for generation.
+enum class Scale {
+  kCi,     ///< reduced grids, a few MB per field (default everywhere)
+  kPaper,  ///< the exact Table I dimensions (hundreds of MB per field)
+};
+
+/// Static description of one dataset family.
+struct DatasetSpec {
+  DatasetId id;
+  std::string domain;      ///< "CESM-ATM", "HACC", "NYX", "Hurricane-ISABEL"
+  Dims paper_dims;         ///< dimensions as printed in the paper
+  Dims ci_dims;            ///< reduced dimensions used by default
+  double paper_size_mb;    ///< field size the paper reports (Table I)
+};
+
+/// Specs for the three Table I datasets, in paper order.
+[[nodiscard]] const std::vector<DatasetSpec>& table1_datasets();
+
+/// Spec for the Hurricane-ISABEL validation set (Section VI-A).
+[[nodiscard]] const DatasetSpec& isabel_dataset();
+
+/// Looks up a spec by id (Table I datasets + Isabel).
+[[nodiscard]] const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Short name ("CESM-ATM", ...).
+[[nodiscard]] const char* dataset_name(DatasetId id) noexcept;
+
+/// Generates the dataset's field at the requested scale. For Isabel this
+/// returns the pressure field; use generate_isabel directly for other kinds.
+[[nodiscard]] Field generate_dataset(DatasetId id, Scale scale,
+                                     std::uint64_t seed);
+
+/// Dims actually used for `scale`.
+[[nodiscard]] const Dims& dims_for(const DatasetSpec& spec, Scale scale) noexcept;
+
+}  // namespace lcp::data

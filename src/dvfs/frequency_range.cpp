@@ -1,0 +1,43 @@
+#include "dvfs/frequency_range.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace lcp::dvfs {
+
+FrequencyRange::FrequencyRange(GigaHertz min, GigaHertz max, GigaHertz step)
+    : min_(min), max_(max), step_(step) {
+  LCP_REQUIRE(min.ghz() > 0 && max >= min && step.ghz() > 0,
+              "invalid frequency range");
+}
+
+bool FrequencyRange::contains(GigaHertz f) const noexcept {
+  // Tolerate 1 kHz of floating-point slop at the endpoints.
+  constexpr double kSlop = 1e-6;
+  return f.ghz() >= min_.ghz() - kSlop && f.ghz() <= max_.ghz() + kSlop;
+}
+
+std::vector<GigaHertz> FrequencyRange::steps() const {
+  std::vector<GigaHertz> out;
+  const double span = max_.ghz() - min_.ghz();
+  const auto count = static_cast<std::size_t>(std::floor(span / step_.ghz() + 1e-9));
+  out.reserve(count + 2);
+  for (std::size_t i = 0; i <= count; ++i) {
+    out.push_back(GigaHertz{min_.ghz() + static_cast<double>(i) * step_.ghz()});
+  }
+  if (out.back().ghz() < max_.ghz() - 1e-9) {
+    out.push_back(max_);
+  }
+  return out;
+}
+
+GigaHertz FrequencyRange::quantize(GigaHertz f) const noexcept {
+  const double clamped = std::clamp(f.ghz(), min_.ghz(), max_.ghz());
+  const double k = std::round((clamped - min_.ghz()) / step_.ghz());
+  const double snapped = min_.ghz() + k * step_.ghz();
+  return GigaHertz{std::min(snapped, max_.ghz())};
+}
+
+}  // namespace lcp::dvfs

@@ -1,0 +1,35 @@
+#pragma once
+// DVFS frequency range with the paper's 50 MHz stepping (Section III-B).
+
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace lcp::dvfs {
+
+/// Inclusive [min, max] range walked in fixed steps.
+class FrequencyRange {
+ public:
+  FrequencyRange(GigaHertz min, GigaHertz max, GigaHertz step);
+
+  [[nodiscard]] GigaHertz min() const noexcept { return min_; }
+  [[nodiscard]] GigaHertz max() const noexcept { return max_; }
+  [[nodiscard]] GigaHertz step() const noexcept { return step_; }
+
+  /// True if `f` is inside [min, max] (any value, not only grid points).
+  [[nodiscard]] bool contains(GigaHertz f) const noexcept;
+
+  /// All grid points min, min+step, ..., max (max always included).
+  [[nodiscard]] std::vector<GigaHertz> steps() const;
+
+  /// Nearest grid point to `f`, clamped into range — what a real governor
+  /// does with an off-grid userspace request.
+  [[nodiscard]] GigaHertz quantize(GigaHertz f) const noexcept;
+
+ private:
+  GigaHertz min_;
+  GigaHertz max_;
+  GigaHertz step_;
+};
+
+}  // namespace lcp::dvfs

@@ -1,0 +1,24 @@
+#include "dvfs/governor.hpp"
+
+namespace lcp::dvfs {
+
+Governor::Governor(const power::ChipSpec& spec)
+    : range_(spec.f_min, spec.f_max, spec.f_step), current_(spec.f_max) {}
+
+Status Governor::set_frequency(GigaHertz f) {
+  if (!range_.contains(f)) {
+    return Status::out_of_range("requested frequency outside DVFS range");
+  }
+  current_ = range_.quantize(f);
+  ++transitions_;
+  return Status::ok();
+}
+
+Status Governor::set_fraction_of_max(double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::invalid_argument("fraction of f_max must be in (0, 1]");
+  }
+  return set_frequency(GigaHertz{range_.max().ghz() * fraction});
+}
+
+}  // namespace lcp::dvfs

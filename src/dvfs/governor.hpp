@@ -1,0 +1,40 @@
+#pragma once
+// Userspace-governor simulator: the `cpufreq-set` role in the paper's
+// methodology. All cores are pinned to one frequency; requests snap to the
+// 50 MHz grid and out-of-range requests fail like the real tool does.
+
+#include "dvfs/frequency_range.hpp"
+#include "power/chip_model.hpp"
+#include "support/status.hpp"
+
+namespace lcp::dvfs {
+
+class Governor {
+ public:
+  /// Starts at the chip's max clock (the "Base Clock" baseline of Fig 6).
+  explicit Governor(const power::ChipSpec& spec);
+
+  [[nodiscard]] const FrequencyRange& range() const noexcept { return range_; }
+  [[nodiscard]] GigaHertz current() const noexcept { return current_; }
+
+  /// Pins all cores to `f` (snapped to grid). Fails if outside the range.
+  [[nodiscard]] Status set_frequency(GigaHertz f);
+
+  /// Pins to `fraction * f_max` — the form of the paper's Eqn 3 rule.
+  [[nodiscard]] Status set_fraction_of_max(double fraction);
+
+  /// Restores the max clock.
+  void reset() noexcept { current_ = range_.max(); }
+
+  /// Number of set_frequency transitions performed (diagnostics).
+  [[nodiscard]] std::size_t transition_count() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  FrequencyRange range_;
+  GigaHertz current_;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace lcp::dvfs

@@ -1,0 +1,3 @@
+#include "io/link.hpp"
+
+// Header-inline; TU anchors the library object.

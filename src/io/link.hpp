@@ -1,0 +1,26 @@
+#pragma once
+// Network link model: the 10 Gbps ethernet connection of the paper's
+// CloudLab NFS setup, with protocol efficiency accounting for
+// TCP/RPC/NFS framing overhead.
+
+#include "support/units.hpp"
+
+namespace lcp::io {
+
+/// Point-to-point link.
+struct LinkSpec {
+  double gigabits_per_second = 10.0;
+  double protocol_efficiency = 0.94;  ///< payload share after headers/acks
+
+  /// Effective payload bandwidth in bytes/second.
+  [[nodiscard]] double payload_bytes_per_second() const noexcept {
+    return gigabits_per_second * 1e9 / 8.0 * protocol_efficiency;
+  }
+
+  /// Serialization time of `n` payload bytes.
+  [[nodiscard]] Seconds wire_time(Bytes n) const noexcept {
+    return Seconds{static_cast<double>(n.bytes()) / payload_bytes_per_second()};
+  }
+};
+
+}  // namespace lcp::io

@@ -1,0 +1,29 @@
+#include "io/nfs_client.hpp"
+
+#include <algorithm>
+
+namespace lcp::io {
+
+Status NfsClient::write_file(const std::string& path,
+                             std::span<const std::uint8_t> data) {
+  if (config_.rpc_chunk_bytes == 0) {
+    return Status::invalid_argument("nfs client: zero chunk size");
+  }
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n =
+        std::min(config_.rpc_chunk_bytes, data.size() - offset);
+    LCP_RETURN_IF_ERROR(server_.handle_write(path, data.subspan(offset, n)));
+    sent_ += n;
+    ++rpcs_;
+    offset += n;
+  }
+  if (data.empty()) {
+    // Creating an empty file is still one RPC.
+    LCP_RETURN_IF_ERROR(server_.handle_write(path, data));
+    ++rpcs_;
+  }
+  return Status::ok();
+}
+
+}  // namespace lcp::io

@@ -1,0 +1,42 @@
+#pragma once
+// NFS client: chunked RPC writes to an NfsServer. Moves real bytes (so
+// integrity is testable end-to-end) and reports the modeled wall time of
+// the transfer at a given CPU frequency via the transit model.
+
+#include <string>
+
+#include "io/link.hpp"
+#include "io/nfs_server.hpp"
+#include "support/status.hpp"
+
+namespace lcp::io {
+
+/// Client-side configuration.
+struct NfsClientConfig {
+  LinkSpec link;
+  std::size_t rpc_chunk_bytes = 1 << 20;  ///< 1 MiB wsize, NFS default scale
+};
+
+class NfsClient {
+ public:
+  NfsClient(NfsServer& server, NfsClientConfig config = {})
+      : server_(server), config_(config) {}
+
+  /// Writes `data` to `path` on the server in rpc_chunk_bytes chunks.
+  [[nodiscard]] Status write_file(const std::string& path,
+                                  std::span<const std::uint8_t> data);
+
+  [[nodiscard]] Bytes bytes_sent() const noexcept { return Bytes{sent_}; }
+  [[nodiscard]] std::size_t rpcs_issued() const noexcept { return rpcs_; }
+  [[nodiscard]] const NfsClientConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  NfsServer& server_;
+  NfsClientConfig config_;
+  std::uint64_t sent_ = 0;
+  std::size_t rpcs_ = 0;
+};
+
+}  // namespace lcp::io

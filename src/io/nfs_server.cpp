@@ -1,0 +1,26 @@
+#include "io/nfs_server.hpp"
+
+namespace lcp::io {
+
+Status NfsServer::handle_write(const std::string& path,
+                               std::span<const std::uint8_t> chunk) {
+  if (path.empty()) {
+    return Status::invalid_argument("nfs: empty path");
+  }
+  auto& file = files_[path];
+  file.insert(file.end(), chunk.begin(), chunk.end());
+  bytes_stored_ += chunk.size();
+  ++rpcs_;
+  return Status::ok();
+}
+
+Expected<std::span<const std::uint8_t>> NfsServer::read_file(
+    const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::invalid_argument("nfs: no such file: " + path);
+  }
+  return std::span<const std::uint8_t>{it->second};
+}
+
+}  // namespace lcp::io

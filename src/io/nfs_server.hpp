@@ -1,0 +1,62 @@
+#pragma once
+// In-memory NFS server: receives RPC write chunks, appends them to named
+// files, and models a bounded-throughput storage backend. Functional (the
+// bytes really move) so conservation and content integrity are testable;
+// timing is modeled, not measured.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace lcp::io {
+
+/// Storage backend throughput (single NFS stream with sync-ish semantics;
+/// this, not the 10 GbE wire, is often the pipeline floor in practice).
+struct DiskSpec {
+  double write_bytes_per_second = 0.35e9;
+
+  [[nodiscard]] Seconds write_time(Bytes n) const noexcept {
+    return Seconds{static_cast<double>(n.bytes()) / write_bytes_per_second};
+  }
+};
+
+class NfsServer {
+ public:
+  explicit NfsServer(DiskSpec disk = {}) : disk_(disk) {}
+
+  /// Appends a chunk to `path`, creating the file on first write.
+  Status handle_write(const std::string& path,
+                      std::span<const std::uint8_t> chunk);
+
+  /// Full contents of a stored file.
+  [[nodiscard]] Expected<std::span<const std::uint8_t>> read_file(
+      const std::string& path) const;
+
+  [[nodiscard]] bool has_file(const std::string& path) const noexcept {
+    return files_.contains(path);
+  }
+  [[nodiscard]] std::size_t file_count() const noexcept { return files_.size(); }
+  [[nodiscard]] Bytes total_bytes_stored() const noexcept {
+    return Bytes{bytes_stored_};
+  }
+  [[nodiscard]] std::size_t rpc_count() const noexcept { return rpcs_; }
+  [[nodiscard]] const DiskSpec& disk() const noexcept { return disk_; }
+
+  void remove_all() noexcept {
+    files_.clear();
+    bytes_stored_ = 0;
+  }
+
+ private:
+  DiskSpec disk_;
+  std::map<std::string, std::vector<std::uint8_t>> files_;
+  std::uint64_t bytes_stored_ = 0;
+  std::size_t rpcs_ = 0;
+};
+
+}  // namespace lcp::io

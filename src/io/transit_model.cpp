@@ -1,0 +1,38 @@
+#include "io/transit_model.hpp"
+
+#include <algorithm>
+
+namespace lcp::io {
+
+const std::vector<Bytes>& paper_transit_sizes() {
+  static const std::vector<Bytes> sizes = {
+      Bytes::from_gb(1), Bytes::from_gb(2), Bytes::from_gb(4),
+      Bytes::from_gb(8), Bytes::from_gb(16)};
+  return sizes;
+}
+
+Seconds transit_floor(Bytes n, const TransitModelConfig& config) {
+  const Seconds wire = config.link.wire_time(n);
+  const Seconds disk = config.disk.write_time(n);
+  return std::max(wire, disk);
+}
+
+power::Workload transit_workload(const power::ChipSpec& spec, Bytes n,
+                                 const TransitModelConfig& config) {
+  const double cpu_seconds_total =
+      static_cast<double>(n.bytes()) * spec.transit_cycles_per_byte / 1e9;
+
+  power::Workload w;
+  // cpu_seconds_total is expressed in cycles/1e9 = GHz-seconds already.
+  w.cpu_ghz_seconds = cpu_seconds_total * config.cpu_bound_fraction;
+  // The frequency-invariant share is referenced to the chip's max clock.
+  w.stall_seconds =
+      Seconds{cpu_seconds_total * (1.0 - config.cpu_bound_fraction) /
+                  (spec.f_max.ghz() * spec.perf_factor) +
+              config.setup_seconds.seconds()};
+  w.floor_seconds = transit_floor(n, config);
+  w.activity = config.activity;
+  return w;
+}
+
+}  // namespace lcp::io

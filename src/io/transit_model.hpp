@@ -1,0 +1,39 @@
+#pragma once
+// Transit workload builder: converts "write N bytes over NFS from this
+// chip" into a power::Workload, combining the client CPU cost (packet and
+// RPC processing, chip-specific cycles/byte), the wire, and the server
+// disk into the pipeline model of Section IV-B.
+
+#include "io/link.hpp"
+#include "io/nfs_server.hpp"
+#include "power/chip_model.hpp"
+#include "power/workload.hpp"
+
+namespace lcp::io {
+
+/// Parameters of the data-writing power experiments.
+struct TransitModelConfig {
+  LinkSpec link;
+  DiskSpec disk;
+  /// Fixed software overhead per write operation (mount, open, close, sync).
+  Seconds setup_seconds{5e-3};
+  /// Package activity while the write path is executing (lower than
+  /// compression: the core spends cycles in copies and waits, producing the
+  /// ~0.9 scaled-power floor of Figure 3).
+  double activity = 0.55;
+  /// Share of client CPU time that scales with core frequency.
+  double cpu_bound_fraction = 0.90;
+};
+
+/// The paper's transfer sizes: 1, 2, 4, 8, 16 GB.
+[[nodiscard]] const std::vector<Bytes>& paper_transit_sizes();
+
+/// Builds the workload of writing `n` bytes from `spec` through `config`.
+[[nodiscard]] power::Workload transit_workload(const power::ChipSpec& spec,
+                                               Bytes n,
+                                               const TransitModelConfig& config);
+
+/// Wall-time floor (wire vs disk) for `n` bytes — exposed for analysis.
+[[nodiscard]] Seconds transit_floor(Bytes n, const TransitModelConfig& config);
+
+}  // namespace lcp::io

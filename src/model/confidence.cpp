@@ -1,0 +1,63 @@
+#include "model/confidence.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "model/levenberg_marquardt.hpp"
+#include "support/stats.hpp"
+
+namespace lcp::model {
+
+Expected<PowerLawConfidence> power_law_confidence(const PowerLawFit& fit,
+                                                  std::span<const double> f_ghz,
+                                                  std::span<const double> p) {
+  const std::size_t n = f_ghz.size();
+  if (n != p.size()) {
+    return Status::invalid_argument("confidence: size mismatch");
+  }
+  if (n <= 3) {
+    return Status::invalid_argument("confidence: need more than 3 points");
+  }
+
+  // Analytic Jacobian of a*f^b + c at the optimum.
+  // d/da = f^b, d/db = a f^b ln f, d/dc = 1.
+  std::vector<double> jtj(9, 0.0);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fb = std::pow(f_ghz[i], fit.b);
+    const double row[3] = {fb, fit.a * fb * std::log(f_ghz[i]), 1.0};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        jtj[r * 3 + c] += row[r] * row[c];
+      }
+    }
+    const double resid = p[i] - fit.evaluate(f_ghz[i]);
+    sse += resid * resid;
+  }
+
+  // Invert J^T J column by column.
+  double inv_diag[3];
+  for (int col = 0; col < 3; ++col) {
+    std::vector<double> a = jtj;
+    std::vector<double> e(3, 0.0);
+    e[static_cast<std::size_t>(col)] = 1.0;
+    if (!solve_dense(a, e, 3)) {
+      return Status::internal("confidence: singular normal matrix");
+    }
+    inv_diag[col] = e[static_cast<std::size_t>(col)];
+    if (!(inv_diag[col] >= 0.0)) {
+      return Status::internal("confidence: negative variance estimate");
+    }
+  }
+
+  const double s2 = sse / static_cast<double>(n - 3);
+  const double t = t_quantile_975(n - 3);
+  PowerLawConfidence out;
+  out.residual_stddev = std::sqrt(s2);
+  out.a_half = t * std::sqrt(s2 * inv_diag[0]);
+  out.b_half = t * std::sqrt(s2 * inv_diag[1]);
+  out.c_half = t * std::sqrt(s2 * inv_diag[2]);
+  return out;
+}
+
+}  // namespace lcp::model

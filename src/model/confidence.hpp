@@ -1,0 +1,31 @@
+#pragma once
+// Parameter confidence intervals for the fitted power-law models: the
+// linearized covariance C = s^2 (J^T J)^-1 at the optimum with
+// s^2 = SSE/(n-p), and t-based 95% half-widths per parameter. The paper
+// reports only point estimates; intervals make the Table IV/V comparison
+// between partitions statistically honest (e.g. whether the SZ and ZFP
+// rows differ significantly — they should not).
+
+#include <span>
+
+#include "model/power_law.hpp"
+#include "support/status.hpp"
+
+namespace lcp::model {
+
+/// 95% confidence half-widths for (a, b, c).
+struct PowerLawConfidence {
+  double a_half = 0.0;
+  double b_half = 0.0;
+  double c_half = 0.0;
+  double residual_stddev = 0.0;  ///< s = sqrt(SSE / (n - 3))
+};
+
+/// Computes intervals for `fit` against the observations it was fitted on.
+/// Requires n > 3. Fails if the normal matrix is singular (e.g. perfectly
+/// flat data where a and c are unidentifiable).
+[[nodiscard]] Expected<PowerLawConfidence> power_law_confidence(
+    const PowerLawFit& fit, std::span<const double> f_ghz,
+    std::span<const double> p);
+
+}  // namespace lcp::model

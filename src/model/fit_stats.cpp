@@ -1,0 +1,32 @@
+#include "model/fit_stats.hpp"
+
+#include <cmath>
+
+#include "support/stats.hpp"
+#include "support/status.hpp"
+
+namespace lcp::model {
+
+FitStats compute_fit_stats(std::span<const double> observed,
+                           std::span<const double> predicted) {
+  LCP_REQUIRE(observed.size() == predicted.size() && !observed.empty(),
+              "fit stats need equal-length non-empty inputs");
+  FitStats stats;
+  stats.n = observed.size();
+
+  const double mean_obs = lcp::mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    ss_res += r * r;
+    const double d = observed[i] - mean_obs;
+    ss_tot += d * d;
+  }
+  stats.sse = ss_res;
+  stats.rmse = std::sqrt(ss_res / static_cast<double>(stats.n));
+  stats.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return stats;
+}
+
+}  // namespace lcp::model

@@ -1,0 +1,21 @@
+#pragma once
+// Goodness-of-fit statistics reported in Tables IV and V: SSE, RMSE and
+// R^2 (with the paper's caveat that R^2 is unreliable for nonlinear fits —
+// Section IV cites Cameron & Windmeijer on exactly this).
+
+#include <span>
+
+namespace lcp::model {
+
+struct FitStats {
+  double sse = 0.0;
+  double rmse = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Computes stats for predictions vs observations (equal length, n > 0).
+[[nodiscard]] FitStats compute_fit_stats(std::span<const double> observed,
+                                         std::span<const double> predicted);
+
+}  // namespace lcp::model

@@ -1,0 +1,187 @@
+#include "model/levenberg_marquardt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcp::model {
+namespace {
+
+double compute_sse(const ModelFn& model, std::span<const double> y,
+                   std::span<const double> p) {
+  double sse = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - model(p, i);
+    sse += r * r;
+  }
+  return sse;
+}
+
+void clamp_params(std::vector<double>& p, const LmOptions& opt) {
+  if (!opt.lower.empty()) {
+    for (std::size_t j = 0; j < p.size() && j < opt.lower.size(); ++j) {
+      p[j] = std::max(p[j], opt.lower[j]);
+    }
+  }
+  if (!opt.upper.empty()) {
+    for (std::size_t j = 0; j < p.size() && j < opt.upper.size(); ++j) {
+      p[j] = std::min(p[j], opt.upper[j]);
+    }
+  }
+}
+
+}  // namespace
+
+bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n) {
+  // Gaussian elimination with partial pivoting on the n x n system in `a`.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double v = std::fabs(a[row * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) {
+      return false;
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t col = n; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t k = col + 1; k < n; ++k) {
+      acc -= a[col * n + k] * b[k];
+    }
+    b[col] = acc / a[col * n + col];
+  }
+  return true;
+}
+
+Expected<LmResult> lm_fit(const ModelFn& model, std::span<const double> y,
+                          std::span<const double> initial,
+                          const LmOptions& options) {
+  const std::size_t m = y.size();
+  const std::size_t n = initial.size();
+  if (m == 0 || n == 0) {
+    return Status::invalid_argument("lm_fit: empty data or parameters");
+  }
+  if (m < n) {
+    return Status::invalid_argument("lm_fit: underdetermined system");
+  }
+
+  LmResult result;
+  result.params.assign(initial.begin(), initial.end());
+  clamp_params(result.params, options);
+  result.sse = compute_sse(model, y, result.params);
+
+  double lambda = options.initial_lambda;
+  std::vector<double> jac(m * n);
+  std::vector<double> residual(m);
+  std::vector<double> jtj(n * n);
+  std::vector<double> jtr(n);
+  std::vector<double> trial(n);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Residuals and central-difference Jacobian at the current point.
+    for (std::size_t i = 0; i < m; ++i) {
+      residual[i] = y[i] - model(result.params, i);
+    }
+    std::vector<double> probe = result.params;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pj = result.params[j];
+      const double h = std::max(1e-8, 1e-6 * std::fabs(pj));
+      probe[j] = pj + h;
+      clamp_params(probe, options);
+      const double hi_h = probe[j] - pj;
+      std::vector<double> hi(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        hi[i] = model(probe, i);
+      }
+      probe[j] = pj - h;
+      clamp_params(probe, options);
+      const double lo_h = pj - probe[j];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double lo = model(probe, i);
+        const double dh = hi_h + lo_h;
+        jac[i * n + j] = dh > 0 ? (hi[i] - lo) / dh : 0.0;
+      }
+      probe[j] = pj;
+    }
+
+    // Normal equations: (J^T J + lambda diag(J^T J)) dp = J^T r.
+    std::fill(jtj.begin(), jtj.end(), 0.0);
+    std::fill(jtr.begin(), jtr.end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double jij = jac[i * n + j];
+        jtr[j] += jij * residual[i];
+        for (std::size_t k = j; k < n; ++k) {
+          jtj[j * n + k] += jij * jac[i * n + k];
+        }
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < j; ++k) {
+        jtj[j * n + k] = jtj[k * n + j];
+      }
+    }
+
+    bool improved = false;
+    while (lambda <= options.max_lambda) {
+      std::vector<double> a = jtj;
+      std::vector<double> dp = jtr;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[j * n + j] += lambda * std::max(jtj[j * n + j], 1e-12);
+      }
+      if (!solve_dense(a, dp, n)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        trial[j] = result.params[j] + dp[j];
+      }
+      clamp_params(trial, options);
+      const double trial_sse = compute_sse(model, y, trial);
+      if (std::isfinite(trial_sse) && trial_sse < result.sse) {
+        const double rel = (result.sse - trial_sse) / std::max(result.sse, 1e-300);
+        result.params = trial;
+        result.sse = trial_sse;
+        lambda = std::max(options.min_lambda, lambda * options.lambda_down);
+        improved = true;
+        if (rel < options.tolerance) {
+          result.converged = true;
+          return result;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!improved) {
+      result.converged = true;  // local minimum at working precision
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace lcp::model

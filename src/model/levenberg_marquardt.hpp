@@ -1,0 +1,54 @@
+#pragma once
+// Small dense Levenberg-Marquardt solver for nonlinear least squares —
+// the in-library replacement for the MATLAB Curve Fitting Toolbox the
+// paper uses. Designed for few-parameter models (<= 8) over thousands of
+// observations; normal equations are solved with partial-pivot Gaussian
+// elimination, which is plenty at this scale.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lcp::model {
+
+/// Model callback: predicted value at observation `i` for parameters `p`.
+using ModelFn =
+    std::function<double(std::span<const double> p, std::size_t i)>;
+
+/// Options controlling the solver.
+struct LmOptions {
+  std::size_t max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.3;
+  double tolerance = 1e-12;       ///< relative SSE improvement to stop
+  double min_lambda = 1e-12;
+  double max_lambda = 1e12;
+  /// Optional per-parameter lower/upper clamps (empty = unbounded).
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Fit result.
+struct LmResult {
+  std::vector<double> params;
+  double sse = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes sum_i (y[i] - model(p, i))^2 starting from `initial`.
+/// The Jacobian is computed by central finite differences.
+[[nodiscard]] Expected<LmResult> lm_fit(const ModelFn& model,
+                                        std::span<const double> y,
+                                        std::span<const double> initial,
+                                        const LmOptions& options = {});
+
+/// Solves A x = b for a small dense symmetric system (exposed for tests).
+/// Returns false if the system is singular to working precision.
+[[nodiscard]] bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                               std::size_t n);
+
+}  // namespace lcp::model

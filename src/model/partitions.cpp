@@ -1,0 +1,25 @@
+#include "model/partitions.hpp"
+
+namespace lcp::model {
+
+const std::vector<Partition>& compression_partitions() {
+  static const std::vector<Partition> partitions = {
+      {"Total", std::nullopt, std::nullopt},
+      {"SZ", CodecFilter::kSz, std::nullopt},
+      {"ZFP", CodecFilter::kZfp, std::nullopt},
+      {"Broadwell", std::nullopt, power::ChipId::kBroadwellD1548},
+      {"Skylake", std::nullopt, power::ChipId::kSkylake4114},
+  };
+  return partitions;
+}
+
+const std::vector<Partition>& transit_partitions() {
+  static const std::vector<Partition> partitions = {
+      {"Total", std::nullopt, std::nullopt},
+      {"Broadwell", std::nullopt, power::ChipId::kBroadwellD1548},
+      {"Skylake", std::nullopt, power::ChipId::kSkylake4114},
+  };
+  return partitions;
+}
+
+}  // namespace lcp::model

@@ -1,0 +1,42 @@
+#pragma once
+// Table III: the five data partitions the paper regresses separately for
+// compression ({Total, SZ, ZFP, Broadwell, Skylake}) and the three for
+// data transit ({Total, Broadwell, Skylake}).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/chip_model.hpp"
+
+namespace lcp::model {
+
+/// Compressor family selector for a partition (nullopt = both).
+enum class CodecFilter : std::uint8_t { kSz = 0, kZfp = 1 };
+
+/// One regression partition.
+struct Partition {
+  std::string name;                          ///< "Total", "SZ", "Broadwell"...
+  std::optional<CodecFilter> codec;          ///< nullopt = both compressors
+  std::optional<power::ChipId> chip;         ///< nullopt = both chips
+
+  /// Does an observation tagged (codec, chip) fall in this partition?
+  [[nodiscard]] bool matches(CodecFilter obs_codec,
+                             power::ChipId obs_chip) const noexcept {
+    if (codec.has_value() && *codec != obs_codec) {
+      return false;
+    }
+    if (chip.has_value() && *chip != obs_chip) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Table III rows: Total, SZ, ZFP, Broadwell, Skylake.
+[[nodiscard]] const std::vector<Partition>& compression_partitions();
+
+/// Table V rows: Total, Broadwell, Skylake (transit has no codec axis).
+[[nodiscard]] const std::vector<Partition>& transit_partitions();
+
+}  // namespace lcp::model

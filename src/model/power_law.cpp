@@ -1,0 +1,99 @@
+#include "model/power_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "model/levenberg_marquardt.hpp"
+#include "support/stats.hpp"
+
+namespace lcp::model {
+
+double PowerLawFit::evaluate(double f_ghz) const noexcept {
+  return a * std::pow(f_ghz, b) + c;
+}
+
+std::string PowerLawFit::to_string() const {
+  char buf[128];
+  if (std::fabs(a) < 1e-4) {
+    std::snprintf(buf, sizeof(buf), "%.3e*f^%.2f + %.4f", a, b, c);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f*f^%.3f + %.4f", a, b, c);
+  }
+  return buf;
+}
+
+Expected<PowerLawFit> fit_power_law(std::span<const double> f_ghz,
+                                    std::span<const double> p,
+                                    const PowerLawOptions& options) {
+  if (f_ghz.size() != p.size()) {
+    return Status::invalid_argument("power-law fit: size mismatch");
+  }
+  if (f_ghz.size() < 4) {
+    return Status::invalid_argument("power-law fit: need >= 4 observations");
+  }
+  for (double f : f_ghz) {
+    if (!(f > 0.0)) {
+      return Status::invalid_argument("power-law fit: frequencies must be > 0");
+    }
+  }
+
+  const ModelFn model = [&f_ghz](std::span<const double> q, std::size_t i) {
+    return q[0] * std::pow(f_ghz[i], q[1]) + q[2];
+  };
+
+  LmOptions lm;
+  lm.lower = {0.0, options.b_min, -1e6};
+  lm.upper = {1e6, options.b_max, 1e6};
+
+  const double p_min = *std::min_element(p.begin(), p.end());
+  const double p_max = *std::max_element(p.begin(), p.end());
+  const double f_max = *std::max_element(f_ghz.begin(), f_ghz.end());
+
+  PowerLawFit best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double b0 : options.b_starts) {
+    // Heuristic start: c at the observed floor, `a` sized so the power-law
+    // term spans the observed range at f_max.
+    const double a0 =
+        std::max(1e-12, (p_max - p_min) / std::pow(f_max, b0));
+    const std::vector<double> initial = {a0, b0, p_min};
+    auto result = lm_fit(model, p, initial, lm);
+    if (!result) {
+      continue;
+    }
+    if (result->sse < best_sse) {
+      best_sse = result->sse;
+      best.a = result->params[0];
+      best.b = result->params[1];
+      best.c = result->params[2];
+    }
+  }
+  if (!std::isfinite(best_sse)) {
+    return Status::internal("power-law fit failed from every start");
+  }
+
+  std::vector<double> predicted(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    predicted[i] = best.evaluate(f_ghz[i]);
+  }
+  best.stats = compute_fit_stats(p, predicted);
+  return best;
+}
+
+Expected<FitStats> validate_fit(const PowerLawFit& fit,
+                                std::span<const double> f_ghz,
+                                std::span<const double> p) {
+  if (f_ghz.size() != p.size() || p.empty()) {
+    return Status::invalid_argument("validate_fit: bad inputs");
+  }
+  std::vector<double> predicted(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    predicted[i] = fit.evaluate(f_ghz[i]);
+  }
+  return compute_fit_stats(p, predicted);
+}
+
+}  // namespace lcp::model

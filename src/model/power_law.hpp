@@ -1,0 +1,54 @@
+#pragma once
+// The paper's model family (Eqn 2): P_fit(f) = a * f^b + c, fitted to
+// scaled power observations with multi-start Levenberg-Marquardt (the
+// exponent landscape is multimodal — Skylake's best fit sits near b ~ 20,
+// Broadwell's near b ~ 5, so single-start gradient descent is not enough).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/fit_stats.hpp"
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace lcp::model {
+
+/// A fitted a*f^b + c model plus its goodness of fit.
+struct PowerLawFit {
+  double a = 0.0;
+  double b = 1.0;
+  double c = 0.0;
+  FitStats stats;
+
+  /// Evaluates the model at frequency `f` (GHz).
+  [[nodiscard]] double evaluate(double f_ghz) const noexcept;
+  [[nodiscard]] double evaluate(GigaHertz f) const noexcept {
+    return evaluate(f.ghz());
+  }
+
+  /// "0.0086 f^4.038 + 0.757"-style rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Fit options.
+struct PowerLawOptions {
+  /// Exponent starting points for the multi-start search.
+  std::vector<double> b_starts = {1.0, 2.0, 3.5, 5.0, 8.0, 12.0, 18.0, 24.0};
+  double b_min = 0.5;
+  double b_max = 40.0;
+};
+
+/// Fits a*f^b + c to (f, p) observations. Requires >= 4 points.
+[[nodiscard]] Expected<PowerLawFit> fit_power_law(
+    std::span<const double> f_ghz, std::span<const double> p,
+    const PowerLawOptions& options = {});
+
+/// Evaluates an existing fit against new observations (the Fig 5
+/// Hurricane-ISABEL validation): returns SSE/RMSE/R^2 of the fixed model
+/// on the new data.
+[[nodiscard]] Expected<FitStats> validate_fit(const PowerLawFit& fit,
+                                              std::span<const double> f_ghz,
+                                              std::span<const double> p);
+
+}  // namespace lcp::model

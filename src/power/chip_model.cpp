@@ -1,0 +1,82 @@
+#include "power/chip_model.hpp"
+
+#include "support/status.hpp"
+
+namespace lcp::power {
+namespace {
+
+// Calibration targets (see DESIGN.md "expected shape agreement"):
+//  - scaled power floor P(f_min)/P(f_max) ~ 0.80 at full activity;
+//  - Broadwell voltage rises gradually (gamma ~1.8, fitted power-law
+//    exponent in the mid single digits);
+//  - Skylake stays near v_min until close to f_max (gamma ~8.5, very large
+//    fitted exponent), reproducing the paper's f^23-class fit and the
+//    narrower Skylake power range.
+const ChipSpec kBroadwell = {
+    ChipId::kBroadwellD1548,
+    "Xeon D-1548",
+    "m510",
+    "Broadwell",
+    GigaHertz{0.8},
+    GigaHertz{2.0},
+    GigaHertz::from_mhz(50),
+    Watts{45.0},
+    VoltageCurve{Volts{0.65}, Volts{1.00}, GigaHertz{2.0}, 1.8},
+    Watts{9.0},
+    1.426,
+    0.85,   // older core, lower single-thread throughput
+    4.9,    // NFS write path cost, cycles per byte
+};
+
+const ChipSpec kSkylake = {
+    ChipId::kSkylake4114,
+    "Xeon Silver 4114",
+    "c220g5",
+    "Skylake",
+    GigaHertz{0.8},
+    GigaHertz{2.2},
+    GigaHertz::from_mhz(50),
+    Watts{85.0},
+    VoltageCurve{Volts{0.70}, Volts{1.05}, GigaHertz{2.2}, 8.5},
+    Watts{16.0},
+    2.067,
+    1.0,
+    3.5,
+};
+
+}  // namespace
+
+const ChipSpec& chip(ChipId id) {
+  switch (id) {
+    case ChipId::kBroadwellD1548:
+      return kBroadwell;
+    case ChipId::kSkylake4114:
+      return kSkylake;
+  }
+  LCP_REQUIRE(false, "unknown chip id");
+  return kBroadwell;
+}
+
+const std::vector<ChipId>& all_chips() {
+  static const std::vector<ChipId> ids = {ChipId::kBroadwellD1548,
+                                          ChipId::kSkylake4114};
+  return ids;
+}
+
+const char* chip_series_name(ChipId id) noexcept {
+  switch (id) {
+    case ChipId::kBroadwellD1548:
+      return "Broadwell";
+    case ChipId::kSkylake4114:
+      return "Skylake";
+  }
+  return "?";
+}
+
+Watts package_power(const ChipSpec& spec, GigaHertz f, double activity) noexcept {
+  const double v = spec.vf.at(f).volts();
+  const double dynamic = spec.dyn_coeff * v * v * f.ghz() * activity;
+  return spec.static_power + Watts{dynamic};
+}
+
+}  // namespace lcp::power

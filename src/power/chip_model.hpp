@@ -1,0 +1,57 @@
+#pragma once
+// Parameterized package power models of the two CloudLab node types the
+// paper measures (Table II). Substitution note (DESIGN.md): parameters are
+// calibrated so the *scaled* characteristics match the paper's observed
+// ranges — power floor ~0.80 under compute load, critical-power-slope knee
+// near f_max, Skylake's knee later and sharper than Broadwell's.
+
+#include <string>
+#include <vector>
+
+#include "power/voltage_curve.hpp"
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// Which chip a study runs on.
+enum class ChipId : std::uint8_t { kBroadwellD1548 = 0, kSkylake4114 = 1 };
+
+/// Static description + power parameters of one chip.
+struct ChipSpec {
+  ChipId id;
+  std::string cpu_name;       ///< "Xeon D-1548"
+  std::string cloudlab_node;  ///< "m510"
+  std::string series;         ///< "Broadwell"
+  GigaHertz f_min;
+  GigaHertz f_max;
+  GigaHertz f_step;           ///< 50 MHz DVFS granularity (Section III-B)
+  Watts tdp;
+
+  // Package power model: P(f, u) = static + k_dyn * V(f)^2 * f * u.
+  VoltageCurve vf;
+  Watts static_power;         ///< uncore + idle cores + DRAM share
+  double dyn_coeff;           ///< k_dyn in W / (V^2 * GHz)
+
+  // Performance model.
+  double perf_factor;         ///< effective single-core IPC vs reference host
+  double transit_cycles_per_byte;  ///< NFS client write-path CPU cost
+
+  /// P-state transition latency (voltage ramp + PLL relock). Intel server
+  /// parts land in the 20-70 us range; it bounds the cost of the per-stage
+  /// frequency switches in Eqn 3 plans.
+  Seconds dvfs_transition_latency{50e-6};
+};
+
+/// Registry of the two paper chips.
+[[nodiscard]] const ChipSpec& chip(ChipId id);
+
+/// Both chips in paper order {Broadwell, Skylake}.
+[[nodiscard]] const std::vector<ChipId>& all_chips();
+
+[[nodiscard]] const char* chip_series_name(ChipId id) noexcept;
+
+/// Package power at frequency `f` with dynamic activity factor `u` (0..1).
+[[nodiscard]] Watts package_power(const ChipSpec& spec, GigaHertz f,
+                                  double activity) noexcept;
+
+}  // namespace lcp::power

@@ -1,0 +1,14 @@
+#include "power/energy_counter.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace lcp::power {
+
+void EnergyCounter::add(Joules e) {
+  LCP_REQUIRE(e.joules() >= 0.0, "energy additions must be non-negative");
+  accum_uj_ += static_cast<std::uint64_t>(std::llround(e.joules() * 1e6));
+}
+
+}  // namespace lcp::power

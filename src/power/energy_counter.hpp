@@ -1,0 +1,40 @@
+#pragma once
+// RAPL-style monotonic energy counter. Mirrors the semantics of the
+// energy-pkg MSR that `perf stat` samples: an accumulator read before and
+// after a region of interest, with wraparound handled by the reader.
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// Monotonic microjoule accumulator with 32-bit wraparound (as the real
+/// RAPL MSR has) to force correct delta arithmetic in consumers.
+class EnergyCounter {
+ public:
+  /// Adds energy to the counter. Negative additions are a contract error.
+  void add(Joules e);
+
+  /// Raw counter value in microjoules, modulo 2^32 like the hardware MSR.
+  [[nodiscard]] std::uint32_t raw_microjoules() const noexcept {
+    return static_cast<std::uint32_t>(accum_uj_);
+  }
+
+  /// Total accumulated energy (no wraparound; for verification).
+  [[nodiscard]] Joules total() const noexcept {
+    return Joules{static_cast<double>(accum_uj_) * 1e-6};
+  }
+
+  /// Delta between two raw readings, wraparound-corrected.
+  [[nodiscard]] static Joules delta(std::uint32_t before,
+                                    std::uint32_t after) noexcept {
+    const std::uint32_t diff = after - before;  // mod 2^32
+    return Joules{static_cast<double>(diff) * 1e-6};
+  }
+
+ private:
+  std::uint64_t accum_uj_ = 0;
+};
+
+}  // namespace lcp::power

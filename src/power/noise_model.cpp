@@ -1,0 +1,26 @@
+#include "power/noise_model.hpp"
+
+#include <algorithm>
+
+namespace lcp::power {
+namespace {
+
+double clamped_factor(double sigma, double max_abs_z, Rng& rng) noexcept {
+  if (sigma <= 0.0) {
+    return 1.0;
+  }
+  const double z = std::clamp(rng.normal(), -max_abs_z, max_abs_z);
+  return std::max(0.05, 1.0 + sigma * z);
+}
+
+}  // namespace
+
+Seconds NoiseModel::perturb_runtime(Seconds t, Rng& rng) const noexcept {
+  return t * clamped_factor(runtime_sigma, max_abs_z, rng);
+}
+
+Watts NoiseModel::perturb_power(Watts p, Rng& rng) const noexcept {
+  return p * clamped_factor(power_sigma, max_abs_z, rng);
+}
+
+}  // namespace lcp::power

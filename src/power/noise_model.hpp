@@ -1,0 +1,26 @@
+#pragma once
+// Measurement-noise model for the simulated RAPL/perf readings. The paper
+// repeats every measurement 10x and averages; the noise here is what makes
+// those repeats (and the 95% confidence bands of Figures 1-4) meaningful.
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// Multiplicative Gaussian noise on runtime and power readings.
+struct NoiseModel {
+  double runtime_sigma = 0.010;  ///< OS jitter, scheduling
+  double power_sigma = 0.015;    ///< RAPL quantization, background load
+
+  /// Clamp factor keeping pathological draws physical.
+  double max_abs_z = 4.0;
+
+  [[nodiscard]] Seconds perturb_runtime(Seconds t, Rng& rng) const noexcept;
+  [[nodiscard]] Watts perturb_power(Watts p, Rng& rng) const noexcept;
+
+  /// Noise-free model (for deterministic tests).
+  [[nodiscard]] static NoiseModel none() noexcept { return {0.0, 0.0, 4.0}; }
+};
+
+}  // namespace lcp::power

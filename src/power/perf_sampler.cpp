@@ -1,0 +1,35 @@
+#include "power/perf_sampler.hpp"
+
+#include "support/status.hpp"
+
+namespace lcp::power {
+
+PerfSampler::PerfSampler(const ChipSpec& spec, NoiseModel noise,
+                         std::uint64_t seed)
+    : spec_(spec), noise_(noise), rng_(seed) {}
+
+Measurement PerfSampler::sample(const Workload& w, GigaHertz f) {
+  LCP_REQUIRE(f >= spec_.f_min && f <= spec_.f_max,
+              "frequency outside the chip's DVFS range");
+  const Seconds t_true = workload_runtime(w, spec_, f);
+  const Watts p_true = workload_power(w, spec_, f);
+
+  Measurement m;
+  m.runtime = noise_.perturb_runtime(t_true, rng_);
+  m.energy = noise_.perturb_power(p_true, rng_) * m.runtime;
+  counter_.add(m.energy);
+  return m;
+}
+
+std::vector<Measurement> PerfSampler::sample_repeats(const Workload& w,
+                                                     GigaHertz f,
+                                                     std::size_t repeats) {
+  std::vector<Measurement> out;
+  out.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    out.push_back(sample(w, f));
+  }
+  return out;
+}
+
+}  // namespace lcp::power

@@ -1,0 +1,56 @@
+#pragma once
+// perf-style measurement of a simulated run: "perf stat -e energy-pkg"
+// semantics over the chip model. One call = one execution of a workload at
+// a pinned frequency, returning noisy (energy, runtime) exactly as the
+// paper's measurement loop observes them.
+
+#include <vector>
+
+#include "power/chip_model.hpp"
+#include "power/energy_counter.hpp"
+#include "power/noise_model.hpp"
+#include "power/workload.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// One measured execution.
+struct Measurement {
+  Seconds runtime;
+  Joules energy;
+
+  [[nodiscard]] Watts average_power() const noexcept {
+    return runtime.seconds() > 0.0 ? energy / runtime : Watts{0.0};
+  }
+};
+
+/// Samples workload executions on one chip. Owns the RAPL-style counter and
+/// the noise stream, so repeated samples are independent draws.
+class PerfSampler {
+ public:
+  PerfSampler(const ChipSpec& spec, NoiseModel noise, std::uint64_t seed);
+
+  /// Runs `w` once at frequency `f` (must be within the chip's range).
+  [[nodiscard]] Measurement sample(const Workload& w, GigaHertz f);
+
+  /// Runs `w` `repeats` times and returns each measurement.
+  [[nodiscard]] std::vector<Measurement> sample_repeats(const Workload& w,
+                                                        GigaHertz f,
+                                                        std::size_t repeats);
+
+  /// Cumulative package counter across all samples (RAPL view).
+  [[nodiscard]] const EnergyCounter& counter() const noexcept {
+    return counter_;
+  }
+
+  [[nodiscard]] const ChipSpec& spec() const noexcept { return spec_; }
+
+ private:
+  const ChipSpec& spec_;
+  NoiseModel noise_;
+  Rng rng_;
+  EnergyCounter counter_;
+};
+
+}  // namespace lcp::power

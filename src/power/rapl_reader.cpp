@@ -1,0 +1,78 @@
+#include "power/rapl_reader.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace lcp::power {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Reads a small text file fully; empty optional on failure.
+bool read_text(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[256];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out.assign(buf, n);
+  return n > 0;
+}
+
+}  // namespace
+
+RaplReader::RaplReader(std::string root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return;
+  }
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (ec) {
+      return;
+    }
+    const auto name = entry.path().filename().string();
+    if (name.rfind("intel-rapl:", 0) != 0) {
+      continue;
+    }
+    const auto energy = entry.path() / "energy_uj";
+    std::string text;
+    if (read_text(energy.string(), text)) {
+      energy_path_ = energy.string();
+      std::string domain_text;
+      if (read_text((entry.path() / "name").string(), domain_text)) {
+        // trim trailing newline
+        while (!domain_text.empty() &&
+               (domain_text.back() == '\n' || domain_text.back() == '\r')) {
+          domain_text.pop_back();
+        }
+        domain_ = domain_text;
+      } else {
+        domain_ = name;
+      }
+      return;
+    }
+  }
+}
+
+Expected<RaplSample> RaplReader::read() const {
+  if (!available()) {
+    return Status::unavailable(
+        "no readable intel-rapl energy_uj domain (expected in containers; "
+        "the simulated EnergyCounter substitutes)");
+  }
+  std::string text;
+  if (!read_text(energy_path_, text)) {
+    return Status::unavailable("rapl counter became unreadable: " +
+                               energy_path_);
+  }
+  RaplSample sample;
+  sample.energy = Joules{std::strtod(text.c_str(), nullptr) * 1e-6};
+  sample.domain = domain_;
+  return sample;
+}
+
+}  // namespace lcp::power

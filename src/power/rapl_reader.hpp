@@ -1,0 +1,38 @@
+#pragma once
+// Optional reader for the real Intel RAPL interface via
+// /sys/class/powercap/intel-rapl:*/energy_uj. On machines where the paper's
+// measurement path is actually available (bare metal, root), studies can
+// use hardware energy instead of the simulated counter; everywhere else
+// this reports kUnavailable and the simulation substitutes (DESIGN.md).
+
+#include <string>
+
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// Snapshot of one RAPL package domain.
+struct RaplSample {
+  Joules energy;       ///< counter value converted from microjoules
+  std::string domain;  ///< e.g. "package-0"
+};
+
+class RaplReader {
+ public:
+  /// Probes for a readable package domain; `root` overrides the sysfs base
+  /// for tests.
+  explicit RaplReader(std::string root = "/sys/class/powercap");
+
+  /// True if a readable energy_uj file was found.
+  [[nodiscard]] bool available() const noexcept { return !energy_path_.empty(); }
+
+  /// Reads the current counter. Fails with kUnavailable if not available().
+  [[nodiscard]] Expected<RaplSample> read() const;
+
+ private:
+  std::string energy_path_;
+  std::string domain_;
+};
+
+}  // namespace lcp::power

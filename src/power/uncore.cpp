@@ -1,0 +1,119 @@
+#include "power/uncore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lcp::power {
+namespace {
+
+// Uncore envelopes follow the parts' UFS ranges; Skylake-SP exposes a wide
+// uncore range (Schoene et al., HPCS'19 — the paper's ref [22] measures
+// exactly this part family), Broadwell-DE a narrower one.
+const UncoreSpec kBroadwellUncore = {
+    GigaHertz{1.2}, GigaHertz{2.4}, GigaHertz::from_mhz(100),
+    0.45,  // share of static power
+    0.55,  // of which clock-scaled
+    0.7,   // stall-time sensitivity
+};
+
+const UncoreSpec kSkylakeUncore = {
+    GigaHertz{1.2}, GigaHertz{2.4}, GigaHertz::from_mhz(100),
+    0.55,
+    0.60,
+    0.8,
+};
+
+}  // namespace
+
+const UncoreSpec& uncore(ChipId id) {
+  switch (id) {
+    case ChipId::kBroadwellD1548:
+      return kBroadwellUncore;
+    case ChipId::kSkylake4114:
+      return kSkylakeUncore;
+  }
+  LCP_REQUIRE(false, "unknown chip id");
+  return kBroadwellUncore;
+}
+
+Watts package_power_uncore(const ChipSpec& spec, const UncoreSpec& unc,
+                           GigaHertz f_core, GigaHertz f_uncore,
+                           double activity) noexcept {
+  // Split the chip's static power into a non-uncore part and the uncore
+  // share; the clock-scaled slice of the uncore share shrinks linearly
+  // with its frequency.
+  const double uncore_full = spec.static_power.watts() * unc.share_of_static;
+  const double other_static = spec.static_power.watts() - uncore_full;
+  const double ratio =
+      std::clamp(f_uncore.ghz() / unc.f_max.ghz(), 0.0, 1.0);
+  const double uncore_now =
+      uncore_full * (1.0 - unc.dynamic_fraction * (1.0 - ratio));
+
+  const double v = spec.vf.at(f_core).volts();
+  const double core_dynamic = spec.dyn_coeff * v * v * f_core.ghz() * activity;
+  return Watts{other_static + uncore_now + core_dynamic};
+}
+
+Seconds workload_runtime_uncore(const Workload& w, const ChipSpec& spec,
+                                const UncoreSpec& unc, GigaHertz f_core,
+                                GigaHertz f_uncore) noexcept {
+  const double t_cpu = w.cpu_ghz_seconds / (f_core.ghz() * spec.perf_factor);
+  const double stretch =
+      std::pow(unc.f_max.ghz() / std::max(f_uncore.ghz(), 1e-9),
+               unc.stall_sensitivity);
+  const double stall = w.stall_seconds.seconds() * stretch;
+  const double busy = std::max(t_cpu, w.floor_seconds.seconds());
+  return Seconds{busy + stall};
+}
+
+Watts workload_power_uncore(const Workload& w, const ChipSpec& spec,
+                            const UncoreSpec& unc, GigaHertz f_core,
+                            GigaHertz f_uncore) noexcept {
+  return package_power_uncore(spec, unc, f_core, f_uncore,
+                              effective_activity(w, spec, f_core));
+}
+
+Joules workload_energy_uncore(const Workload& w, const ChipSpec& spec,
+                              const UncoreSpec& unc, GigaHertz f_core,
+                              GigaHertz f_uncore) noexcept {
+  return workload_power_uncore(w, spec, unc, f_core, f_uncore) *
+         workload_runtime_uncore(w, spec, unc, f_core, f_uncore);
+}
+
+namespace {
+
+std::vector<GigaHertz> grid(GigaHertz lo, GigaHertz hi, GigaHertz step) {
+  std::vector<GigaHertz> out;
+  for (double f = lo.ghz(); f <= hi.ghz() + 1e-9; f += step.ghz()) {
+    out.push_back(GigaHertz{f});
+  }
+  if (out.empty() || out.back().ghz() < hi.ghz() - 1e-9) {
+    out.push_back(hi);
+  }
+  return out;
+}
+
+}  // namespace
+
+OperatingPoint energy_optimal_operating_point(const Workload& w,
+                                              const ChipSpec& spec,
+                                              const UncoreSpec& unc) {
+  OperatingPoint best{spec.f_max, unc.f_max};
+  double best_energy =
+      workload_energy_uncore(w, spec, unc, best.core, best.uncore).joules();
+  for (GigaHertz fc : grid(spec.f_min, spec.f_max, spec.f_step)) {
+    for (GigaHertz fu : grid(unc.f_min, unc.f_max, unc.f_step)) {
+      const double e = workload_energy_uncore(w, spec, unc, fc, fu).joules();
+      if (e < best_energy) {
+        best_energy = e;
+        best = {fc, fu};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lcp::power

@@ -1,0 +1,71 @@
+#pragma once
+// Uncore frequency scaling extension (the direction of the paper's ref
+// [11], Corbalan et al.'s EAR): Intel server parts expose a second DVFS
+// domain — the uncore (LLC, ring/mesh, memory controllers) — whose clock
+// trades memory-bound runtime against a large slice of "static" package
+// power. The paper tunes only the core clock; this module models the
+// second knob and the combined (core, uncore) operating-point search.
+
+#include "power/chip_model.hpp"
+#include "power/workload.hpp"
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// Uncore domain parameters for one chip.
+struct UncoreSpec {
+  GigaHertz f_min;
+  GigaHertz f_max;
+  GigaHertz f_step;
+  /// Fraction of the chip's static_power that is actually the uncore
+  /// running at f_max (reduced when the uncore is clocked down).
+  double share_of_static = 0.5;
+  /// Of the uncore's share, the part that scales with its clock (the rest
+  /// is leakage that no clock setting removes).
+  double dynamic_fraction = 0.6;
+  /// Sensitivity of memory-stall time to the uncore clock: stall time
+  /// scales by (f_max / f)^sensitivity for the workload's stall share.
+  double stall_sensitivity = 0.8;
+};
+
+/// Uncore registry for the two paper chips.
+[[nodiscard]] const UncoreSpec& uncore(ChipId id);
+
+/// Package power with both domains explicit: the core model of
+/// package_power() plus the uncore share rescaled by its clock.
+[[nodiscard]] Watts package_power_uncore(const ChipSpec& spec,
+                                         const UncoreSpec& unc,
+                                         GigaHertz f_core, GigaHertz f_uncore,
+                                         double activity) noexcept;
+
+/// Runtime with the uncore knob: the workload's stall share stretches as
+/// the uncore slows; the core-scaled share is unchanged.
+[[nodiscard]] Seconds workload_runtime_uncore(const Workload& w,
+                                              const ChipSpec& spec,
+                                              const UncoreSpec& unc,
+                                              GigaHertz f_core,
+                                              GigaHertz f_uncore) noexcept;
+
+[[nodiscard]] Watts workload_power_uncore(const Workload& w,
+                                          const ChipSpec& spec,
+                                          const UncoreSpec& unc,
+                                          GigaHertz f_core,
+                                          GigaHertz f_uncore) noexcept;
+
+[[nodiscard]] Joules workload_energy_uncore(const Workload& w,
+                                            const ChipSpec& spec,
+                                            const UncoreSpec& unc,
+                                            GigaHertz f_core,
+                                            GigaHertz f_uncore) noexcept;
+
+/// A (core, uncore) frequency pair.
+struct OperatingPoint {
+  GigaHertz core;
+  GigaHertz uncore;
+};
+
+/// Exhaustive grid search for the minimum-energy (core, uncore) pair.
+[[nodiscard]] OperatingPoint energy_optimal_operating_point(
+    const Workload& w, const ChipSpec& spec, const UncoreSpec& unc);
+
+}  // namespace lcp::power

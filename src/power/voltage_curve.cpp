@@ -1,0 +1,30 @@
+#include "power/voltage_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace lcp::power {
+
+VoltageCurve::VoltageCurve(Volts v_min, Volts v_max, GigaHertz f_max,
+                           double gamma) noexcept
+    : v_min_(v_min), v_max_(v_max), f_max_(f_max), gamma_(gamma) {
+  LCP_REQUIRE(v_min.volts() > 0 && v_max.volts() >= v_min.volts(),
+              "voltage curve endpoints invalid");
+  LCP_REQUIRE(f_max.ghz() > 0 && gamma > 0, "voltage curve shape invalid");
+}
+
+Volts VoltageCurve::at(GigaHertz f) const noexcept {
+  const double ratio = std::max(0.0, f.ghz() / f_max_.ghz());
+  const double scaled = v_max_.volts() * std::pow(ratio, gamma_);
+  return Volts{std::max(v_min_.volts(), scaled)};
+}
+
+GigaHertz VoltageCurve::clamp_frequency() const noexcept {
+  // v_max * (f/f_max)^gamma = v_min  =>  f = f_max * (v_min/v_max)^(1/gamma)
+  const double ratio = std::pow(v_min_.volts() / v_max_.volts(), 1.0 / gamma_);
+  return GigaHertz{f_max_.ghz() * ratio};
+}
+
+}  // namespace lcp::power

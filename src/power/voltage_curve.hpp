@@ -1,0 +1,33 @@
+#pragma once
+// Voltage/frequency curve of a chip: the root cause of the paper's
+// "critical power slope". Below a chip-specific point the part runs at its
+// minimum stable voltage (power grows only linearly with f); approaching
+// f_max the required voltage rises as a power law, and P ~ V^2 f produces
+// the sharp knee seen in Figures 1 and 3.
+
+#include "support/units.hpp"
+
+namespace lcp::power {
+
+/// V(f) = max(v_min, v_max * (f / f_max)^gamma).
+class VoltageCurve {
+ public:
+  VoltageCurve(Volts v_min, Volts v_max, GigaHertz f_max, double gamma) noexcept;
+
+  [[nodiscard]] Volts at(GigaHertz f) const noexcept;
+
+  [[nodiscard]] Volts v_min() const noexcept { return v_min_; }
+  [[nodiscard]] Volts v_max() const noexcept { return v_max_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+  /// Frequency below which the curve is clamped at v_min.
+  [[nodiscard]] GigaHertz clamp_frequency() const noexcept;
+
+ private:
+  Volts v_min_;
+  Volts v_max_;
+  GigaHertz f_max_;
+  double gamma_;
+};
+
+}  // namespace lcp::power

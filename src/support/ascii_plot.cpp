@@ -1,0 +1,110 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lcp {
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  const int w = std::max(options.width, 16);
+  const int h = std::max(options.height, 6);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < std::min(s.x.size(), s.y.size()); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) {
+        continue;
+      }
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    return "(empty plot)\n";
+  }
+  if (xmax <= xmin) {
+    xmax = xmin + 1.0;
+  }
+  if (ymax <= ymin) {
+    ymax = ymin + 1.0;
+  }
+  // A little headroom so extreme points are not on the border.
+  const double ypad = 0.04 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < std::min(s.x.size(), s.y.size()); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) {
+        continue;
+      }
+      int col = static_cast<int>(
+          std::lround((s.x[i] - xmin) / (xmax - xmin) * (w - 1)));
+      int row = static_cast<int>(
+          std::lround((s.y[i] - ymin) / (ymax - ymin) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title;
+    out += '\n';
+  }
+  char buf[64];
+  for (int r = 0; r < h; ++r) {
+    // y-axis tick on first, middle and last rows.
+    const double yv = ymax - (ymax - ymin) * r / (h - 1);
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      std::snprintf(buf, sizeof(buf), "%9.3f |", yv);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%9s |", "");
+    }
+    out += buf;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "          +";
+  out.append(static_cast<std::size_t>(w), '-');
+  out += '\n';
+  std::snprintf(buf, sizeof(buf), "%9s  %-10.3f", "", xmin);
+  out += buf;
+  const int mid_pad = w - 22;
+  if (mid_pad > 0) {
+    std::snprintf(buf, sizeof(buf), "%*.3f", mid_pad, (xmin + xmax) / 2);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%10.3f", xmax);
+  out += buf;
+  out += '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out += "          x: " + options.x_label + "   y: " + options.y_label + '\n';
+  }
+  std::string legend = "          legend:";
+  for (const auto& s : series) {
+    legend += ' ';
+    legend += s.glyph;
+    legend += '=';
+    legend += s.name;
+  }
+  out += legend;
+  out += '\n';
+  return out;
+}
+
+}  // namespace lcp

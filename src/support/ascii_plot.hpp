@@ -1,0 +1,33 @@
+#pragma once
+// Terminal line plots for the bench binaries: each paper figure is rendered
+// as an ASCII chart (one glyph per series) next to the CSV dump, so the
+// curve shapes are inspectable without leaving the terminal.
+
+#include <string>
+#include <vector>
+
+namespace lcp {
+
+/// One plotted series: (x, y) points plus a single-character glyph.
+struct PlotSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options for AsciiPlot rendering.
+struct PlotOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders superimposed series on shared axes with min/max auto-ranging.
+/// Later series overwrite earlier glyphs where they collide.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options);
+
+}  // namespace lcp

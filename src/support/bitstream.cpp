@@ -1,0 +1,89 @@
+#include "support/bitstream.hpp"
+
+namespace lcp {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
+  LCP_REQUIRE(bits <= 64, "write_bits accepts at most 64 bits");
+  if (bits == 0) {
+    return;
+  }
+  if (bits < 64) {
+    value &= (std::uint64_t{1} << bits) - 1;
+  }
+  bit_count_ += bits;
+
+  const unsigned space = 64 - acc_bits_;
+  if (bits <= space) {
+    acc_ |= value << acc_bits_;
+    acc_bits_ += bits;
+    if (acc_bits_ == 64) {
+      flush_accumulator();
+    }
+    return;
+  }
+  // Split across the accumulator boundary.
+  acc_ |= value << acc_bits_;
+  const unsigned first = space;
+  acc_bits_ = 64;
+  flush_accumulator();
+  acc_ = value >> first;
+  acc_bits_ = bits - first;
+}
+
+void BitWriter::write_unary(unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    write_bit(false);
+  }
+  write_bit(true);
+}
+
+void BitWriter::flush_accumulator() {
+  for (unsigned i = 0; i < acc_bits_; i += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ >> i));
+  }
+  acc_ = 0;
+  acc_bits_ = 0;
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    // Round partial accumulator up to whole bytes.
+    const unsigned whole = (acc_bits_ + 7) / 8 * 8;
+    acc_bits_ = whole;
+    flush_accumulator();
+  }
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::read_bits(unsigned bits) noexcept {
+  if (bits == 0) {
+    return 0;
+  }
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::uint64_t byte_index = (pos_ + i) >> 3;
+    std::uint64_t bit = 0;
+    if (byte_index < bytes_.size()) {
+      bit = (bytes_[byte_index] >> ((pos_ + i) & 7)) & 1u;
+    } else {
+      overflow_ = true;
+    }
+    out |= bit << i;
+  }
+  pos_ += bits;
+  return out;
+}
+
+unsigned BitReader::read_unary() noexcept {
+  unsigned zeros = 0;
+  while (bits_remaining() > 0) {
+    if (read_bit()) {
+      return zeros;
+    }
+    ++zeros;
+  }
+  overflow_ = true;
+  return zeros;
+}
+
+}  // namespace lcp

@@ -1,0 +1,79 @@
+#pragma once
+// Bit-granular output/input streams used by the Huffman coder (SZ path) and
+// the embedded bit-plane coder (ZFP path).
+//
+// Writing is little-endian within a 64-bit accumulator flushed to a byte
+// vector; reading mirrors it exactly, so any sequence of writes followed by
+// the same sequence of reads round-trips bit-for-bit (property-tested).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+/// Append-only bit writer.
+class BitWriter {
+ public:
+  /// Writes the low `bits` bits of `value` (LSB first). bits in [0, 64].
+  void write_bits(std::uint64_t value, unsigned bits);
+
+  /// Writes a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  /// Unary code: `n` zeros followed by a one.
+  void write_unary(unsigned n);
+
+  /// Flushes any partial byte (zero padding) and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Bits written so far (excluding padding).
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  void flush_accumulator();
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Sequential bit reader over a byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Reads `bits` bits (LSB-first order matching BitWriter). bits in [0, 64].
+  /// Reading past the end pads with zero bits and marks overflow.
+  std::uint64_t read_bits(unsigned bits) noexcept;
+
+  bool read_bit() noexcept { return read_bits(1) != 0; }
+
+  /// Reads a unary code written by BitWriter::write_unary.
+  /// Returns the count of zeros before the terminating one. If the stream
+  /// ends before a one is seen, marks overflow and returns the zeros seen.
+  unsigned read_unary() noexcept;
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::uint64_t bit_position() const noexcept { return pos_; }
+
+  /// True once a read crossed the end of the underlying buffer.
+  [[nodiscard]] bool overflowed() const noexcept { return overflow_; }
+
+  /// Bits remaining in the buffer.
+  [[nodiscard]] std::uint64_t bits_remaining() const noexcept {
+    const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+    return pos_ >= total ? 0 : total - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t pos_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace lcp

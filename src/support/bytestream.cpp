@@ -1,0 +1,127 @@
+#include "support/bytestream.hpp"
+
+#include <bit>
+
+namespace lcp {
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  write_u8(static_cast<std::uint8_t>(v));
+  write_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    write_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    write_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::write_blob(std::span<const std::uint8_t> data) {
+  LCP_REQUIRE(data.size() <= UINT32_MAX, "blob exceeds u32 length prefix");
+  write_u32(static_cast<std::uint32_t>(data.size()));
+  write_bytes(data);
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  write_blob({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+Expected<std::uint8_t> ByteReader::read_u8() noexcept {
+  if (remaining() < 1) {
+    return Status::corrupt_data("byte stream truncated reading u8");
+  }
+  return bytes_[pos_++];
+}
+
+Expected<std::uint16_t> ByteReader::read_u16() noexcept {
+  if (remaining() < 2) {
+    return Status::corrupt_data("byte stream truncated reading u16");
+  }
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(bytes_[pos_ + i]) << (8 * i)));
+  }
+  pos_ += 2;
+  return v;
+}
+
+Expected<std::uint32_t> ByteReader::read_u32() noexcept {
+  if (remaining() < 4) {
+    return Status::corrupt_data("byte stream truncated reading u32");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Expected<std::uint64_t> ByteReader::read_u64() noexcept {
+  if (remaining() < 8) {
+    return Status::corrupt_data("byte stream truncated reading u64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Expected<std::int64_t> ByteReader::read_i64() noexcept {
+  auto v = read_u64();
+  if (!v) {
+    return v.status();
+  }
+  return static_cast<std::int64_t>(*v);
+}
+
+Expected<double> ByteReader::read_f64() noexcept {
+  auto v = read_u64();
+  if (!v) {
+    return v.status();
+  }
+  return std::bit_cast<double>(*v);
+}
+
+Expected<std::span<const std::uint8_t>> ByteReader::read_bytes(
+    std::size_t n) noexcept {
+  if (remaining() < n) {
+    return Status::corrupt_data("byte stream truncated reading raw bytes");
+  }
+  auto out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Expected<std::span<const std::uint8_t>> ByteReader::read_blob() noexcept {
+  auto len = read_u32();
+  if (!len) {
+    return len.status();
+  }
+  return read_bytes(*len);
+}
+
+Expected<std::string> ByteReader::read_string() noexcept {
+  auto blob = read_blob();
+  if (!blob) {
+    return blob.status();
+  }
+  return std::string{reinterpret_cast<const char*>(blob->data()), blob->size()};
+}
+
+}  // namespace lcp

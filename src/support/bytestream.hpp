@@ -1,0 +1,67 @@
+#pragma once
+// Byte-granular serialization helpers for compressed-container headers.
+// Fixed little-endian layout so containers are portable across hosts.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+/// Append-only byte writer with little-endian primitive encoding.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f64(double v);
+  void write_bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) byte blob.
+  void write_blob(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void write_string(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> finish() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential byte reader; every read is bounds-checked and fails with a
+/// CORRUPT_DATA status rather than reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] Expected<std::uint8_t> read_u8() noexcept;
+  [[nodiscard]] Expected<std::uint16_t> read_u16() noexcept;
+  [[nodiscard]] Expected<std::uint32_t> read_u32() noexcept;
+  [[nodiscard]] Expected<std::uint64_t> read_u64() noexcept;
+  [[nodiscard]] Expected<std::int64_t> read_i64() noexcept;
+  [[nodiscard]] Expected<double> read_f64() noexcept;
+  /// Reads `n` raw bytes as a subspan of the underlying buffer (no copy).
+  [[nodiscard]] Expected<std::span<const std::uint8_t>> read_bytes(
+      std::size_t n) noexcept;
+  /// Reads a blob written by ByteWriter::write_blob.
+  [[nodiscard]] Expected<std::span<const std::uint8_t>> read_blob() noexcept;
+  [[nodiscard]] Expected<std::string> read_string() noexcept;
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lcp

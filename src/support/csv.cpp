@@ -1,0 +1,71 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+
+namespace lcp {
+namespace {
+
+std::string escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string render_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += escape(cells[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LCP_REQUIRE(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  LCP_REQUIRE(cells.size() == headers_.size(), "csv row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::string out = render_row(headers_);
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+Status CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::unavailable("cannot open csv output: " + path);
+  }
+  const std::string body = render();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::unavailable("short write to csv output: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace lcp

@@ -1,0 +1,28 @@
+#pragma once
+// CSV emission for bench outputs so figure data can be re-plotted externally.
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+/// Row-oriented CSV writer. Values are escaped per RFC 4180 where needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string render() const;
+
+  /// Writes the rendered CSV to `path` (overwrites).
+  [[nodiscard]] Status write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lcp

@@ -1,0 +1,23 @@
+#pragma once
+// Minimal leveled logging to stderr. Benches and examples use this for
+// progress lines; the library itself stays quiet below kWarn.
+
+#include <string_view>
+
+namespace lcp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits "[lcp level] message\n" to stderr if `level` passes the threshold.
+void log_message(LogLevel level, std::string_view message);
+
+void log_debug(std::string_view message);
+void log_info(std::string_view message);
+void log_warn(std::string_view message);
+void log_error(std::string_view message);
+
+}  // namespace lcp

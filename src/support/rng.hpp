@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic, fast PRNG (xoshiro256**) used by the synthetic dataset
+// generators and the measurement-noise model.
+//
+// std::mt19937_64 is avoided because its 2.5 KB state makes value-semantics
+// awkward and its stream is not reproducible across standard-library
+// distribution implementations; all distribution math here is our own, so a
+// given seed yields identical datasets on every platform.
+
+#include <array>
+#include <cstdint>
+
+namespace lcp {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Splits off an independent stream (jump-free: reseeds from this stream).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lcp

@@ -1,0 +1,146 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcp {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) noexcept {
+  return std::sqrt(variance(values));
+}
+
+double t_quantile_975(std::size_t dof) noexcept {
+  // Standard two-sided 95% t-table; dof >= 30 uses the normal limit.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045};
+  if (dof == 0) {
+    return 0.0;
+  }
+  if (dof < std::size(kTable)) {
+    return kTable[dof];
+  }
+  return 1.96;
+}
+
+SampleSummary summarize(std::span<const double> values) noexcept {
+  SampleSummary s;
+  if (values.empty()) {
+    return s;
+  }
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  if (s.count > 1) {
+    s.ci95_half = t_quantile_975(s.count - 1) * s.stddev /
+                  std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+SampleSummary RunningStats::summary() const noexcept {
+  SampleSummary s;
+  s.count = n_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  if (n_ > 1) {
+    s.ci95_half =
+        t_quantile_975(n_ - 1) * s.stddev / std::sqrt(static_cast<double>(n_));
+  }
+  return s;
+}
+
+}  // namespace lcp

@@ -1,0 +1,63 @@
+#pragma once
+// Descriptive statistics used for repeated-measurement aggregation and the
+// 95% confidence bands in the paper's characteristic plots (Figs 1-4).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lcp {
+
+/// Summary of a sample: mean, stddev (sample, n-1), and a 95% CI half-width.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     ///< sample standard deviation (n-1 denominator)
+  double ci95_half = 0.0;  ///< t-based 95% confidence half-width of the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary of `values`. Empty input yields a zeroed summary.
+[[nodiscard]] SampleSummary summarize(std::span<const double> values) noexcept;
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Sample variance (n-1); 0 for fewer than 2 values.
+[[nodiscard]] double variance(std::span<const double> values) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+
+/// Two-sided Student-t 0.975 quantile for `dof` degrees of freedom.
+/// Exact table for small dof, asymptotic 1.96 beyond.
+[[nodiscard]] double t_quantile_975(std::size_t dof) noexcept;
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y) noexcept;
+
+/// Online accumulator (Welford) for streaming summaries.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] SampleSummary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lcp

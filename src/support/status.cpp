@@ -1,0 +1,45 @@
+#include "support/status.hpp"
+
+namespace lcp {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "OK";
+  }
+  std::string out{error_code_name(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const char* msg) {
+  std::fprintf(stderr, "lcpower: contract violated at %s:%d: (%s) %s\n", file,
+               line, expr, msg);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace lcp

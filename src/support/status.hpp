@@ -1,0 +1,144 @@
+#pragma once
+// Lightweight error handling for lcpower.
+//
+// The library avoids exceptions on hot paths; fallible operations return
+// Status or Expected<T>. Programming errors (contract violations) abort via
+// LCP_REQUIRE so they cannot be silently swallowed in Release builds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lcp {
+
+/// Error categories used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCorruptData,
+  kUnsupported,
+  kInternal,
+  kUnavailable,
+};
+
+/// Human-readable name for an ErrorCode.
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Result of a fallible operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Status out_of_range(std::string msg) {
+    return {ErrorCode::kOutOfRange, std::move(msg)};
+  }
+  [[nodiscard]] static Status corrupt_data(std::string msg) {
+    return {ErrorCode::kCorruptData, std::move(msg)};
+  }
+  [[nodiscard]] static Status unsupported(std::string msg) {
+    return {ErrorCode::kUnsupported, std::move(msg)};
+  }
+  [[nodiscard]] static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+  [[nodiscard]] static Status unavailable(std::string msg) {
+    return {ErrorCode::kUnavailable, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result of a fallible operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      status_ = Status::internal("Expected constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    require_value();
+    return std::move(*value_);
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// OK status when a value is present, otherwise the stored error.
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk{};
+    return has_value() ? kOk : status_;
+  }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "lcpower: Expected<> accessed without value: %s\n",
+                   status_.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const char* msg);
+}  // namespace detail
+
+/// Contract check: aborts with a diagnostic if `expr` is false.
+/// Used for programmer errors (bad API usage), not data-dependent failures.
+#define LCP_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::lcp::detail::require_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (false)
+
+/// Propagate a non-OK Status from the current function.
+#define LCP_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::lcp::Status lcp_status_ = (expr);        \
+    if (!lcp_status_.is_ok()) {                \
+      return lcp_status_;                      \
+    }                                          \
+  } while (false)
+
+}  // namespace lcp

@@ -1,0 +1,106 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LCP_REQUIRE(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::set_alignments(std::vector<Align> aligns) {
+  LCP_REQUIRE(aligns.size() == headers_.size(),
+              "alignment arity must match headers");
+  aligns_ = std::move(aligns);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LCP_REQUIRE(cells.size() == headers_.size(), "row arity must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& cell, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - cell.size();
+    if (aligns_[c] == Align::kRight) {
+      out.append(pad, ' ');
+      out += cell;
+    } else {
+      out += cell;
+      out.append(pad, ' ');
+    }
+    return out;
+  };
+
+  auto rule = [&]() {
+    std::string out = "+";
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  out += rule();
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += ' ';
+    out += render_cell(headers_[c], c);
+    out += " |";
+  }
+  out += '\n';
+  out += rule();
+  for (const auto& row : rows_) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out += render_cell(row[c], c);
+      out += " |";
+    }
+    out += '\n';
+  }
+  out += rule();
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_scientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace lcp

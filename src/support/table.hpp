@@ -1,0 +1,48 @@
+#pragma once
+// ASCII table renderer used by the bench binaries to print paper-style
+// tables (Tables I-V) to stdout.
+
+#include <string>
+#include <vector>
+
+namespace lcp {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-schema ASCII table.
+///
+///   Table t{{"Model Data", "SSE", "RMSE"}};
+///   t.add_row({"Total", "11.407", "0.0442"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Per-column alignment; defaults to left for col 0, right otherwise.
+  void set_alignments(std::vector<Align> aligns);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with unicode-free box drawing (pipes and dashes).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+[[nodiscard]] std::string format_scientific(double v, int precision = 3);
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace lcp

@@ -1,0 +1,108 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged{std::move(task)};
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock{mutex_};
+    LCP_REQUIRE(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured in the packaged_task's future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, worker_count() + 1);
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) {
+        return;
+      }
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          body(i);
+        }
+      } catch (...) {
+        std::lock_guard lock{error_mutex};
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts - 1);
+  for (std::size_t p = 1; p < parts; ++p) {
+    futures.push_back(submit(run_chunks));
+  }
+  run_chunks();  // calling thread participates
+  for (auto& f : futures) {
+    f.wait();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace lcp

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal fixed-size thread pool used by the parallel compression layer.
+// Work items are type-erased tasks; parallel_for partitions an index range
+// into contiguous chunks (one in-flight task per worker, plus the calling
+// thread participates) — the shape OpenMP's static schedule would give.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lcp {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. The caller's thread also executes chunks, so the
+  /// pool works even with zero workers. Exceptions propagate (first one
+  /// wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace lcp

@@ -1,0 +1,4 @@
+#include "support/timer.hpp"
+
+// Header-only today; this TU anchors the library target and reserves a home
+// for future timing backends (e.g. rdtsc calibration).

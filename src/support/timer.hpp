@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing for native calibration runs (the real compressor
+// executions that parameterize the simulated workloads).
+
+#include <chrono>
+
+#include "support/units.hpp"
+
+namespace lcp {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] Seconds elapsed() const noexcept {
+    const auto dt = Clock::now() - start_;
+    return Seconds{std::chrono::duration<double>(dt).count()};
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lcp

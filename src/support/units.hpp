@@ -1,0 +1,174 @@
+#pragma once
+// Strongly-typed physical quantities used throughout lcpower.
+//
+// These are thin wrappers over double that prevent accidental mixing of
+// frequencies, powers, energies and times in the power-model code, where a
+// silent Hz-vs-GHz slip would corrupt every regression downstream.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace lcp {
+
+/// CPU clock frequency. Canonical unit: gigahertz.
+class GigaHertz {
+ public:
+  constexpr GigaHertz() noexcept = default;
+  constexpr explicit GigaHertz(double ghz) noexcept : ghz_(ghz) {}
+
+  [[nodiscard]] static constexpr GigaHertz from_mhz(double mhz) noexcept {
+    return GigaHertz{mhz / 1000.0};
+  }
+  [[nodiscard]] static constexpr GigaHertz from_hz(double hz) noexcept {
+    return GigaHertz{hz / 1e9};
+  }
+
+  [[nodiscard]] constexpr double ghz() const noexcept { return ghz_; }
+  [[nodiscard]] constexpr double mhz() const noexcept { return ghz_ * 1000.0; }
+  [[nodiscard]] constexpr double hz() const noexcept { return ghz_ * 1e9; }
+
+  constexpr auto operator<=>(const GigaHertz&) const noexcept = default;
+
+  constexpr GigaHertz operator+(GigaHertz o) const noexcept {
+    return GigaHertz{ghz_ + o.ghz_};
+  }
+  constexpr GigaHertz operator-(GigaHertz o) const noexcept {
+    return GigaHertz{ghz_ - o.ghz_};
+  }
+  constexpr GigaHertz operator*(double s) const noexcept {
+    return GigaHertz{ghz_ * s};
+  }
+  constexpr double operator/(GigaHertz o) const noexcept { return ghz_ / o.ghz_; }
+
+ private:
+  double ghz_ = 0.0;
+};
+
+/// Electrical power in watts.
+class Watts {
+ public:
+  constexpr Watts() noexcept = default;
+  constexpr explicit Watts(double w) noexcept : w_(w) {}
+
+  [[nodiscard]] constexpr double watts() const noexcept { return w_; }
+
+  constexpr auto operator<=>(const Watts&) const noexcept = default;
+  constexpr Watts operator+(Watts o) const noexcept { return Watts{w_ + o.w_}; }
+  constexpr Watts operator-(Watts o) const noexcept { return Watts{w_ - o.w_}; }
+  constexpr Watts operator*(double s) const noexcept { return Watts{w_ * s}; }
+  constexpr double operator/(Watts o) const noexcept { return w_ / o.w_; }
+
+ private:
+  double w_ = 0.0;
+};
+
+/// Wall-clock duration in seconds.
+class Seconds {
+ public:
+  constexpr Seconds() noexcept = default;
+  constexpr explicit Seconds(double s) noexcept : s_(s) {}
+
+  [[nodiscard]] static constexpr Seconds from_ms(double ms) noexcept {
+    return Seconds{ms / 1000.0};
+  }
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+  [[nodiscard]] constexpr double ms() const noexcept { return s_ * 1000.0; }
+
+  constexpr auto operator<=>(const Seconds&) const noexcept = default;
+  constexpr Seconds operator+(Seconds o) const noexcept {
+    return Seconds{s_ + o.s_};
+  }
+  constexpr Seconds operator-(Seconds o) const noexcept {
+    return Seconds{s_ - o.s_};
+  }
+  constexpr Seconds operator*(double k) const noexcept { return Seconds{s_ * k}; }
+  constexpr double operator/(Seconds o) const noexcept { return s_ / o.s_; }
+
+ private:
+  double s_ = 0.0;
+};
+
+/// Energy in joules.
+class Joules {
+ public:
+  constexpr Joules() noexcept = default;
+  constexpr explicit Joules(double j) noexcept : j_(j) {}
+
+  [[nodiscard]] static constexpr Joules from_kj(double kj) noexcept {
+    return Joules{kj * 1000.0};
+  }
+
+  [[nodiscard]] constexpr double joules() const noexcept { return j_; }
+  [[nodiscard]] constexpr double kj() const noexcept { return j_ / 1000.0; }
+
+  constexpr auto operator<=>(const Joules&) const noexcept = default;
+  constexpr Joules operator+(Joules o) const noexcept { return Joules{j_ + o.j_}; }
+  constexpr Joules operator-(Joules o) const noexcept { return Joules{j_ - o.j_}; }
+  constexpr Joules operator*(double s) const noexcept { return Joules{j_ * s}; }
+  constexpr double operator/(Joules o) const noexcept { return j_ / o.j_; }
+
+ private:
+  double j_ = 0.0;
+};
+
+/// E = P * t  (Eqn 1 of the paper).
+constexpr Joules operator*(Watts p, Seconds t) noexcept {
+  return Joules{p.watts() * t.seconds()};
+}
+constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
+
+/// P = E / t.
+constexpr Watts operator/(Joules e, Seconds t) noexcept {
+  return Watts{e.joules() / t.seconds()};
+}
+
+/// t = E / P.
+constexpr Seconds operator/(Joules e, Watts p) noexcept {
+  return Seconds{e.joules() / p.watts()};
+}
+
+/// Electrical potential in volts (for the V/f curve of a chip model).
+class Volts {
+ public:
+  constexpr Volts() noexcept = default;
+  constexpr explicit Volts(double v) noexcept : v_(v) {}
+  [[nodiscard]] constexpr double volts() const noexcept { return v_; }
+  constexpr auto operator<=>(const Volts&) const noexcept = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Data sizes, canonical unit: bytes.
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(std::uint64_t b) noexcept : b_(b) {}
+
+  [[nodiscard]] static constexpr Bytes from_mb(double mb) noexcept {
+    return Bytes{static_cast<std::uint64_t>(mb * 1e6)};
+  }
+  [[nodiscard]] static constexpr Bytes from_gb(double gb) noexcept {
+    return Bytes{static_cast<std::uint64_t>(gb * 1e9)};
+  }
+  [[nodiscard]] static constexpr Bytes from_gib(double gib) noexcept {
+    return Bytes{static_cast<std::uint64_t>(gib * 1024.0 * 1024.0 * 1024.0)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bytes() const noexcept { return b_; }
+  [[nodiscard]] constexpr double mb() const noexcept { return static_cast<double>(b_) / 1e6; }
+  [[nodiscard]] constexpr double gb() const noexcept { return static_cast<double>(b_) / 1e9; }
+
+  constexpr auto operator<=>(const Bytes&) const noexcept = default;
+  constexpr Bytes operator+(Bytes o) const noexcept { return Bytes{b_ + o.b_}; }
+  constexpr double operator/(Bytes o) const noexcept {
+    return static_cast<double>(b_) / static_cast<double>(o.b_);
+  }
+
+ private:
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace lcp

@@ -1,0 +1,55 @@
+#include "tuning/io_plan.hpp"
+
+namespace lcp::tuning {
+
+Seconds IoPlan::total_runtime(const power::ChipSpec& spec) const {
+  Seconds total{0.0};
+  for (const auto& stage : stages) {
+    total = total + power::workload_runtime(stage.workload, spec, stage.frequency);
+  }
+  return total;
+}
+
+Joules IoPlan::total_energy(const power::ChipSpec& spec) const {
+  Joules total{0.0};
+  for (const auto& stage : stages) {
+    total = total + power::workload_energy(stage.workload, spec, stage.frequency);
+  }
+  return total;
+}
+
+Seconds IoPlan::transition_time(const power::ChipSpec& spec) const {
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    if (stages[i].frequency != stages[i - 1].frequency) {
+      ++switches;
+    }
+  }
+  return spec.dvfs_transition_latency * static_cast<double>(switches);
+}
+
+Joules IoPlan::transition_energy(const power::ChipSpec& spec) const {
+  return spec.static_power * transition_time(spec);
+}
+
+PlanComparison plan_compressed_dump(const power::ChipSpec& spec,
+                                    const power::Workload& compress_workload,
+                                    const power::Workload& write_workload,
+                                    const TuningRule& rule) {
+  PlanComparison cmp;
+  cmp.base.stages = {
+      {"compress", compress_workload, spec.f_max},
+      {"write", write_workload, spec.f_max},
+  };
+  cmp.tuned.stages = {
+      {"compress", compress_workload, rule.compression_frequency(spec.f_max)},
+      {"write", write_workload, rule.transit_frequency(spec.f_max)},
+  };
+  cmp.energy_base = cmp.base.total_energy(spec);
+  cmp.energy_tuned = cmp.tuned.total_energy(spec);
+  cmp.runtime_base = cmp.base.total_runtime(spec);
+  cmp.runtime_tuned = cmp.tuned.total_runtime(spec);
+  return cmp;
+}
+
+}  // namespace lcp::tuning

@@ -1,0 +1,65 @@
+#pragma once
+// Piecewise I/O plan: the paper's two-stage view of a data dump
+// (compress at 0.875 f_max, then write at 0.85 f_max), generalized to any
+// list of (workload, frequency) stages. Produces per-stage and total
+// energy/runtime for a baseline clock vs the tuned plan.
+
+#include <string>
+#include <vector>
+
+#include "power/chip_model.hpp"
+#include "power/workload.hpp"
+#include "tuning/optimizer.hpp"
+#include "tuning/rule.hpp"
+
+namespace lcp::tuning {
+
+/// One stage of an I/O pipeline.
+struct IoStage {
+  std::string name;          ///< "compress", "write"
+  power::Workload workload;
+  GigaHertz frequency;       ///< frequency the plan runs this stage at
+};
+
+/// A fully-specified plan.
+struct IoPlan {
+  std::vector<IoStage> stages;
+
+  [[nodiscard]] Seconds total_runtime(const power::ChipSpec& spec) const;
+  [[nodiscard]] Joules total_energy(const power::ChipSpec& spec) const;
+
+  /// Overhead of the frequency switches between consecutive stages that
+  /// run at different clocks (the cost Eqn 3's piecewise plan implicitly
+  /// assumes away — and which is indeed negligible; see the tests). The
+  /// core stalls at static power during each transition.
+  [[nodiscard]] Seconds transition_time(const power::ChipSpec& spec) const;
+  [[nodiscard]] Joules transition_energy(const power::ChipSpec& spec) const;
+};
+
+/// Comparison of a tuned plan against the same stages at a base clock.
+struct PlanComparison {
+  IoPlan base;
+  IoPlan tuned;
+  Joules energy_base;
+  Joules energy_tuned;
+  Seconds runtime_base;
+  Seconds runtime_tuned;
+
+  [[nodiscard]] double energy_savings() const noexcept {
+    return 1.0 - energy_tuned / energy_base;
+  }
+  [[nodiscard]] double runtime_increase() const noexcept {
+    return runtime_tuned / runtime_base - 1.0;
+  }
+  [[nodiscard]] Joules energy_saved() const noexcept {
+    return energy_base - energy_tuned;
+  }
+};
+
+/// Builds the two-stage compressed-dump plan under `rule` and compares it
+/// against running both stages at the chip's max clock.
+[[nodiscard]] PlanComparison plan_compressed_dump(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& write_workload, const TuningRule& rule);
+
+}  // namespace lcp::tuning

@@ -1,0 +1,59 @@
+#include "tuning/optimizer.hpp"
+
+namespace lcp::tuning {
+namespace {
+
+template <typename Metric>
+GigaHertz argmin_over_grid(const power::ChipSpec& spec, Metric metric) {
+  const dvfs::FrequencyRange range{spec.f_min, spec.f_max, spec.f_step};
+  GigaHertz best = spec.f_max;
+  double best_value = metric(spec.f_max);
+  for (GigaHertz f : range.steps()) {
+    const double v = metric(f);
+    if (v < best_value) {
+      best_value = v;
+      best = f;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SavingsReport evaluate_tuning(const power::ChipSpec& spec,
+                              const power::Workload& workload,
+                              GigaHertz f_base, GigaHertz f_tuned) {
+  SavingsReport r;
+  r.f_base = f_base;
+  r.f_tuned = f_tuned;
+  r.power_base = power::workload_power(workload, spec, f_base);
+  r.power_tuned = power::workload_power(workload, spec, f_tuned);
+  r.runtime_base = power::workload_runtime(workload, spec, f_base);
+  r.runtime_tuned = power::workload_runtime(workload, spec, f_tuned);
+  r.energy_base = power::workload_energy(workload, spec, f_base);
+  r.energy_tuned = power::workload_energy(workload, spec, f_tuned);
+  return r;
+}
+
+GigaHertz energy_optimal_frequency(const power::ChipSpec& spec,
+                                   const power::Workload& workload) {
+  return argmin_over_grid(spec, [&](GigaHertz f) {
+    return power::workload_energy(workload, spec, f).joules();
+  });
+}
+
+GigaHertz power_optimal_frequency(const power::ChipSpec& spec,
+                                  const power::Workload& workload) {
+  return argmin_over_grid(spec, [&](GigaHertz f) {
+    return power::workload_power(workload, spec, f).watts();
+  });
+}
+
+GigaHertz runtime_optimal_frequency(const power::ChipSpec& spec,
+                                    const power::Workload& workload) {
+  return argmin_over_grid(spec, [&](GigaHertz f) {
+    return power::workload_runtime(workload, spec, f).seconds();
+  });
+}
+
+}  // namespace lcp::tuning

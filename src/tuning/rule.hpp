@@ -1,0 +1,45 @@
+#pragma once
+// The paper's frequency-tuning recommendation (Eqn 3):
+//   f_IO = 0.875 * f_max  during lossy compression
+//          0.85  * f_max  during data writing
+// plus machinery to derive such a rule from fitted power models instead of
+// hard-coding it.
+
+#include "model/power_law.hpp"
+#include "support/units.hpp"
+
+namespace lcp::tuning {
+
+/// A piecewise frequency rule for the two I/O stages.
+struct TuningRule {
+  double compression_fraction = 0.875;  ///< of f_max, Eqn 3 first row
+  double transit_fraction = 0.85;       ///< of f_max, Eqn 3 second row
+
+  [[nodiscard]] GigaHertz compression_frequency(GigaHertz f_max) const noexcept {
+    return f_max * compression_fraction;
+  }
+  [[nodiscard]] GigaHertz transit_frequency(GigaHertz f_max) const noexcept {
+    return f_max * transit_fraction;
+  }
+};
+
+/// Eqn 3 as published.
+[[nodiscard]] TuningRule paper_rule() noexcept;
+
+/// Derives a stage fraction from a fitted scaled-power model: picks the
+/// f/f_max maximizing (power savings) - weight * (runtime increase), where
+/// runtime increase follows the cpu-bound fraction `beta` of the stage.
+/// This is the paper's "where power is minimized and runtime is minimized"
+/// trade-off made explicit.
+[[nodiscard]] double derive_fraction(const model::PowerLawFit& fit,
+                                     GigaHertz f_max, double beta,
+                                     double weight = 1.0,
+                                     double min_fraction = 0.5);
+
+/// Builds a full rule from compression + transit fits.
+[[nodiscard]] TuningRule derive_rule(const model::PowerLawFit& compression_fit,
+                                     const model::PowerLawFit& transit_fit,
+                                     GigaHertz f_max, double compression_beta,
+                                     double transit_beta);
+
+}  // namespace lcp::tuning

@@ -1,0 +1,165 @@
+#include "tuning/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dvfs/frequency_range.hpp"
+
+namespace lcp::tuning {
+namespace {
+
+/// Per-job view of the DVFS grid with cached time/energy.
+struct JobGrid {
+  std::vector<GigaHertz> freq;
+  std::vector<double> runtime_s;
+  std::vector<double> energy_j;
+  std::size_t chosen = 0;  // index into freq
+};
+
+JobGrid build_grid(const power::ChipSpec& spec, const power::Workload& w) {
+  const dvfs::FrequencyRange range{spec.f_min, spec.f_max, spec.f_step};
+  JobGrid grid;
+  for (GigaHertz f : range.steps()) {
+    grid.freq.push_back(f);
+    grid.runtime_s.push_back(power::workload_runtime(w, spec, f).seconds());
+    grid.energy_j.push_back(power::workload_energy(w, spec, f).joules());
+  }
+  return grid;
+}
+
+Schedule materialize(const power::ChipSpec& spec, const std::vector<Job>& jobs,
+                     const std::vector<JobGrid>& grids) {
+  Schedule schedule;
+  double total_t = 0.0;
+  double total_e = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobGrid& grid = grids[j];
+    ScheduledJob sj;
+    sj.job = jobs[j];
+    sj.frequency = grid.freq[grid.chosen];
+    sj.runtime = Seconds{grid.runtime_s[grid.chosen]};
+    sj.energy = Joules{grid.energy_j[grid.chosen]};
+    total_t += sj.runtime.seconds();
+    total_e += sj.energy.joules();
+    schedule.jobs.push_back(std::move(sj));
+  }
+  (void)spec;
+  schedule.total_runtime = Seconds{total_t};
+  schedule.total_energy = Joules{total_e};
+  return schedule;
+}
+
+}  // namespace
+
+Schedule schedule_baseline(const power::ChipSpec& spec,
+                           const std::vector<Job>& jobs) {
+  std::vector<JobGrid> grids;
+  grids.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    JobGrid grid = build_grid(spec, job.workload);
+    grid.chosen = grid.freq.size() - 1;  // f_max
+    grids.push_back(std::move(grid));
+  }
+  return materialize(spec, jobs, grids);
+}
+
+Expected<Schedule> schedule_for_deadline(const power::ChipSpec& spec,
+                                         const std::vector<Job>& jobs,
+                                         Seconds deadline) {
+  if (jobs.empty()) {
+    return Status::invalid_argument("schedule: no jobs");
+  }
+  std::vector<JobGrid> grids;
+  grids.reserve(jobs.size());
+  double total_t = 0.0;
+  double fastest_t = 0.0;
+  for (const Job& job : jobs) {
+    JobGrid grid = build_grid(spec, job.workload);
+    // Start at the energy-optimal point.
+    grid.chosen = static_cast<std::size_t>(
+        std::min_element(grid.energy_j.begin(), grid.energy_j.end()) -
+        grid.energy_j.begin());
+    total_t += grid.runtime_s[grid.chosen];
+    fastest_t += grid.runtime_s.back();
+    grids.push_back(std::move(grid));
+  }
+  if (fastest_t > deadline.seconds() * (1.0 + 1e-12)) {
+    return Status::invalid_argument(
+        "schedule: deadline infeasible even at f_max");
+  }
+
+  // Buy back runtime at the cheapest marginal energy per second saved.
+  while (total_t > deadline.seconds()) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_job = jobs.size();
+    for (std::size_t j = 0; j < grids.size(); ++j) {
+      JobGrid& grid = grids[j];
+      if (grid.chosen + 1 >= grid.freq.size()) {
+        continue;
+      }
+      const double dt =
+          grid.runtime_s[grid.chosen] - grid.runtime_s[grid.chosen + 1];
+      if (dt <= 0.0) {
+        continue;  // no runtime gained (floor-bound job): skip this step
+      }
+      const double de =
+          grid.energy_j[grid.chosen + 1] - grid.energy_j[grid.chosen];
+      const double cost = de / dt;  // joules per saved second
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_job = j;
+      }
+    }
+    if (best_job == jobs.size()) {
+      // Only floor-bound steps remain: advance any job with headroom so the
+      // loop terminates (its runtime is unchanged but frequency rises).
+      bool advanced = false;
+      for (auto& grid : grids) {
+        if (grid.chosen + 1 < grid.freq.size()) {
+          ++grid.chosen;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        return Status::internal("schedule: no moves left before deadline met");
+      }
+      continue;
+    }
+    JobGrid& grid = grids[best_job];
+    total_t -= grid.runtime_s[grid.chosen] - grid.runtime_s[grid.chosen + 1];
+    ++grid.chosen;
+  }
+  return materialize(spec, jobs, grids);
+}
+
+Expected<Schedule> schedule_for_power_cap(const power::ChipSpec& spec,
+                                          const std::vector<Job>& jobs,
+                                          Watts cap) {
+  if (jobs.empty()) {
+    return Status::invalid_argument("schedule: no jobs");
+  }
+  std::vector<JobGrid> grids;
+  grids.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    JobGrid grid = build_grid(spec, job.workload);
+    bool feasible = false;
+    for (std::size_t i = grid.freq.size(); i-- > 0;) {
+      const Watts p =
+          power::workload_power(job.workload, spec, grid.freq[i]);
+      if (p <= cap) {
+        grid.chosen = i;
+        feasible = true;
+        break;
+      }
+    }
+    if (!feasible) {
+      return Status::invalid_argument("schedule: power cap infeasible for '" +
+                                      job.name + "' even at f_min");
+    }
+    grids.push_back(std::move(grid));
+  }
+  return materialize(spec, jobs, grids);
+}
+
+}  // namespace lcp::tuning

@@ -1,0 +1,58 @@
+#pragma once
+// Energy-aware I/O scheduler: generalizes the paper's per-stage Eqn 3 rule
+// to a set of jobs with a global constraint. Given the jobs of an I/O
+// window (compressions, writes) on one chip, pick a DVFS point per job to
+//   - minimize total energy subject to a wall-clock deadline
+//     (discrete marginal-cost greedy over the frequency grid), or
+//   - run each job as fast as the package power cap allows.
+// This is the "per-CPU, per-workload tuning" the paper's conclusion points
+// toward as future work.
+
+#include <string>
+#include <vector>
+
+#include "power/chip_model.hpp"
+#include "power/workload.hpp"
+#include "support/status.hpp"
+
+namespace lcp::tuning {
+
+/// A job to schedule.
+struct Job {
+  std::string name;
+  power::Workload workload;
+};
+
+/// A job with its chosen frequency.
+struct ScheduledJob {
+  Job job;
+  GigaHertz frequency;
+  Seconds runtime;
+  Joules energy;
+};
+
+/// A complete schedule.
+struct Schedule {
+  std::vector<ScheduledJob> jobs;
+  Seconds total_runtime;
+  Joules total_energy;
+};
+
+/// All jobs at the max clock — the paper's "Base Clock" reference.
+[[nodiscard]] Schedule schedule_baseline(const power::ChipSpec& spec,
+                                         const std::vector<Job>& jobs);
+
+/// Minimum-energy schedule whose total runtime is within `deadline`.
+/// Starts every job at its energy-optimal grid point and buys runtime back
+/// at the cheapest marginal energy cost. Fails with kInvalidArgument if
+/// even all-jobs-at-f_max misses the deadline.
+[[nodiscard]] Expected<Schedule> schedule_for_deadline(
+    const power::ChipSpec& spec, const std::vector<Job>& jobs,
+    Seconds deadline);
+
+/// Fastest schedule whose modeled per-job package power stays under `cap`.
+/// Fails with kInvalidArgument if some job exceeds the cap even at f_min.
+[[nodiscard]] Expected<Schedule> schedule_for_power_cap(
+    const power::ChipSpec& spec, const std::vector<Job>& jobs, Watts cap);
+
+}  // namespace lcp::tuning

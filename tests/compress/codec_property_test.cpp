@@ -1,0 +1,117 @@
+// Parameterized property suite: both codecs, every dataset family, every
+// paper error bound — the absolute-error guarantee, round-trip shape
+// integrity and ratio sanity must hold across the whole grid.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "compress/common/metrics.hpp"
+#include "compress/common/registry.hpp"
+#include "data/generators.hpp"
+#include "data/registry.hpp"
+
+namespace lcp::compress {
+namespace {
+
+data::Field small_dataset(data::DatasetId id, std::uint64_t seed) {
+  switch (id) {
+    case data::DatasetId::kCesmAtm:
+      return data::generate_cesm_atm(4, 36, 72, seed);
+    case data::DatasetId::kHacc:
+      return data::generate_hacc(16384, seed);
+    case data::DatasetId::kNyx:
+      return data::generate_nyx(24, seed);
+    case data::DatasetId::kIsabel:
+      return data::generate_isabel(data::IsabelKind::kPressure, 8, 24, 24,
+                                   seed);
+  }
+  return {};
+}
+
+using Param = std::tuple<CodecId, data::DatasetId, double>;
+
+class CodecPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CodecPropertyTest, AbsoluteErrorBoundIsHonoured) {
+  const auto [codec_id, dataset_id, eb_rel] = GetParam();
+  const auto field = small_dataset(dataset_id, 11);
+  // Bounds are relative to the value range so every dataset (K-scale CESM,
+  // 1e10-scale NYX) is exercised in a comparable regime.
+  const double eb = static_cast<double>(field.value_range().span()) * eb_rel;
+  const auto codec = make_compressor(codec_id);
+  const auto report = round_trip(*codec, field, ErrorBound::absolute(eb));
+  ASSERT_TRUE(report.has_value()) << report.status().to_string();
+  EXPECT_TRUE(report->bound_respected)
+      << codec->name() << " on " << data::dataset_name(dataset_id)
+      << " eb=" << eb << " max_err=" << report->error.max_abs_error;
+}
+
+TEST_P(CodecPropertyTest, DecodedFieldPreservesShapeAndName) {
+  const auto [codec_id, dataset_id, eb_rel] = GetParam();
+  const auto field = small_dataset(dataset_id, 13);
+  const double eb = static_cast<double>(field.value_range().span()) * eb_rel;
+  const auto codec = make_compressor(codec_id);
+  auto compressed = codec->compress(field, ErrorBound::absolute(eb));
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = codec->decompress(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->field.dims(), field.dims());
+  EXPECT_EQ(decoded->field.name(), field.name());
+}
+
+TEST_P(CodecPropertyTest, RatioAboveOneOnSmoothData) {
+  const auto [codec_id, dataset_id, eb_rel] = GetParam();
+  if (dataset_id == data::DatasetId::kHacc) {
+    GTEST_SKIP() << "HACC particle streams are near-incompressible by design";
+  }
+  const auto field = small_dataset(dataset_id, 17);
+  const double eb = static_cast<double>(field.value_range().span()) * eb_rel;
+  const auto codec = make_compressor(codec_id);
+  auto compressed = codec->compress(field, ErrorBound::absolute(eb));
+  ASSERT_TRUE(compressed.has_value());
+  EXPECT_GT(compressed->compression_ratio(), 1.0)
+      << codec->name() << " on " << data::dataset_name(dataset_id);
+}
+
+TEST_P(CodecPropertyTest, CompressionIsDeterministic) {
+  const auto [codec_id, dataset_id, eb_rel] = GetParam();
+  const auto field = small_dataset(dataset_id, 19);
+  const double eb = static_cast<double>(field.value_range().span()) * eb_rel;
+  const auto codec = make_compressor(codec_id);
+  auto a = codec->compress(field, ErrorBound::absolute(eb));
+  auto b = codec->compress(field, ErrorBound::absolute(eb));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->container, b->container);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [codec_id, dataset_id, eb] = info.param;
+  std::string name = codec_name(codec_id);
+  name += "_";
+  name += data::dataset_name(dataset_id);
+  name += "_eb";
+  name += std::to_string(static_cast<int>(-std::log10(eb)));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsDatasetsBounds, CodecPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(CodecId::kSz, CodecId::kZfp),
+        ::testing::Values(data::DatasetId::kCesmAtm, data::DatasetId::kHacc,
+                          data::DatasetId::kNyx, data::DatasetId::kIsabel),
+        ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4)),
+    param_name);
+
+}  // namespace
+}  // namespace lcp::compress

@@ -1,0 +1,88 @@
+#include "compress/common/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compress/common/registry.hpp"
+#include "data/generators.hpp"
+
+namespace lcp::compress {
+namespace {
+
+TEST(ContainerTest, HeaderRoundTrips) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const auto bytes =
+      build_container("sz", ErrorBound::absolute(1e-3),
+                      data::Dims::d3(26, 1800, 3600), "CLDHGH", payload);
+  const auto view = parse_container(bytes);
+  ASSERT_TRUE(view.has_value()) << view.status().to_string();
+  EXPECT_EQ(view->codec, "sz");
+  EXPECT_DOUBLE_EQ(view->bound.value, 1e-3);
+  EXPECT_EQ(view->dims, data::Dims::d3(26, 1800, 3600));
+  EXPECT_EQ(view->field_name, "CLDHGH");
+  EXPECT_EQ(std::vector<std::uint8_t>(view->payload.begin(),
+                                      view->payload.end()),
+            payload);
+}
+
+TEST(ContainerTest, RejectsBadMagic) {
+  auto bytes = build_container("sz", ErrorBound::absolute(1e-3),
+                               data::Dims::d1(4), "f", {});
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(parse_container(bytes).has_value());
+}
+
+TEST(ContainerTest, RejectsTruncation) {
+  const auto bytes = build_container("zfp", ErrorBound::absolute(1e-2),
+                                     data::Dims::d2(4, 4), "f",
+                                     std::vector<std::uint8_t>(100, 1));
+  for (std::size_t cut : {std::size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> t(bytes.begin(),
+                                bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(parse_container(t).has_value()) << cut;
+  }
+}
+
+TEST(ContainerTest, RejectsEmptyInput) {
+  EXPECT_FALSE(parse_container({}).has_value());
+}
+
+TEST(RegistryTest, NamesAndFactories) {
+  EXPECT_STREQ(codec_name(CodecId::kSz), "sz");
+  EXPECT_STREQ(codec_name(CodecId::kZfp), "zfp");
+  EXPECT_EQ(all_codecs().size(), 2u);
+  EXPECT_EQ(make_compressor(CodecId::kSz)->name(), "sz");
+  EXPECT_EQ(make_compressor(CodecId::kZfp)->name(), "zfp");
+}
+
+TEST(RegistryTest, LookupByNameFailsForUnknown) {
+  EXPECT_TRUE(make_compressor("sz").has_value());
+  EXPECT_FALSE(make_compressor("lz4").has_value());
+  EXPECT_FALSE(make_compressor("SZ").has_value());  // case-sensitive
+}
+
+TEST(RegistryTest, DecompressAnyRoutesOnCodecField) {
+  const auto field = data::generate_cesm_atm(2, 16, 16, 3);
+  for (CodecId id : all_codecs()) {
+    const auto codec = make_compressor(id);
+    auto compressed = codec->compress(field, ErrorBound::absolute(1e-2));
+    ASSERT_TRUE(compressed.has_value());
+    auto decoded = decompress_any(compressed->container);
+    ASSERT_TRUE(decoded.has_value()) << codec_name(id);
+    EXPECT_EQ(decoded->field.element_count(), field.element_count());
+  }
+}
+
+TEST(RegistryTest, DecompressAnyRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage(64, 0xAA);
+  EXPECT_FALSE(decompress_any(garbage).has_value());
+}
+
+TEST(PaperBoundsTest, FourBoundsInOrder) {
+  const auto& bounds = paper_error_bounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-1);
+  EXPECT_DOUBLE_EQ(bounds[3], 1e-4);
+}
+
+}  // namespace
+}  // namespace lcp::compress

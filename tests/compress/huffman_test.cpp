@@ -1,0 +1,128 @@
+#include "compress/sz/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::sz {
+namespace {
+
+std::vector<std::uint32_t> decode_or_die(const std::vector<std::uint8_t>& blob) {
+  auto decoded = huffman_decode(blob);
+  EXPECT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  return decoded.has_value() ? *decoded : std::vector<std::uint32_t>{};
+}
+
+TEST(HuffmanTest, EmptyInputRoundTrips) {
+  const auto blob = huffman_encode({}, 16);
+  EXPECT_TRUE(decode_or_die(blob).empty());
+}
+
+TEST(HuffmanTest, SingleSymbolAlphabetRoundTrips) {
+  const std::vector<std::uint32_t> symbols(100, 3);
+  const auto blob = huffman_encode(symbols, 8);
+  EXPECT_EQ(decode_or_die(blob), symbols);
+}
+
+TEST(HuffmanTest, TwoSymbolsRoundTrip) {
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 64; ++i) {
+    symbols.push_back(i % 3 == 0 ? 1u : 0u);
+  }
+  const auto blob = huffman_encode(symbols, 2);
+  EXPECT_EQ(decode_or_die(blob), symbols);
+}
+
+TEST(HuffmanTest, SkewedDistributionCompresses) {
+  // 95% of symbols are one value: entropy ~0.3 bits -> big savings over the
+  // 16-bit raw representation.
+  Rng rng{1};
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    symbols.push_back(rng.uniform() < 0.95 ? 32768u
+                                           : static_cast<std::uint32_t>(
+                                                 32760 + rng.uniform_index(16)));
+  }
+  const auto blob = huffman_encode(symbols, 65536);
+  EXPECT_EQ(decode_or_die(blob), symbols);
+  EXPECT_LT(blob.size(), symbols.size());  // < 1 byte per 16-bit symbol
+}
+
+TEST(HuffmanTest, UniformRandomRoundTrips) {
+  Rng rng{2};
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    symbols.push_back(static_cast<std::uint32_t>(rng.uniform_index(257)));
+  }
+  const auto blob = huffman_encode(symbols, 257);
+  EXPECT_EQ(decode_or_die(blob), symbols);
+}
+
+TEST(HuffmanTest, LargeAlphabetSparseUseRoundTrips) {
+  // SZ uses a 65536-symbol alphabet of which few codes appear.
+  std::vector<std::uint32_t> symbols = {0, 65535, 32768, 32769, 32767, 0, 0};
+  const auto blob = huffman_encode(symbols, 65536);
+  EXPECT_EQ(decode_or_die(blob), symbols);
+}
+
+TEST(HuffmanTest, RandomizedRoundTripProperty) {
+  Rng rng{77};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t alphabet =
+        2 + static_cast<std::uint32_t>(rng.uniform_index(1000));
+    const std::size_t count = rng.uniform_index(3000);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    // Zipf-ish skew to exercise variable code lengths.
+    for (std::size_t i = 0; i < count; ++i) {
+      const double u = rng.uniform();
+      symbols.push_back(
+          static_cast<std::uint32_t>(u * u * u * (alphabet - 1)));
+    }
+    const auto blob = huffman_encode(symbols, alphabet);
+    EXPECT_EQ(decode_or_die(blob), symbols);
+  }
+}
+
+TEST(HuffmanTest, CodeLengthsSatisfyKraft) {
+  Rng rng{5};
+  std::vector<std::uint64_t> freq(300, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++freq[static_cast<std::size_t>(rng.uniform() * rng.uniform() * 299)];
+  }
+  const auto lengths = huffman_code_lengths(freq);
+  long double kraft = 0.0L;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      EXPECT_GT(lengths[s], 0u);
+      kraft += std::pow(2.0L, -static_cast<long double>(lengths[s]));
+    } else {
+      EXPECT_EQ(lengths[s], 0u);
+    }
+  }
+  EXPECT_LE(kraft, 1.0L + 1e-12L);
+}
+
+TEST(HuffmanTest, DecodeRejectsTruncatedBlob) {
+  std::vector<std::uint32_t> symbols(100, 1);
+  auto blob = huffman_encode(symbols, 4);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(huffman_decode(blob).has_value());
+}
+
+TEST(HuffmanTest, DecodeRejectsCountAboveLimit) {
+  const std::vector<std::uint32_t> symbols(100, 1);
+  const auto blob = huffman_encode(symbols, 4);
+  EXPECT_FALSE(huffman_decode(blob, 50).has_value());
+}
+
+TEST(HuffmanTest, DecodeRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(huffman_decode(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::sz

@@ -1,0 +1,150 @@
+#include "compress/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compress/common/registry.hpp"
+#include "data/field.hpp"
+#include "data/generators.hpp"
+
+namespace lcp::compress {
+namespace {
+
+TEST(ChunkRowsTest, SplitsAlongSlowestAxis) {
+  const auto rows = chunk_rows(data::Dims::d3(20, 100, 100), 50000);
+  // plane = 10000 elements -> 5 rows per chunk -> 4 chunks of 5.
+  EXPECT_EQ(rows, (std::vector<std::size_t>{5, 5, 5, 5}));
+}
+
+TEST(ChunkRowsTest, RowsSumToExtentForAwkwardSplits) {
+  for (std::size_t target : {1ul, 999ul, 123456ul, 100000000ul}) {
+    const auto rows = chunk_rows(data::Dims::d3(17, 33, 7), target);
+    std::size_t total = 0;
+    for (std::size_t r : rows) {
+      EXPECT_GT(r, 0u);
+      total += r;
+    }
+    EXPECT_EQ(total, 17u) << target;
+  }
+}
+
+TEST(ChunkRowsTest, TinyTargetStillGivesWholePlanes) {
+  const auto rows = chunk_rows(data::Dims::d2(4, 1000), 10);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+class ParallelCodecTest : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(ParallelCodecTest, RoundTripMatchesFieldAndBound) {
+  ThreadPool pool{3};
+  const auto codec = make_compressor(GetParam());
+  const auto field = data::generate_cesm_atm(12, 40, 60, 5);
+  ParallelOptions options;
+  options.target_chunk_elements = 4000;  // force many chunks
+
+  const auto bound = ErrorBound::absolute(1e-3);
+  auto compressed = parallel_compress(*codec, field, bound, pool, options);
+  ASSERT_TRUE(compressed.has_value()) << compressed.status().to_string();
+
+  auto decoded = parallel_decompress(*codec, compressed->container, pool);
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->field.dims(), field.dims());
+  EXPECT_EQ(decoded->field.name(), field.name());
+
+  const auto err = data::compare_fields(field, decoded->field);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_LE(err->max_abs_error, 1e-3 * (1 + 1e-6));
+}
+
+TEST_P(ParallelCodecTest, OneDimensionalFieldChunks) {
+  ThreadPool pool{2};
+  const auto codec = make_compressor(GetParam());
+  const auto field = data::generate_hacc(50000, 5);
+  ParallelOptions options;
+  options.target_chunk_elements = 8192;
+  auto compressed = parallel_compress(*codec, field,
+                                      ErrorBound::absolute(1e-2), pool,
+                                      options);
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = parallel_decompress(*codec, compressed->container, pool);
+  ASSERT_TRUE(decoded.has_value());
+  const auto err = data::compare_fields(field, decoded->field);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_LE(err->max_abs_error, 1e-2 * (1 + 1e-6));
+}
+
+TEST_P(ParallelCodecTest, SingleChunkDegenerateCase) {
+  ThreadPool pool{2};
+  const auto codec = make_compressor(GetParam());
+  const auto field = data::generate_nyx(16, 6);
+  ParallelOptions options;
+  options.target_chunk_elements = 1 << 30;  // everything in one chunk
+  auto compressed = parallel_compress(*codec, field,
+                                      ErrorBound::absolute(1e-3), pool,
+                                      options);
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = parallel_decompress(*codec, compressed->container, pool);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->field.element_count(), field.element_count());
+}
+
+TEST_P(ParallelCodecTest, ChunkingIsDeterministic) {
+  ThreadPool pool{4};
+  const auto codec = make_compressor(GetParam());
+  const auto field = data::generate_cesm_atm(8, 30, 30, 7);
+  ParallelOptions options;
+  options.target_chunk_elements = 2000;
+  auto a = parallel_compress(*codec, field, ErrorBound::absolute(1e-2), pool,
+                             options);
+  auto b = parallel_compress(*codec, field, ErrorBound::absolute(1e-2), pool,
+                             options);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->container, b->container);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCodecs, ParallelCodecTest,
+                         ::testing::Values(CodecId::kSz, CodecId::kZfp),
+                         [](const auto& info) {
+                           return std::string{codec_name(info.param)};
+                         });
+
+TEST(ParallelFrameTest, DecompressRejectsCodecMismatch) {
+  ThreadPool pool{2};
+  const auto sz = make_compressor(CodecId::kSz);
+  const auto zfp = make_compressor(CodecId::kZfp);
+  const auto field = data::generate_nyx(8, 8);
+  auto compressed =
+      parallel_compress(*sz, field, ErrorBound::absolute(1e-2), pool);
+  ASSERT_TRUE(compressed.has_value());
+  const auto decoded = parallel_decompress(*zfp, compressed->container, pool);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ParallelFrameTest, DecompressRejectsTruncationAndGarbage) {
+  ThreadPool pool{2};
+  const auto codec = make_compressor(CodecId::kSz);
+  const auto field = data::generate_nyx(8, 9);
+  auto compressed =
+      parallel_compress(*codec, field, ErrorBound::absolute(1e-2), pool);
+  ASSERT_TRUE(compressed.has_value());
+
+  auto truncated = compressed->container;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(parallel_decompress(*codec, truncated, pool).has_value());
+
+  const std::vector<std::uint8_t> garbage(100, 0x5A);
+  EXPECT_FALSE(parallel_decompress(*codec, garbage, pool).has_value());
+}
+
+TEST(ParallelFrameTest, CompressRejectsEmptyField) {
+  ThreadPool pool{1};
+  const auto codec = make_compressor(CodecId::kSz);
+  data::Field empty;
+  EXPECT_FALSE(
+      parallel_compress(*codec, empty, ErrorBound::absolute(1e-2), pool)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace lcp::compress

@@ -1,0 +1,139 @@
+#include "compress/sz/sz_compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "compress/common/metrics.hpp"
+#include "compress/zfp/zfp_compressor.hpp"
+#include "data/generators.hpp"
+#include "support/rng.hpp"
+
+namespace lcp::sz {
+namespace {
+
+using compress::ErrorBound;
+
+TEST(SzCompressorTest, NameIsSz) {
+  EXPECT_EQ(SzCompressor{}.name(), "sz");
+}
+
+TEST(SzCompressorTest, SmoothFieldRoundTripHonoursBound) {
+  const auto field = data::generate_nyx(24, 1);
+  SzCompressor codec;
+  const auto range = static_cast<double>(field.value_range().span());
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::absolute(range * 1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+  EXPECT_GT(report->compression_ratio, 2.0);
+}
+
+TEST(SzCompressorTest, SmoothDataCompressesBetterThanNoisyData) {
+  const auto smooth = data::generate_cesm_atm(4, 32, 32, 2);
+  const auto noisy = data::generate_hacc(4096, 2);
+  SzCompressor codec;
+  const auto rs = compress::round_trip(codec, smooth, ErrorBound::absolute(1e-2));
+  const auto rn = compress::round_trip(codec, noisy, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(rs.has_value());
+  ASSERT_TRUE(rn.has_value());
+  EXPECT_GT(rs->compression_ratio, rn->compression_ratio);
+}
+
+TEST(SzCompressorTest, FinerBoundLowersRatio) {
+  const auto field = data::generate_cesm_atm(4, 32, 64, 3);
+  SzCompressor codec;
+  const auto coarse = compress::round_trip(codec, field, ErrorBound::absolute(1e-1));
+  const auto fine = compress::round_trip(codec, field, ErrorBound::absolute(1e-4));
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_GT(coarse->compression_ratio, fine->compression_ratio);
+  EXPECT_TRUE(coarse->bound_respected);
+  EXPECT_TRUE(fine->bound_respected);
+}
+
+TEST(SzCompressorTest, OneDFieldRoundTrips) {
+  const auto field = data::generate_hacc(5000, 4);
+  SzCompressor codec;
+  const auto report = compress::round_trip(codec, field, ErrorBound::absolute(1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+}
+
+TEST(SzCompressorTest, ConstantFieldCompressesExtremely) {
+  data::Field field{"const", data::Dims::d2(64, 64),
+                    std::vector<float>(64 * 64, 2.5F)};
+  SzCompressor codec;
+  const auto report = compress::round_trip(codec, field, ErrorBound::absolute(1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+  EXPECT_GT(report->compression_ratio, 50.0);
+}
+
+TEST(SzCompressorTest, RejectsNonPositiveBound) {
+  const auto field = data::generate_nyx(8, 5);
+  SzCompressor codec;
+  EXPECT_FALSE(codec.compress(field, ErrorBound::absolute(0.0)).has_value());
+  EXPECT_FALSE(codec.compress(field, ErrorBound::absolute(-1.0)).has_value());
+}
+
+TEST(SzCompressorTest, RejectsNonFiniteInput) {
+  data::Field field{"bad", data::Dims::d1(4),
+                    {1.0F, std::numeric_limits<float>::infinity(), 0.0F, 2.0F}};
+  SzCompressor codec;
+  EXPECT_FALSE(codec.compress(field, ErrorBound::absolute(1e-3)).has_value());
+}
+
+TEST(SzCompressorTest, DecompressRejectsWrongCodec) {
+  const auto field = data::generate_nyx(8, 6);
+  zfp::ZfpCompressor other;
+  auto compressed = other.compress(field, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(compressed.has_value());
+  SzCompressor codec;
+  const auto decoded = codec.decompress(compressed->container);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SzCompressorTest, DecompressRejectsCorruptPayload) {
+  const auto field = data::generate_cesm_atm(2, 16, 16, 7);
+  SzCompressor codec;
+  auto compressed = codec.compress(field, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(compressed.has_value());
+  auto bytes = compressed->container;
+  // Flip bits near the end (inside the entropy payload).
+  for (std::size_t i = bytes.size() - 16; i < bytes.size() - 8; ++i) {
+    bytes[i] ^= 0xFF;
+  }
+  // Either a clean error or (if the flip lands in unpredictable values) a
+  // successful decode; it must never crash.
+  (void)codec.decompress(bytes);
+}
+
+TEST(SzCompressorTest, WithoutLosslessBackendStillRoundTrips) {
+  SzOptions options;
+  options.use_lossless_backend = false;
+  SzCompressor codec{options};
+  const auto field = data::generate_cesm_atm(2, 24, 24, 8);
+  const auto report = compress::round_trip(codec, field, ErrorBound::absolute(1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+}
+
+TEST(SzCompressorTest, UnpredictableHeavyDataStillBounded) {
+  // White noise with huge variance forces many unpredictable samples.
+  Rng rng{11};
+  std::vector<float> values(4096);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 1e6));
+  }
+  data::Field field{"noise", data::Dims::d1(values.size()), std::move(values)};
+  SzCompressor codec;
+  const auto report = compress::round_trip(codec, field, ErrorBound::absolute(1e-5));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+}
+
+}  // namespace
+}  // namespace lcp::sz

@@ -1,0 +1,161 @@
+// Pointwise-relative error bound for SZ (PW_REL, the paper's ref [4]):
+// |x - x'| <= rel * |x| per element via the log-domain transform.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "compress/common/metrics.hpp"
+#include "compress/common/registry.hpp"
+#include "compress/sz/sz_compressor.hpp"
+#include "data/generators.hpp"
+#include "support/rng.hpp"
+
+namespace lcp::sz {
+namespace {
+
+using compress::ErrorBound;
+
+TEST(SzRelativeTest, NyxHighDynamicRangeHonoursRelativeBound) {
+  // The showcase for PW_REL: NYX density spans decades; an abs bound is
+  // either useless for the voids or lossless for the peaks, while the
+  // relative bound treats every element equally.
+  const auto field = data::generate_nyx(24, 1);
+  SzCompressor codec;
+  for (double rel : {1e-2, 1e-3, 1e-4}) {
+    const auto report =
+        compress::round_trip(codec, field, ErrorBound::pointwise_relative(rel));
+    ASSERT_TRUE(report.has_value()) << rel;
+    EXPECT_TRUE(report->bound_respected)
+        << rel << " max_rel=" << report->error.max_rel_error;
+    EXPECT_GT(report->compression_ratio, 1.5) << rel;
+  }
+}
+
+TEST(SzRelativeTest, NegativeValuesKeepTheirSigns) {
+  const auto field = data::generate_isabel(data::IsabelKind::kWindU, 6, 24,
+                                           24, 2);
+  SzCompressor codec;
+  auto compressed =
+      codec.compress(field, ErrorBound::pointwise_relative(1e-3));
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = codec.decompress(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  for (std::size_t i = 0; i < field.element_count(); ++i) {
+    const float a = field.values()[i];
+    const float b = decoded->field.values()[i];
+    if (a != 0.0F) {
+      EXPECT_GT(a * b, 0.0F) << i;  // same sign, and b nonzero
+    }
+  }
+}
+
+TEST(SzRelativeTest, ZerosReconstructExactly) {
+  // Sparse precipitation field: many exact zeros must stay exact zeros.
+  const auto field = data::generate_isabel(data::IsabelKind::kPrecip, 6, 32,
+                                           32, 3);
+  SzCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::pointwise_relative(1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+  auto compressed =
+      codec.compress(field, ErrorBound::pointwise_relative(1e-3));
+  auto decoded = codec.decompress(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  for (std::size_t i = 0; i < field.element_count(); ++i) {
+    if (field.values()[i] == 0.0F) {
+      EXPECT_EQ(decoded->field.values()[i], 0.0F) << i;
+    }
+  }
+}
+
+TEST(SzRelativeTest, ExtremeMagnitudeSpread) {
+  // Values from 1e-30 to 1e30: abs bounds cannot handle this; PW_REL must.
+  Rng rng{4};
+  std::vector<float> values(2048);
+  for (auto& v : values) {
+    const double exponent = rng.uniform(-30.0, 30.0);
+    v = static_cast<float>((rng.uniform() < 0.5 ? -1.0 : 1.0) *
+                           std::pow(10.0, exponent));
+  }
+  data::Field field{"spread", data::Dims::d1(values.size()),
+                    std::move(values)};
+  SzCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::pointwise_relative(1e-2));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected)
+      << "max_rel=" << report->error.max_rel_error;
+}
+
+TEST(SzRelativeTest, TighterRelativeBoundLowersRatio) {
+  const auto field = data::generate_nyx(20, 5);
+  SzCompressor codec;
+  const auto coarse =
+      compress::round_trip(codec, field, ErrorBound::pointwise_relative(1e-1));
+  const auto fine =
+      compress::round_trip(codec, field, ErrorBound::pointwise_relative(1e-4));
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_GT(coarse->compression_ratio, fine->compression_ratio);
+}
+
+TEST(SzRelativeTest, RelativeBeatsAbsoluteOnHighDynamicRangeData) {
+  // At matched *relative* fidelity for the smallest values, PW_REL
+  // compresses far better than the abs bound that would be needed.
+  const auto field = data::generate_nyx(20, 6);
+  SzCompressor codec;
+  const auto rel_report =
+      compress::round_trip(codec, field, ErrorBound::pointwise_relative(1e-3));
+  ASSERT_TRUE(rel_report.has_value());
+  // Matching abs bound for the minimum magnitude element:
+  float min_abs = std::numeric_limits<float>::max();
+  for (float v : field.values()) {
+    if (v != 0.0F) {
+      min_abs = std::min(min_abs, std::fabs(v));
+    }
+  }
+  const auto abs_report = compress::round_trip(
+      codec, field, ErrorBound::absolute(static_cast<double>(min_abs) * 1e-3));
+  ASSERT_TRUE(abs_report.has_value());
+  EXPECT_GT(rel_report->compression_ratio,
+            abs_report->compression_ratio * 1.2);
+}
+
+TEST(SzRelativeTest, InvalidRelativeBoundsRejected) {
+  const auto field = data::generate_nyx(8, 7);
+  SzCompressor codec;
+  EXPECT_FALSE(
+      codec.compress(field, ErrorBound::pointwise_relative(0.0)).has_value());
+  EXPECT_FALSE(
+      codec.compress(field, ErrorBound::pointwise_relative(1e-9)).has_value());
+  EXPECT_FALSE(
+      codec.compress(field, ErrorBound::pointwise_relative(0.9)).has_value());
+}
+
+TEST(SzRelativeTest, ZfpRejectsRelativeBounds) {
+  const auto field = data::generate_nyx(8, 8);
+  const auto zfp = compress::make_compressor(compress::CodecId::kZfp);
+  EXPECT_FALSE(
+      zfp->compress(field, ErrorBound::pointwise_relative(1e-3)).has_value());
+}
+
+TEST(SzRelativeTest, ModeSurvivesContainerAndAnyRouting) {
+  const auto field = data::generate_nyx(12, 9);
+  SzCompressor codec;
+  auto compressed =
+      codec.compress(field, ErrorBound::pointwise_relative(1e-3));
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = compress::decompress_any(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  const auto err = data::compare_fields(field, decoded->field);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_LE(err->max_rel_error, 1e-3 * (1 + 1e-6));
+}
+
+}  // namespace
+}  // namespace lcp::sz

@@ -1,0 +1,139 @@
+#include "compress/zfp/zfp_compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "compress/common/metrics.hpp"
+#include "data/generators.hpp"
+#include "support/rng.hpp"
+
+namespace lcp::zfp {
+namespace {
+
+using compress::ErrorBound;
+
+TEST(ZfpCompressorTest, NameIsZfp) {
+  EXPECT_EQ(ZfpCompressor{}.name(), "zfp");
+}
+
+TEST(ZfpCompressorTest, SmoothFieldRoundTripHonoursBound) {
+  const auto field = data::generate_cesm_atm(4, 32, 32, 1);
+  ZfpCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected)
+      << "max err " << report->error.max_abs_error;
+  EXPECT_GT(report->compression_ratio, 1.5);
+}
+
+TEST(ZfpCompressorTest, FinerBoundLowersRatio) {
+  const auto field = data::generate_cesm_atm(4, 32, 64, 3);
+  ZfpCompressor codec;
+  const auto coarse =
+      compress::round_trip(codec, field, ErrorBound::absolute(1e-1));
+  const auto fine =
+      compress::round_trip(codec, field, ErrorBound::absolute(1e-4));
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_GT(coarse->compression_ratio, fine->compression_ratio);
+  EXPECT_TRUE(coarse->bound_respected);
+  EXPECT_TRUE(fine->bound_respected);
+}
+
+TEST(ZfpCompressorTest, OneDAndRaggedShapesRoundTrip) {
+  ZfpCompressor codec;
+  for (const auto& dims :
+       {data::Dims::d1(1), data::Dims::d1(5), data::Dims::d1(4097),
+        data::Dims::d2(3, 5), data::Dims::d3(5, 7, 9)}) {
+    Rng rng{42};
+    std::vector<float> values(dims.element_count());
+    for (auto& v : values) {
+      v = static_cast<float>(rng.normal(0.0, 10.0));
+    }
+    data::Field field{"ragged", dims, std::move(values)};
+    const auto report =
+        compress::round_trip(codec, field, ErrorBound::absolute(1e-3));
+    ASSERT_TRUE(report.has_value()) << dims.to_string();
+    EXPECT_TRUE(report->bound_respected) << dims.to_string();
+    EXPECT_EQ(report->error.max_abs_error <= 1e-3 * (1 + 1e-6), true);
+  }
+}
+
+TEST(ZfpCompressorTest, ZeroBlocksEncodeInOneBit) {
+  data::Field field{"zeros", data::Dims::d3(16, 16, 16),
+                    std::vector<float>(4096, 0.0F)};
+  ZfpCompressor codec;
+  const auto compressed = codec.compress(field, ErrorBound::absolute(1e-3));
+  ASSERT_TRUE(compressed.has_value());
+  // 64 blocks -> 64 bits -> 8 bytes of payload plus container framing.
+  EXPECT_LT(compressed->container.size(), 200u);
+}
+
+TEST(ZfpCompressorTest, HugeMagnitudeDataFallsBackToVerbatim) {
+  // 1e30-scale values with a 1e-3 bound exceed fixed-point precision;
+  // verbatim mode must reproduce the floats exactly.
+  Rng rng{7};
+  std::vector<float> values(256);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 1.0) * 1e30);
+  }
+  data::Field field{"huge", data::Dims::d1(values.size()), values};
+  ZfpCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::absolute(1e-3));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->error.max_abs_error, 0.0);
+}
+
+TEST(ZfpCompressorTest, MixedMagnitudeBlocksStayBounded) {
+  // Alternate tiny and huge values so neighboring blocks pick very
+  // different exponents.
+  std::vector<float> values(512);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i / 64) % 2 == 0 ? 1e-6F * static_cast<float>(i % 64)
+                                  : 1e6F + static_cast<float>(i % 64);
+  }
+  data::Field field{"mixed", data::Dims::d1(values.size()), values};
+  ZfpCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected)
+      << "max err " << report->error.max_abs_error;
+}
+
+TEST(ZfpCompressorTest, NyxHighDynamicRangeWithRelativeScaleBound) {
+  const auto field = data::generate_nyx(24, 9);
+  const double range = field.value_range().span();
+  ZfpCompressor codec;
+  const auto report = compress::round_trip(
+      codec, field, ErrorBound::absolute(range * 1e-4));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->bound_respected);
+  EXPECT_GT(report->compression_ratio, 1.5);
+}
+
+TEST(ZfpCompressorTest, RejectsNonPositiveBoundAndNonFinite) {
+  const auto field = data::generate_nyx(8, 5);
+  ZfpCompressor codec;
+  EXPECT_FALSE(codec.compress(field, ErrorBound::absolute(0.0)).has_value());
+  data::Field bad{"bad", data::Dims::d1(1),
+                  {std::numeric_limits<float>::quiet_NaN()}};
+  EXPECT_FALSE(codec.compress(bad, ErrorBound::absolute(1e-3)).has_value());
+}
+
+TEST(ZfpCompressorTest, DecompressRejectsWrongCodecAndTruncation) {
+  const auto field = data::generate_cesm_atm(2, 16, 16, 7);
+  ZfpCompressor codec;
+  auto compressed = codec.compress(field, ErrorBound::absolute(1e-2));
+  ASSERT_TRUE(compressed.has_value());
+
+  auto truncated = compressed->container;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(codec.decompress(truncated).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::zfp

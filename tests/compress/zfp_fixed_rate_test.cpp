@@ -1,0 +1,133 @@
+// ZFP fixed-rate mode: hard size guarantees (rate * elements at block
+// granularity), graceful quality scaling with rate, and robustness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <limits>
+
+#include "compress/common/metrics.hpp"
+#include "compress/sz/sz_compressor.hpp"
+#include "compress/zfp/zfp_compressor.hpp"
+#include "data/generators.hpp"
+
+namespace lcp::zfp {
+namespace {
+
+using compress::ErrorBound;
+
+/// Payload bit budget implied by rate for a field with 4^3 blocks.
+std::uint64_t expected_payload_bits(const data::Dims& dims, double rate) {
+  std::uint64_t blocks = 1;
+  for (std::size_t e : dims.extents()) {
+    blocks *= (e + 3) / 4;
+  }
+  return blocks *
+         static_cast<std::uint64_t>(std::llround(rate * 64.0));
+}
+
+TEST(ZfpFixedRateTest, CompressedSizeIsExactlyTheBudget) {
+  const auto field = data::generate_nyx(32, 1);  // 8^3 = 512 blocks
+  ZfpCompressor codec;
+  for (double rate : {2.0, 4.0, 8.0, 16.0}) {
+    auto compressed = codec.compress(field, ErrorBound::fixed_rate(rate));
+    ASSERT_TRUE(compressed.has_value()) << rate;
+    const std::uint64_t bits = expected_payload_bits(field.dims(), rate);
+    // Container adds a fixed-size header; payload is exactly ceil(bits/8).
+    const std::uint64_t payload_bytes = (bits + 7) / 8;
+    EXPECT_NEAR(static_cast<double>(compressed->container.size()),
+                static_cast<double>(payload_bytes), 128.0)
+        << rate;
+  }
+}
+
+TEST(ZfpFixedRateTest, RoundTripReproducesShape) {
+  const auto field = data::generate_cesm_atm(4, 20, 20, 2);
+  ZfpCompressor codec;
+  auto compressed = codec.compress(field, ErrorBound::fixed_rate(8.0));
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = codec.decompress(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->field.dims(), field.dims());
+}
+
+TEST(ZfpFixedRateTest, HigherRateMeansLowerError) {
+  const auto field = data::generate_cesm_atm(4, 32, 32, 3);
+  ZfpCompressor codec;
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (double rate : {1.0, 4.0, 10.0, 20.0}) {
+    const auto report =
+        compress::round_trip(codec, field, ErrorBound::fixed_rate(rate));
+    ASSERT_TRUE(report.has_value()) << rate;
+    EXPECT_LT(report->error.max_abs_error, prev_err * 1.05) << rate;
+    prev_err = report->error.max_abs_error;
+  }
+  // At 20 bits/value the reconstruction should be quite accurate relative
+  // to a ~100 K range field.
+  EXPECT_LT(prev_err, 1e-1);
+}
+
+TEST(ZfpFixedRateTest, HighRateIsNearLossless) {
+  const auto field = data::generate_cesm_atm(2, 16, 16, 4);
+  ZfpCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::fixed_rate(40.0));
+  ASSERT_TRUE(report.has_value());
+  const double range = field.value_range().span();
+  EXPECT_LT(report->error.max_abs_error, range * 1e-6);
+}
+
+TEST(ZfpFixedRateTest, ZeroBlocksStillCostTheBudget) {
+  data::Field field{"zeros", data::Dims::d3(8, 8, 8),
+                    std::vector<float>(512, 0.0F)};
+  ZfpCompressor codec;
+  auto compressed = codec.compress(field, ErrorBound::fixed_rate(4.0));
+  ASSERT_TRUE(compressed.has_value());
+  auto decoded = codec.decompress(compressed->container);
+  ASSERT_TRUE(decoded.has_value());
+  for (float v : decoded->field.values()) {
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+TEST(ZfpFixedRateTest, RaggedDimsRoundTrip) {
+  const auto field = data::generate_isabel(data::IsabelKind::kWindU, 5, 13,
+                                           17, 5);
+  ZfpCompressor codec;
+  const auto report =
+      compress::round_trip(codec, field, ErrorBound::fixed_rate(12.0));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->error.max_abs_error < 10.0, true);  // sane quality
+}
+
+TEST(ZfpFixedRateTest, InvalidRatesRejected) {
+  const auto field = data::generate_nyx(8, 6);
+  ZfpCompressor codec;
+  EXPECT_FALSE(codec.compress(field, ErrorBound::fixed_rate(0.0)).has_value());
+  EXPECT_FALSE(codec.compress(field, ErrorBound::fixed_rate(-2.0)).has_value());
+  EXPECT_FALSE(codec.compress(field, ErrorBound::fixed_rate(65.0)).has_value());
+  // Below the 17-bit block floor for 64-element blocks.
+  EXPECT_FALSE(codec.compress(field, ErrorBound::fixed_rate(0.1)).has_value());
+}
+
+TEST(ZfpFixedRateTest, SzRejectsFixedRate) {
+  const auto field = data::generate_nyx(8, 7);
+  sz::SzCompressor codec;
+  const auto result = codec.compress(field, ErrorBound::fixed_rate(8.0));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnsupported);
+}
+
+TEST(ZfpFixedRateTest, TruncationRejectedCleanly) {
+  const auto field = data::generate_nyx(16, 8);
+  ZfpCompressor codec;
+  auto compressed = codec.compress(field, ErrorBound::fixed_rate(8.0));
+  ASSERT_TRUE(compressed.has_value());
+  auto cut = compressed->container;
+  cut.resize(cut.size() - 8);
+  EXPECT_FALSE(codec.decompress(cut).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::zfp

@@ -1,0 +1,135 @@
+#include "compress/zfp/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::zfp {
+namespace {
+
+TEST(TransformTest, Lift4IsExactlyInvertible) {
+  Rng rng{1};
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<std::int64_t, 4> line{};
+    for (auto& v : line) {
+      v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 40)) -
+          (1LL << 39);
+    }
+    auto copy = line;
+    forward_lift4(copy.data(), 1);
+    inverse_lift4(copy.data(), 1);
+    EXPECT_EQ(copy, line);
+  }
+}
+
+TEST(TransformTest, Lift4WithStride) {
+  std::vector<std::int64_t> grid(16);
+  std::iota(grid.begin(), grid.end(), -8);
+  auto copy = grid;
+  forward_lift4(copy.data() + 1, 4);  // one column of a 4x4 block
+  inverse_lift4(copy.data() + 1, 4);
+  EXPECT_EQ(copy, grid);
+}
+
+TEST(TransformTest, FullBlockInvertibleAllRanks) {
+  Rng rng{2};
+  for (std::size_t rank = 1; rank <= 3; ++rank) {
+    const std::size_t n = std::size_t{1} << (2 * rank);
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<std::int64_t> block(n);
+      for (auto& v : block) {
+        v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 58)) -
+            (1LL << 57);
+      }
+      auto copy = block;
+      forward_transform(copy, rank);
+      inverse_transform(copy, rank);
+      EXPECT_EQ(copy, block) << "rank " << rank;
+    }
+  }
+}
+
+TEST(TransformTest, ConstantBlockConcentratesInDcCoefficient) {
+  std::vector<std::int64_t> block(64, 1000);
+  forward_transform(block, 3);
+  EXPECT_EQ(block[0], 1000);
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_EQ(block[i], 0) << i;
+  }
+}
+
+TEST(TransformTest, LinearRampHasSmallHighFrequencyCoefficients) {
+  std::vector<std::int64_t> block(4);
+  std::iota(block.begin(), block.end(), 1000000);
+  forward_transform(block, 1);
+  // Smooth coefficient carries the magnitude; details are tiny.
+  EXPECT_GT(std::llabs(block[0]), 100000);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_LT(std::llabs(block[i]), 16) << i;
+  }
+}
+
+TEST(TransformTest, GrowthBoundedByEightInThreeD) {
+  Rng rng{3};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> block(64);
+    std::int64_t max_in = 0;
+    for (auto& v : block) {
+      v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 30)) -
+          (1LL << 29);
+      max_in = std::max<std::int64_t>(max_in, std::llabs(v));
+    }
+    forward_transform(block, 3);
+    for (auto v : block) {
+      EXPECT_LE(std::llabs(v), 8 * max_in + 8);
+    }
+  }
+}
+
+TEST(CoefficientOrderTest, IsAPermutation) {
+  for (std::size_t rank = 1; rank <= 3; ++rank) {
+    const auto& order = coefficient_order(rank);
+    const std::size_t n = std::size_t{1} << (2 * rank);
+    ASSERT_EQ(order.size(), n);
+    std::vector<bool> seen(n, false);
+    for (auto idx : order) {
+      ASSERT_LT(idx, n);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(CoefficientOrderTest, DcComesFirst) {
+  for (std::size_t rank = 1; rank <= 3; ++rank) {
+    EXPECT_EQ(coefficient_order(rank)[0], 0u);
+  }
+}
+
+TEST(CoefficientOrderTest, WeightIsNonDecreasingAlongOrder) {
+  // Recompute weights independently and verify the order sorts them.
+  auto weight = [](std::uint16_t idx, std::size_t rank) {
+    static constexpr unsigned kW[4] = {0, 1, 2, 2};
+    unsigned total = 0;
+    for (std::size_t a = 0; a < rank; ++a) {
+      total += kW[idx & 3];
+      idx = static_cast<std::uint16_t>(idx >> 2);
+    }
+    return total;
+  };
+  for (std::size_t rank = 1; rank <= 3; ++rank) {
+    const auto& order = coefficient_order(rank);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LE(weight(order[i - 1], rank), weight(order[i], rank));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcp::zfp

@@ -1,0 +1,85 @@
+#include "core/dump_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::core {
+namespace {
+
+DumpConfig tiny_config() {
+  DumpConfig cfg;
+  cfg.error_bounds = {1e-2, 1e-4};
+  return cfg;
+}
+
+TEST(DumpExperimentTest, TunedAlwaysSavesEnergy) {
+  // Fig 6: "our solution always reduces the amount of energy consumed".
+  const auto result = run_dump_experiment(tiny_config());
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  ASSERT_EQ(result->outcomes.size(), 2u);
+  for (const auto& outcome : result->outcomes) {
+    EXPECT_GT(outcome.plan.energy_savings(), 0.0) << outcome.error_bound;
+    EXPECT_GT(outcome.plan.energy_saved().joules(), 0.0);
+  }
+}
+
+TEST(DumpExperimentTest, SavingsInPaperBand) {
+  // The paper reports 13% / 6.5 kJ measured; its own Table IV/V fitted
+  // models imply ~3-7% net energy savings for the two tuned stages
+  // (power ratio x runtime ratio), which is the band our model-faithful
+  // reproduction must land in. EXPERIMENTS.md discusses the gap.
+  const auto result = run_dump_experiment(tiny_config());
+  ASSERT_TRUE(result.has_value());
+  const double savings = result->mean_energy_savings();
+  EXPECT_GT(savings, 0.02);
+  EXPECT_LT(savings, 0.25);
+  EXPECT_GT(result->mean_energy_saved().kj(), 0.3);
+  EXPECT_LT(result->mean_energy_saved().kj(), 50.0);
+}
+
+TEST(DumpExperimentTest, FinerBoundCostsMoreEnergy) {
+  // Fig 6: magnitudes grow with finer bounds (more compressed bytes, longer
+  // compression).
+  const auto result = run_dump_experiment(tiny_config());
+  ASSERT_TRUE(result.has_value());
+  const auto& coarse = result->outcomes[0];  // 1e-2
+  const auto& fine = result->outcomes[1];    // 1e-4
+  EXPECT_GT(fine.plan.energy_base.joules(), coarse.plan.energy_base.joules());
+  EXPECT_LT(fine.compression_ratio, coarse.compression_ratio);
+  EXPECT_GT(fine.compressed_bytes.bytes(), coarse.compressed_bytes.bytes());
+}
+
+TEST(DumpExperimentTest, CompressedBytesFollowRatio) {
+  const auto result = run_dump_experiment(tiny_config());
+  ASSERT_TRUE(result.has_value());
+  for (const auto& outcome : result->outcomes) {
+    const double expected = 512e9 / outcome.compression_ratio;
+    EXPECT_NEAR(static_cast<double>(outcome.compressed_bytes.bytes()),
+                expected, expected * 0.01);
+  }
+}
+
+TEST(DumpExperimentTest, DefaultBoundsAreThePaperFour) {
+  DumpConfig cfg;
+  cfg.total_bytes = Bytes::from_gb(1);  // keep it quick
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->outcomes.size(), 4u);
+}
+
+TEST(DumpExperimentTest, RejectsZeroVolume) {
+  DumpConfig cfg;
+  cfg.total_bytes = Bytes{0};
+  EXPECT_FALSE(run_dump_experiment(cfg).has_value());
+}
+
+TEST(DumpExperimentTest, WorksOnSkylakeToo) {
+  DumpConfig cfg = tiny_config();
+  cfg.chip = power::ChipId::kSkylake4114;
+  cfg.error_bounds = {1e-2};
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->outcomes[0].plan.energy_savings(), 0.0);
+}
+
+}  // namespace
+}  // namespace lcp::core

@@ -1,0 +1,91 @@
+#include "core/model_tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::core {
+namespace {
+
+CompressionStudyResult small_compression_result() {
+  CompressionStudyConfig cfg;
+  cfg.repeats = 3;
+  cfg.error_bounds = {1e-2};
+  cfg.datasets = {data::DatasetId::kNyx, data::DatasetId::kCesmAtm};
+  cfg.noise = power::NoiseModel::none();
+  auto result = run_compression_study(cfg);
+  EXPECT_TRUE(result.has_value());
+  return std::move(*result);
+}
+
+TEST(ModelTablesTest, CompressionTableHasFivePartitions) {
+  const auto result = small_compression_result();
+  const auto rows = build_compression_models(result);
+  ASSERT_TRUE(rows.has_value()) << rows.status().to_string();
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0].partition.name, "Total");
+  EXPECT_EQ((*rows)[4].partition.name, "Skylake");
+  for (const auto& row : *rows) {
+    EXPECT_GT(row.observations, 0u);
+    EXPECT_GT(row.fit.b, 0.0);
+    EXPECT_GT(row.fit.c, 0.5);  // scaled floor
+    EXPECT_LT(row.fit.c, 1.0);
+  }
+}
+
+TEST(ModelTablesTest, PerChipFitsAreTighterThanTotal) {
+  // The paper's key observation from Table IV: hardware-specific partitions
+  // fit better (lower RMSE) than pooled ones.
+  const auto result = small_compression_result();
+  const auto rows = build_compression_models(result);
+  ASSERT_TRUE(rows.has_value());
+  const double rmse_total = (*rows)[0].fit.stats.rmse;
+  const double rmse_bdw = (*rows)[3].fit.stats.rmse;
+  const double rmse_skl = (*rows)[4].fit.stats.rmse;
+  EXPECT_LT(rmse_bdw, rmse_total);
+  EXPECT_LT(rmse_skl, rmse_total);
+}
+
+TEST(ModelTablesTest, SkylakeExponentLargerThanBroadwell) {
+  const auto result = small_compression_result();
+  const auto rows = build_compression_models(result);
+  ASSERT_TRUE(rows.has_value());
+  const double b_bdw = (*rows)[3].fit.b;
+  const double b_skl = (*rows)[4].fit.b;
+  EXPECT_GT(b_skl, b_bdw);
+}
+
+TEST(ModelTablesTest, ObservationCollectionRespectsPartition) {
+  const auto result = small_compression_result();
+  const auto& partitions = model::compression_partitions();
+  const auto total = collect_compression_observations(result, partitions[0]);
+  const auto sz_only = collect_compression_observations(result, partitions[1]);
+  const auto bdw_only =
+      collect_compression_observations(result, partitions[3]);
+  EXPECT_EQ(total.f_ghz.size(), total.scaled_power.size());
+  EXPECT_LT(sz_only.f_ghz.size(), total.f_ghz.size());
+  EXPECT_LT(bdw_only.f_ghz.size(), total.f_ghz.size());
+  EXPECT_EQ(sz_only.f_ghz.size() * 2, total.f_ghz.size());
+}
+
+TEST(ModelTablesTest, TransitTableHasThreePartitions) {
+  TransitStudyConfig cfg;
+  cfg.sizes = {Bytes::from_gb(1), Bytes::from_gb(4)};
+  cfg.repeats = 3;
+  cfg.noise = power::NoiseModel::none();
+  const auto result = run_transit_study(cfg);
+  ASSERT_TRUE(result.has_value());
+  const auto rows = build_transit_models(*result);
+  ASSERT_TRUE(rows.has_value()) << rows.status().to_string();
+  ASSERT_EQ(rows->size(), 3u);
+  // Per-chip transit fits are tighter than the pooled Total (Table V).
+  EXPECT_LT((*rows)[1].fit.stats.rmse, (*rows)[0].fit.stats.rmse);
+  EXPECT_LT((*rows)[2].fit.stats.rmse, (*rows)[0].fit.stats.rmse);
+}
+
+TEST(ModelTablesTest, CodecFilterMapping) {
+  EXPECT_EQ(to_codec_filter(compress::CodecId::kSz), model::CodecFilter::kSz);
+  EXPECT_EQ(to_codec_filter(compress::CodecId::kZfp),
+            model::CodecFilter::kZfp);
+}
+
+}  // namespace
+}  // namespace lcp::core

@@ -1,0 +1,58 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::core {
+namespace {
+
+using power::ChipId;
+
+power::Workload test_workload() {
+  power::Workload w;
+  w.cpu_ghz_seconds = 2.0;
+  w.stall_seconds = Seconds{0.5};
+  w.activity = 1.0;
+  return w;
+}
+
+TEST(PlatformTest, RunsAtGovernorFrequency) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 1};
+  const auto w = test_workload();
+  const auto at_max = p.run(w);
+  ASSERT_TRUE(p.governor().set_frequency(GigaHertz{1.0}).is_ok());
+  const auto at_low = p.run(w);
+  EXPECT_GT(at_low.runtime.seconds(), at_max.runtime.seconds());
+}
+
+TEST(PlatformTest, RunAtPinsFrequency) {
+  Platform p{ChipId::kSkylake4114, power::NoiseModel::none(), 2};
+  const auto m = p.run_at(test_workload(), GigaHertz{1.5});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(p.governor().current().ghz(), 1.5);
+}
+
+TEST(PlatformTest, RunAtRejectsOutOfRange) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 3};
+  EXPECT_FALSE(p.run_at(test_workload(), GigaHertz{3.5}).has_value());
+}
+
+TEST(PlatformTest, RepeatsProduceRequestedCount) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel{}, 4};
+  const auto samples = p.run_repeats(test_workload(), 10);
+  EXPECT_EQ(samples.size(), 10u);
+}
+
+TEST(PlatformTest, PackageCounterGrowsWithUse) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 5};
+  const double before = p.package_counter().total().joules();
+  (void)p.run(test_workload());
+  EXPECT_GT(p.package_counter().total().joules(), before);
+}
+
+TEST(PlatformTest, SpecMatchesRequestedChip) {
+  Platform p{ChipId::kSkylake4114, power::NoiseModel::none(), 6};
+  EXPECT_EQ(p.spec().series, "Skylake");
+}
+
+}  // namespace
+}  // namespace lcp::core

@@ -1,0 +1,88 @@
+#include "core/study_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lcp::core {
+namespace {
+
+CompressionStudyResult tiny_study() {
+  CompressionStudyConfig cfg;
+  cfg.repeats = 2;
+  cfg.error_bounds = {1e-2};
+  cfg.datasets = {data::DatasetId::kNyx};
+  cfg.codecs = {compress::CodecId::kSz};
+  cfg.chips = {power::ChipId::kBroadwellD1548};
+  cfg.noise = power::NoiseModel::none();
+  auto result = run_compression_study(cfg);
+  EXPECT_TRUE(result.has_value());
+  return std::move(*result);
+}
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) {
+    n += c == '\n' ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(StudyExportTest, CompressionCsvHasHeaderAndOneRowPerGridPoint) {
+  const auto result = tiny_study();
+  const auto csv = export_compression_study(result);
+  const auto body = csv.render();
+  // 1 series x 25 Broadwell grid points + header.
+  EXPECT_EQ(count_lines(body), 26u);
+  EXPECT_EQ(body.rfind("chip,codec,dataset,error_bound,f_ghz", 0), 0u);
+  EXPECT_NE(body.find("Broadwell,sz,NYX"), std::string::npos);
+}
+
+TEST(StudyExportTest, ScaledPowerColumnEndsAtOne) {
+  const auto result = tiny_study();
+  const auto body = export_compression_study(result).render();
+  // The last row is the f_max row; its scaled_power column must be 1.
+  const auto last_line_start = body.rfind('\n', body.size() - 2);
+  const std::string last_line = body.substr(last_line_start + 1);
+  EXPECT_NE(last_line.find(",1.00000,"), std::string::npos) << last_line;
+}
+
+TEST(StudyExportTest, CalibrationsCsv) {
+  const auto result = tiny_study();
+  const auto body = export_calibrations(result).render();
+  EXPECT_EQ(count_lines(body), 2u);  // header + one calibration
+  EXPECT_NE(body.find("sz,NYX,1.0e-02"), std::string::npos);
+}
+
+TEST(StudyExportTest, TransitCsv) {
+  TransitStudyConfig cfg;
+  cfg.sizes = {Bytes::from_gb(1)};
+  cfg.repeats = 2;
+  cfg.chips = {power::ChipId::kSkylake4114};
+  cfg.noise = power::NoiseModel::none();
+  const auto result = run_transit_study(cfg);
+  ASSERT_TRUE(result.has_value());
+  const auto body = export_transit_study(*result).render();
+  EXPECT_EQ(count_lines(body), 30u);  // header + 29 Skylake grid points
+  EXPECT_NE(body.find("Skylake,1.00"), std::string::npos);
+}
+
+TEST(StudyExportTest, ValidationCsv) {
+  ValidationConfig cfg;
+  cfg.repeats = 2;
+  cfg.noise = power::NoiseModel::none();
+  model::PowerLawFit fit;
+  fit.a = 0.01;
+  fit.b = 5.0;
+  fit.c = 0.8;
+  const auto result = run_validation_study(cfg, fit);
+  ASSERT_TRUE(result.has_value());
+  const auto body = export_validation_study(*result).render();
+  // 12 series x 25 points + header.
+  EXPECT_EQ(count_lines(body), 301u);
+  EXPECT_NE(body.find("PRECIP,sz"), std::string::npos);
+  EXPECT_NE(body.find("W,zfp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcp::core

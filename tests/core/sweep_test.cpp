@@ -1,0 +1,93 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::core {
+namespace {
+
+using power::ChipId;
+
+power::Workload compression_like(const power::ChipSpec& spec) {
+  return power::compression_workload(spec, Seconds{5.0}, 0.53, 1.0);
+}
+
+TEST(SweepTest, CoversTheFullGrid) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 1};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 3);
+  EXPECT_EQ(sweep.size(), 25u);  // Broadwell grid
+  EXPECT_DOUBLE_EQ(sweep.front().frequency.ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(sweep.back().frequency.ghz(), 2.0);
+  for (const auto& point : sweep) {
+    EXPECT_EQ(point.power_w.count, 3u);
+    EXPECT_GT(point.power_w.mean, 0.0);
+    EXPECT_GT(point.runtime_s.mean, 0.0);
+    EXPECT_GT(point.energy_j.mean, 0.0);
+  }
+}
+
+TEST(SweepTest, GovernorRestoredAfterSweep) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 2};
+  (void)frequency_sweep(p, compression_like(p.spec()), 1);
+  EXPECT_DOUBLE_EQ(p.governor().current().ghz(), p.spec().f_max.ghz());
+}
+
+TEST(SweepTest, NoiselessRuntimeDecreasesWithFrequency) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 3};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 1);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].runtime_s.mean, sweep[i - 1].runtime_s.mean);
+  }
+}
+
+TEST(SweepTest, NoisyRepeatsProduceConfidenceIntervals) {
+  Platform p{ChipId::kSkylake4114, power::NoiseModel{}, 4};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 10);
+  std::size_t nonzero_ci = 0;
+  for (const auto& point : sweep) {
+    nonzero_ci += point.power_w.ci95_half > 0.0 ? 1 : 0;
+  }
+  EXPECT_EQ(nonzero_ci, sweep.size());
+}
+
+TEST(ScaleTest, ScaledPowerIsOneAtMaxFrequency) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 5};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 1);
+  const auto curve = scale_by_max_frequency(sweep, SweepMetric::kPower);
+  EXPECT_DOUBLE_EQ(curve.value.back(), 1.0);
+  EXPECT_EQ(curve.f_ghz.size(), sweep.size());
+}
+
+TEST(ScaleTest, CompressionScaledPowerFloorMatchesFigureOne) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 6};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 1);
+  const auto curve = scale_by_max_frequency(sweep, SweepMetric::kPower);
+  // Fig 1: floor around 0.8 at f_min.
+  EXPECT_GT(curve.value.front(), 0.72);
+  EXPECT_LT(curve.value.front(), 0.88);
+}
+
+TEST(ScaleTest, ScaledRuntimeRisesTowardLowFrequency) {
+  Platform p{ChipId::kBroadwellD1548, power::NoiseModel::none(), 7};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 1);
+  const auto curve = scale_by_max_frequency(sweep, SweepMetric::kRuntime);
+  EXPECT_DOUBLE_EQ(curve.value.back(), 1.0);
+  // Fig 2: ~1.6-2.0x at f_min for a half-cpu-bound workload.
+  EXPECT_GT(curve.value.front(), 1.4);
+  EXPECT_LT(curve.value.front(), 2.2);
+}
+
+TEST(ScaleTest, EnergyMetricScalesToo) {
+  Platform p{ChipId::kSkylake4114, power::NoiseModel::none(), 8};
+  const auto sweep = frequency_sweep(p, compression_like(p.spec()), 1);
+  const auto curve = scale_by_max_frequency(sweep, SweepMetric::kEnergy);
+  EXPECT_DOUBLE_EQ(curve.value.back(), 1.0);
+  // Somewhere in the interior energy dips below the f_max value.
+  bool dips = false;
+  for (double v : curve.value) {
+    dips |= v < 0.99;
+  }
+  EXPECT_TRUE(dips);
+}
+
+}  // namespace
+}  // namespace lcp::core

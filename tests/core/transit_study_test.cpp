@@ -1,0 +1,83 @@
+#include "core/transit_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+
+namespace lcp::core {
+namespace {
+
+TransitStudyConfig tiny_config() {
+  TransitStudyConfig cfg;
+  cfg.sizes = {Bytes::from_gb(1)};
+  cfg.repeats = 2;
+  cfg.noise = power::NoiseModel::none();
+  return cfg;
+}
+
+TEST(TransitStudyTest, ProducesSeriesPerChipAndSize) {
+  const auto result = run_transit_study(tiny_config());
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->series.size(), 2u);  // 1 size x 2 chips
+}
+
+TEST(TransitStudyTest, DefaultSizesAreThePaperLadder) {
+  TransitStudyConfig cfg;
+  cfg.repeats = 1;
+  cfg.chips = {power::ChipId::kBroadwellD1548};
+  cfg.noise = power::NoiseModel::none();
+  const auto result = run_transit_study(cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->series.size(), 5u);  // 1,2,4,8,16 GB
+}
+
+TEST(TransitStudyTest, RejectsZeroSize) {
+  TransitStudyConfig cfg = tiny_config();
+  cfg.sizes = {Bytes{0}};
+  EXPECT_FALSE(run_transit_study(cfg).has_value());
+}
+
+TEST(TransitStudyTest, ScaledPowerFloorNearPointNine) {
+  // Fig 3: transit power floor ~0.9 (less dynamic range than compression).
+  const auto result = run_transit_study(tiny_config());
+  ASSERT_TRUE(result.has_value());
+  for (const auto& series : result->series) {
+    const auto curve =
+        scale_by_max_frequency(series.sweep, SweepMetric::kPower);
+    EXPECT_GT(curve.value.front(), 0.80);
+    EXPECT_LT(curve.value.front(), 0.97);
+  }
+}
+
+TEST(TransitStudyTest, SkylakeRuntimeFlatterThanBroadwell) {
+  const auto result = run_transit_study(tiny_config());
+  ASSERT_TRUE(result.has_value());
+  double bdw_range = 0.0;
+  double skl_range = 0.0;
+  for (const auto& series : result->series) {
+    const auto curve =
+        scale_by_max_frequency(series.sweep, SweepMetric::kRuntime);
+    const double range = curve.value.front() - curve.value.back();
+    if (series.chip == power::ChipId::kBroadwellD1548) {
+      bdw_range = range;
+    } else {
+      skl_range = range;
+    }
+  }
+  EXPECT_GT(bdw_range, skl_range);
+}
+
+TEST(TransitStudyTest, LargerTransfersTakeProportionallyLonger) {
+  TransitStudyConfig cfg = tiny_config();
+  cfg.sizes = {Bytes::from_gb(1), Bytes::from_gb(8)};
+  cfg.chips = {power::ChipId::kBroadwellD1548};
+  const auto result = run_transit_study(cfg);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->series.size(), 2u);
+  const double t1 = result->series[0].sweep.back().runtime_s.mean;
+  const double t8 = result->series[1].sweep.back().runtime_s.mean;
+  EXPECT_NEAR(t8 / t1, 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace lcp::core

@@ -1,0 +1,62 @@
+#include "core/validation_study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::core {
+namespace {
+
+model::PowerLawFit broadwell_like_model() {
+  // A model of the right family fitted elsewhere; close to our chip's
+  // actual scaled curve.
+  model::PowerLawFit fit;
+  fit.a = 0.012;
+  fit.b = 4.5;
+  fit.c = 0.78;
+  return fit;
+}
+
+ValidationConfig tiny_config() {
+  ValidationConfig cfg;
+  cfg.repeats = 2;
+  cfg.noise = power::NoiseModel::none();
+  return cfg;
+}
+
+TEST(ValidationStudyTest, ProducesTwelveSeries) {
+  const auto result = run_validation_study(tiny_config(), broadwell_like_model());
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  // 6 Isabel fields x 2 codecs.
+  EXPECT_EQ(result->series.size(), 12u);
+  for (const auto& series : result->series) {
+    EXPECT_EQ(series.sweep.size(), 25u);  // Broadwell grid
+  }
+}
+
+TEST(ValidationStudyTest, StatsOverPooledObservations) {
+  const auto result = run_validation_study(tiny_config(), broadwell_like_model());
+  ASSERT_TRUE(result.has_value());
+  // 12 series x 25 grid points.
+  EXPECT_EQ(result->stats.n, 300u);
+  EXPECT_GT(result->stats.sse, 0.0);
+}
+
+TEST(ValidationStudyTest, ReasonableModelScoresWellOnNewData) {
+  // Fig 5's claim: the fitted model transfers to unseen datasets with low
+  // error (paper: SSE 0.1463, RMSE 0.0256 — we check the same magnitude).
+  const auto result = run_validation_study(tiny_config(), broadwell_like_model());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->stats.rmse, 0.08);
+}
+
+TEST(ValidationStudyTest, BogusModelScoresPoorly) {
+  model::PowerLawFit bogus;
+  bogus.a = 5.0;
+  bogus.b = 2.0;
+  bogus.c = 10.0;
+  const auto result = run_validation_study(tiny_config(), bogus);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->stats.rmse, 1.0);
+}
+
+}  // namespace
+}  // namespace lcp::core

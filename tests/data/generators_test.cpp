@@ -1,0 +1,179 @@
+#include "data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace lcp::data {
+namespace {
+
+TEST(CesmGeneratorTest, DimsAndDeterminism) {
+  const auto a = generate_cesm_atm(4, 30, 60, 1);
+  const auto b = generate_cesm_atm(4, 30, 60, 1);
+  EXPECT_EQ(a.dims(), Dims::d3(4, 30, 60));
+  EXPECT_EQ(a.name(), "CESM-ATM");
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+}
+
+TEST(CesmGeneratorTest, DifferentSeedsProduceDifferentFields) {
+  const auto a = generate_cesm_atm(2, 16, 16, 1);
+  const auto b = generate_cesm_atm(2, 16, 16, 2);
+  EXPECT_FALSE(std::equal(a.values().begin(), a.values().end(),
+                          b.values().begin()));
+}
+
+TEST(CesmGeneratorTest, TemperatureLikeRange) {
+  const auto f = generate_cesm_atm(8, 40, 80, 3);
+  const auto r = f.value_range();
+  // Lapse-rate profile spans roughly 200..330 K.
+  EXPECT_GT(r.lo, 150.0F);
+  EXPECT_LT(r.hi, 400.0F);
+}
+
+TEST(CesmGeneratorTest, UpperLevelsColderOnAverage) {
+  const auto f = generate_cesm_atm(8, 24, 48, 5);
+  const std::size_t plane = 24 * 48;
+  auto mean_level = [&](std::size_t l) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < plane; ++i) {
+      sum += f.values()[l * plane + i];
+    }
+    return sum / static_cast<double>(plane);
+  };
+  EXPECT_GT(mean_level(0), mean_level(7));
+}
+
+TEST(HaccGeneratorTest, PositionsInsidePeriodicBox) {
+  const auto f = generate_hacc(10000, 9);
+  EXPECT_EQ(f.dims().rank(), 1u);
+  for (float v : f.values()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LT(v, 256.0F);
+  }
+}
+
+TEST(HaccGeneratorTest, StreamIsNotSorted) {
+  // Real HACC particle output is unordered; pointwise prediction must not
+  // get an artificially easy stream.
+  const auto f = generate_hacc(10000, 9);
+  EXPECT_FALSE(std::is_sorted(f.values().begin(), f.values().end()));
+}
+
+TEST(HaccGeneratorTest, ClusteredNotUniform) {
+  // Halo clustering concentrates mass: the histogram over 64 bins should
+  // be far more uneven than a uniform draw would be.
+  const auto f = generate_hacc(65536, 21);
+  std::array<int, 64> hist{};
+  for (float v : f.values()) {
+    ++hist[std::min<std::size_t>(63, static_cast<std::size_t>(v / 4.0F))];
+  }
+  const auto [lo, hi] = std::minmax_element(hist.begin(), hist.end());
+  EXPECT_GT(*hi, 3 * std::max(1, *lo));
+}
+
+TEST(CesmFieldTest, TemperatureVariantMatchesDefaultGenerator) {
+  const auto a = generate_cesm_field(CesmField::kTemperature, 3, 20, 20, 7);
+  const auto b = generate_cesm_atm(3, 20, 20, 7);
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+}
+
+TEST(CesmFieldTest, CloudFractionIsClampedWithSaturatedPlateaus) {
+  const auto f = generate_cesm_field(CesmField::kCloudFraction, 6, 40, 80, 8);
+  EXPECT_EQ(f.name(), "CLDTOT");
+  std::size_t exact_zero = 0;
+  std::size_t exact_one = 0;
+  for (float v : f.values()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+    exact_zero += v == 0.0F ? 1 : 0;
+    exact_one += v == 1.0F ? 1 : 0;
+  }
+  // Clamping must actually fire on both ends (the regime that stresses
+  // codecs with constant runs).
+  EXPECT_GT(exact_zero, f.element_count() / 50);
+  EXPECT_GT(exact_one, f.element_count() / 50);
+}
+
+TEST(CesmFieldTest, HumidityIsNonNegativeAndDecaysWithAltitude) {
+  const auto f = generate_cesm_field(CesmField::kHumidity, 8, 24, 48, 9);
+  EXPECT_EQ(f.name(), "Q");
+  const std::size_t plane = 24 * 48;
+  double surface_sum = 0.0;
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < plane; ++i) {
+    EXPECT_GE(f.values()[i], 0.0F);
+    surface_sum += f.values()[i];
+    top_sum += f.values()[7 * plane + i];
+  }
+  EXPECT_GT(surface_sum, 5.0 * top_sum);
+}
+
+TEST(CesmFieldTest, AllVariantsCompressWithBoundedError) {
+  // The bounded [0,1] regime must not break the codecs.
+  for (auto kind : {CesmField::kCloudFraction, CesmField::kHumidity}) {
+    const auto f = generate_cesm_field(kind, 4, 24, 24, 10);
+    // (covered in depth by codec tests; here just shape + determinism)
+    const auto g = generate_cesm_field(kind, 4, 24, 24, 10);
+    EXPECT_TRUE(std::equal(f.values().begin(), f.values().end(),
+                           g.values().begin()));
+  }
+}
+
+TEST(NyxGeneratorTest, LogNormalDensityIsPositiveWithHighDynamicRange) {
+  const auto f = generate_nyx(32, 4);
+  EXPECT_EQ(f.dims(), Dims::d3(32, 32, 32));
+  float lo = f.values()[0];
+  float hi = lo;
+  for (float v : f.values()) {
+    EXPECT_GT(v, 0.0F);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 50.0F);  // decades of dynamic range like baryon density
+}
+
+TEST(IsabelGeneratorTest, AllKindsHaveNamesAndDims) {
+  for (IsabelKind kind : isabel_all_kinds()) {
+    const auto f = generate_isabel(kind, 8, 32, 32, 6);
+    EXPECT_EQ(f.dims(), Dims::d3(8, 32, 32));
+    EXPECT_EQ(f.name(), isabel_kind_name(kind));
+  }
+}
+
+TEST(IsabelGeneratorTest, PrecipIsNonNegativeAndSparse) {
+  const auto f = generate_isabel(IsabelKind::kPrecip, 8, 48, 48, 6);
+  std::size_t zeros = 0;
+  for (float v : f.values()) {
+    EXPECT_GE(v, 0.0F);
+    zeros += v == 0.0F ? 1 : 0;
+  }
+  EXPECT_GT(zeros, f.element_count() / 4);  // rain bands are sparse
+}
+
+TEST(IsabelGeneratorTest, PressureDipsAtTheEye) {
+  const auto f = generate_isabel(IsabelKind::kPressure, 4, 64, 64, 6);
+  // Surface level: center pressure below the domain-corner pressure.
+  const std::size_t ny = 64;
+  const std::size_t nx = 64;
+  const float center = f.values()[(ny / 2) * nx + nx / 2];
+  const float corner = f.values()[0];
+  EXPECT_LT(center, corner);
+}
+
+TEST(IsabelGeneratorTest, WindFieldsCirculate) {
+  // Tangential winds: U should flip sign across the vortex center row.
+  const auto u = generate_isabel(IsabelKind::kWindU, 2, 64, 64, 6);
+  const std::size_t nx = 64;
+  const std::size_t cy = static_cast<std::size_t>(0.52 * 64);
+  const std::size_t cx = static_cast<std::size_t>(0.48 * 64);
+  const float above = u.values()[(cy + 12) * nx + cx];
+  const float below = u.values()[(cy - 12) * nx + cx];
+  EXPECT_LT(above * below, 0.0F);
+}
+
+}  // namespace
+}  // namespace lcp::data

@@ -1,0 +1,69 @@
+#include "dvfs/frequency_range.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::dvfs {
+namespace {
+
+TEST(FrequencyRangeTest, BroadwellGridHas25Points) {
+  // 0.8 .. 2.0 GHz at 50 MHz: 25 steps (Section III-B).
+  const FrequencyRange r{GigaHertz{0.8}, GigaHertz{2.0},
+                         GigaHertz::from_mhz(50)};
+  const auto steps = r.steps();
+  EXPECT_EQ(steps.size(), 25u);
+  EXPECT_DOUBLE_EQ(steps.front().ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(steps.back().ghz(), 2.0);
+}
+
+TEST(FrequencyRangeTest, SkylakeGridHas29Points) {
+  const FrequencyRange r{GigaHertz{0.8}, GigaHertz{2.2},
+                         GigaHertz::from_mhz(50)};
+  EXPECT_EQ(r.steps().size(), 29u);
+}
+
+TEST(FrequencyRangeTest, StepsAreUniform) {
+  const FrequencyRange r{GigaHertz{0.8}, GigaHertz{2.0},
+                         GigaHertz::from_mhz(50)};
+  const auto steps = r.steps();
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_NEAR(steps[i].ghz() - steps[i - 1].ghz(), 0.05, 1e-9);
+  }
+}
+
+TEST(FrequencyRangeTest, NonAlignedMaxIsStillIncluded) {
+  const FrequencyRange r{GigaHertz{1.0}, GigaHertz{1.07},
+                         GigaHertz::from_mhz(50)};
+  const auto steps = r.steps();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(steps[1].ghz(), 1.05);
+  EXPECT_DOUBLE_EQ(steps[2].ghz(), 1.07);
+}
+
+TEST(FrequencyRangeTest, ContainsInclusiveEndpoints) {
+  const FrequencyRange r{GigaHertz{0.8}, GigaHertz{2.0},
+                         GigaHertz::from_mhz(50)};
+  EXPECT_TRUE(r.contains(GigaHertz{0.8}));
+  EXPECT_TRUE(r.contains(GigaHertz{2.0}));
+  EXPECT_TRUE(r.contains(GigaHertz{1.33}));
+  EXPECT_FALSE(r.contains(GigaHertz{0.75}));
+  EXPECT_FALSE(r.contains(GigaHertz{2.05}));
+}
+
+TEST(FrequencyRangeTest, QuantizeSnapsToNearestGridPoint) {
+  const FrequencyRange r{GigaHertz{0.8}, GigaHertz{2.0},
+                         GigaHertz::from_mhz(50)};
+  EXPECT_DOUBLE_EQ(r.quantize(GigaHertz{1.774}).ghz(), 1.75);
+  EXPECT_DOUBLE_EQ(r.quantize(GigaHertz{1.776}).ghz(), 1.80);
+  EXPECT_DOUBLE_EQ(r.quantize(GigaHertz{0.1}).ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(r.quantize(GigaHertz{9.9}).ghz(), 2.0);
+}
+
+TEST(FrequencyRangeTest, DegenerateSinglePointRange) {
+  const FrequencyRange r{GigaHertz{1.0}, GigaHertz{1.0},
+                         GigaHertz::from_mhz(50)};
+  EXPECT_EQ(r.steps().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.quantize(GigaHertz{5.0}).ghz(), 1.0);
+}
+
+}  // namespace
+}  // namespace lcp::dvfs

@@ -1,0 +1,61 @@
+#include "dvfs/governor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::dvfs {
+namespace {
+
+using power::ChipId;
+
+TEST(GovernorTest, StartsAtMaxClock) {
+  Governor gov{power::chip(ChipId::kBroadwellD1548)};
+  EXPECT_DOUBLE_EQ(gov.current().ghz(), 2.0);
+}
+
+TEST(GovernorTest, SetFrequencyPinsAndSnaps) {
+  Governor gov{power::chip(ChipId::kBroadwellD1548)};
+  ASSERT_TRUE(gov.set_frequency(GigaHertz{1.51}).is_ok());
+  EXPECT_DOUBLE_EQ(gov.current().ghz(), 1.50);
+}
+
+TEST(GovernorTest, OutOfRangeRequestFailsAndLeavesStateUntouched) {
+  Governor gov{power::chip(ChipId::kBroadwellD1548)};
+  const auto status = gov.set_frequency(GigaHertz{3.0});
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfRange);
+  EXPECT_DOUBLE_EQ(gov.current().ghz(), 2.0);
+}
+
+TEST(GovernorTest, FractionOfMaxImplementsEqnThree) {
+  Governor gov{power::chip(ChipId::kSkylake4114)};
+  ASSERT_TRUE(gov.set_fraction_of_max(0.875).is_ok());
+  // 0.875 * 2.2 = 1.925 GHz, snapped to the 50 MHz grid -> 1.90 or 1.95.
+  EXPECT_NEAR(gov.current().ghz(), 1.925, 0.026);
+  ASSERT_TRUE(gov.set_fraction_of_max(0.85).is_ok());
+  EXPECT_NEAR(gov.current().ghz(), 1.87, 0.026);
+}
+
+TEST(GovernorTest, InvalidFractionRejected) {
+  Governor gov{power::chip(ChipId::kBroadwellD1548)};
+  EXPECT_FALSE(gov.set_fraction_of_max(0.0).is_ok());
+  EXPECT_FALSE(gov.set_fraction_of_max(-0.5).is_ok());
+  EXPECT_FALSE(gov.set_fraction_of_max(1.5).is_ok());
+}
+
+TEST(GovernorTest, ResetRestoresMaxAndTransitionsCount) {
+  Governor gov{power::chip(ChipId::kBroadwellD1548)};
+  ASSERT_TRUE(gov.set_frequency(GigaHertz{1.0}).is_ok());
+  ASSERT_TRUE(gov.set_frequency(GigaHertz{1.2}).is_ok());
+  EXPECT_EQ(gov.transition_count(), 2u);
+  gov.reset();
+  EXPECT_DOUBLE_EQ(gov.current().ghz(), 2.0);
+}
+
+TEST(GovernorTest, RangeMatchesChip) {
+  Governor gov{power::chip(ChipId::kSkylake4114)};
+  EXPECT_DOUBLE_EQ(gov.range().min().ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(gov.range().max().ghz(), 2.2);
+}
+
+}  // namespace
+}  // namespace lcp::dvfs

@@ -1,0 +1,35 @@
+#include "io/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::io {
+namespace {
+
+TEST(LinkTest, TenGigabitPayloadRate) {
+  const LinkSpec link;  // defaults: 10 Gbps, 94% efficiency
+  EXPECT_NEAR(link.payload_bytes_per_second(), 1.175e9, 1e6);
+}
+
+TEST(LinkTest, WireTimeScalesLinearly) {
+  const LinkSpec link;
+  const auto t1 = link.wire_time(Bytes::from_gb(1));
+  const auto t4 = link.wire_time(Bytes::from_gb(4));
+  EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+  EXPECT_NEAR(t1.seconds(), 1e9 / 1.175e9, 1e-3);
+}
+
+TEST(LinkTest, EfficiencyReducesThroughput) {
+  LinkSpec lossy;
+  lossy.protocol_efficiency = 0.5;
+  const LinkSpec clean;
+  EXPECT_GT(lossy.wire_time(Bytes::from_gb(1)).seconds(),
+            clean.wire_time(Bytes::from_gb(1)).seconds());
+}
+
+TEST(LinkTest, ZeroBytesTakeZeroTime) {
+  const LinkSpec link;
+  EXPECT_DOUBLE_EQ(link.wire_time(Bytes{0}).seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace lcp::io

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "io/nfs_client.hpp"
+#include "io/nfs_server.hpp"
+
+namespace lcp::io {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+TEST(NfsServerTest, StoresAndReadsBack) {
+  NfsServer server;
+  const auto data = pattern(100);
+  ASSERT_TRUE(server.handle_write("/dump/a.bin", data).is_ok());
+  const auto read = server.read_file("/dump/a.bin");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(read->begin(), read->end()), data);
+}
+
+TEST(NfsServerTest, AppendsAcrossWrites) {
+  NfsServer server;
+  ASSERT_TRUE(server.handle_write("f", pattern(10)).is_ok());
+  ASSERT_TRUE(server.handle_write("f", pattern(5)).is_ok());
+  const auto read = server.read_file("f");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->size(), 15u);
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 15u);
+  EXPECT_EQ(server.rpc_count(), 2u);
+}
+
+TEST(NfsServerTest, RejectsEmptyPathAndMissingFile) {
+  NfsServer server;
+  EXPECT_FALSE(server.handle_write("", pattern(4)).is_ok());
+  EXPECT_FALSE(server.read_file("missing").has_value());
+}
+
+TEST(NfsServerTest, RemoveAllClearsState) {
+  NfsServer server;
+  ASSERT_TRUE(server.handle_write("f", pattern(10)).is_ok());
+  server.remove_all();
+  EXPECT_EQ(server.file_count(), 0u);
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 0u);
+}
+
+TEST(NfsClientTest, ChunkedWritePreservesBytes) {
+  NfsServer server;
+  NfsClientConfig config;
+  config.rpc_chunk_bytes = 64;
+  NfsClient client{server, config};
+  const auto data = pattern(1000);  // 15 full chunks + remainder
+  ASSERT_TRUE(client.write_file("big", data).is_ok());
+
+  EXPECT_EQ(client.bytes_sent().bytes(), 1000u);
+  EXPECT_EQ(client.rpcs_issued(), 16u);
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 1000u);
+  const auto read = server.read_file("big");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(read->begin(), read->end()), data);
+}
+
+TEST(NfsClientTest, ConservationClientSentEqualsServerStored) {
+  NfsServer server;
+  NfsClient client{server};
+  ASSERT_TRUE(client.write_file("a", pattern(5000)).is_ok());
+  ASSERT_TRUE(client.write_file("b", pattern(123)).is_ok());
+  EXPECT_EQ(client.bytes_sent().bytes(),
+            server.total_bytes_stored().bytes());
+  EXPECT_EQ(server.file_count(), 2u);
+}
+
+TEST(NfsClientTest, EmptyFileCreatesEntry) {
+  NfsServer server;
+  NfsClient client{server};
+  ASSERT_TRUE(client.write_file("empty", {}).is_ok());
+  EXPECT_TRUE(server.has_file("empty"));
+  const auto read = server.read_file("empty");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(NfsClientTest, ZeroChunkSizeRejected) {
+  NfsServer server;
+  NfsClientConfig config;
+  config.rpc_chunk_bytes = 0;
+  NfsClient client{server, config};
+  EXPECT_FALSE(client.write_file("x", pattern(10)).is_ok());
+}
+
+TEST(DiskSpecTest, WriteTimeFollowsThroughput) {
+  DiskSpec disk;  // 0.35 GB/s default
+  EXPECT_NEAR(disk.write_time(Bytes::from_gb(1)).seconds(), 1e9 / 0.35e9,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace lcp::io

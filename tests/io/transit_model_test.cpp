@@ -1,0 +1,92 @@
+#include "io/transit_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lcp::io {
+namespace {
+
+using power::ChipId;
+
+const power::ChipSpec& bdw() { return power::chip(ChipId::kBroadwellD1548); }
+const power::ChipSpec& skl() { return power::chip(ChipId::kSkylake4114); }
+
+TEST(TransitModelTest, PaperSizesLadder) {
+  const auto& sizes = paper_transit_sizes();
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_DOUBLE_EQ(sizes.front().gb(), 1.0);
+  EXPECT_DOUBLE_EQ(sizes.back().gb(), 16.0);
+}
+
+TEST(TransitModelTest, FloorIsMaxOfWireAndDisk) {
+  TransitModelConfig config;
+  const auto n = Bytes::from_gb(1);
+  const auto floor = transit_floor(n, config);
+  EXPECT_DOUBLE_EQ(
+      floor.seconds(),
+      std::max(config.link.wire_time(n).seconds(),
+               config.disk.write_time(n).seconds()));
+  // With defaults the 0.35 GB/s disk, not the 1.175 GB/s wire, is the floor.
+  EXPECT_DOUBLE_EQ(floor.seconds(), config.disk.write_time(n).seconds());
+}
+
+TEST(TransitModelTest, BroadwellIsCpuBoundAcrossItsRange) {
+  // Fig 4: Broadwell transit runtime keeps scaling with frequency.
+  TransitModelConfig config;
+  const auto w = transit_workload(bdw(), Bytes::from_gb(1), config);
+  const auto t_max = power::workload_runtime(w, bdw(), bdw().f_max);
+  const auto t_min = power::workload_runtime(w, bdw(), bdw().f_min);
+  EXPECT_GT(t_min.seconds(), t_max.seconds() * 1.5);
+}
+
+TEST(TransitModelTest, SkylakeRuntimeIsStagnantAtHighFrequency) {
+  // Fig 4: Skylake hits the pipeline floor over the upper range.
+  TransitModelConfig config;
+  const auto w = transit_workload(skl(), Bytes::from_gb(1), config);
+  const auto t_220 = power::workload_runtime(w, skl(), GigaHertz{2.2});
+  const auto t_180 = power::workload_runtime(w, skl(), GigaHertz{1.8});
+  EXPECT_NEAR(t_220.seconds(), t_180.seconds(), t_220.seconds() * 0.02);
+  // But at the very bottom it becomes CPU-bound again.
+  const auto t_080 = power::workload_runtime(w, skl(), GigaHertz{0.8});
+  EXPECT_GT(t_080.seconds(), t_220.seconds() * 1.2);
+}
+
+TEST(TransitModelTest, RuntimeScalesWithSize) {
+  TransitModelConfig config;
+  const auto w1 = transit_workload(bdw(), Bytes::from_gb(1), config);
+  const auto w8 = transit_workload(bdw(), Bytes::from_gb(8), config);
+  const double t1 = power::workload_runtime(w1, bdw(), bdw().f_max).seconds();
+  const double t8 = power::workload_runtime(w8, bdw(), bdw().f_max).seconds();
+  EXPECT_NEAR(t8 / t1, 8.0, 0.2);  // setup cost breaks exact linearity
+}
+
+TEST(TransitModelTest, TransitActivityLowerThanCompression) {
+  // This is what produces the 0.9 scaled-power floor of Fig 3 vs the 0.8
+  // of Fig 1.
+  TransitModelConfig config;
+  const auto w = transit_workload(bdw(), Bytes::from_gb(1), config);
+  EXPECT_LT(w.activity, 1.0);
+  EXPECT_GT(w.activity, 0.2);
+}
+
+TEST(TransitModelTest, FifteenPercentDropCostsRoughlyPaperRuntime) {
+  // Paper: -15% frequency => +9.3% runtime averaged over both chips.
+  TransitModelConfig config;
+  double total_increase = 0.0;
+  for (ChipId id : power::all_chips()) {
+    const auto& spec = power::chip(id);
+    const auto w = transit_workload(spec, Bytes::from_gb(4), config);
+    const double t_base =
+        power::workload_runtime(w, spec, spec.f_max).seconds();
+    const double t_tuned =
+        power::workload_runtime(w, spec, spec.f_max * 0.85).seconds();
+    total_increase += t_tuned / t_base - 1.0;
+  }
+  const double mean_increase = total_increase / 2.0;
+  EXPECT_GT(mean_increase, 0.03);
+  EXPECT_LT(mean_increase, 0.16);
+}
+
+}  // namespace
+}  // namespace lcp::io

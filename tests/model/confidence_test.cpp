@@ -1,0 +1,107 @@
+#include "model/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::model {
+namespace {
+
+struct Synth {
+  std::vector<double> f;
+  std::vector<double> p;
+  PowerLawFit fit;
+};
+
+Synth make_synth(double noise, std::uint64_t seed) {
+  Rng rng{seed};
+  Synth s;
+  s.fit.a = 0.0064;
+  s.fit.b = 5.315;
+  s.fit.c = 0.7429;
+  for (double x = 0.8; x <= 2.0001; x += 0.05) {
+    s.f.push_back(x);
+    s.p.push_back(s.fit.evaluate(x) + rng.normal(0.0, noise));
+  }
+  return s;
+}
+
+TEST(ConfidenceTest, NoiselessFitHasVanishingIntervals) {
+  const auto s = make_synth(0.0, 1);
+  const auto ci = power_law_confidence(s.fit, s.f, s.p);
+  ASSERT_TRUE(ci.has_value()) << ci.status().to_string();
+  EXPECT_LT(ci->residual_stddev, 1e-12);
+  EXPECT_LT(ci->b_half, 1e-9);
+  EXPECT_LT(ci->c_half, 1e-9);
+}
+
+TEST(ConfidenceTest, IntervalsScaleWithNoise) {
+  const auto lo = make_synth(0.005, 2);
+  const auto hi = make_synth(0.05, 2);
+  const auto ci_lo = power_law_confidence(lo.fit, lo.f, lo.p);
+  const auto ci_hi = power_law_confidence(hi.fit, hi.f, hi.p);
+  ASSERT_TRUE(ci_lo.has_value());
+  ASSERT_TRUE(ci_hi.has_value());
+  EXPECT_GT(ci_hi->b_half, ci_lo->b_half * 3.0);
+  EXPECT_GT(ci_hi->residual_stddev, ci_lo->residual_stddev * 3.0);
+}
+
+TEST(ConfidenceTest, TrueParametersInsideIntervalsMostOfTheTime) {
+  // Coverage check: refit-free approximation — evaluate intervals at the
+  // true parameters against noisy data; the residual stddev should match
+  // the injected noise and the intervals should cover zero-bias usage.
+  int covered = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    auto s = make_synth(0.01, 100 + static_cast<std::uint64_t>(t));
+    // Fit fresh so the estimate differs from truth by a random amount.
+    auto fit = fit_power_law(s.f, s.p);
+    ASSERT_TRUE(fit.has_value());
+    const auto ci = power_law_confidence(*fit, s.f, s.p);
+    ASSERT_TRUE(ci.has_value());
+    if (std::fabs(fit->c - 0.7429) <= ci->c_half) {
+      ++covered;
+    }
+  }
+  // 95% nominal; allow wide slack for the small sample.
+  EXPECT_GE(covered, trials * 2 / 3);
+}
+
+TEST(ConfidenceTest, ResidualStddevMatchesInjectedNoise) {
+  const auto s = make_synth(0.02, 5);
+  const auto fit = fit_power_law(s.f, s.p);
+  ASSERT_TRUE(fit.has_value());
+  const auto ci = power_law_confidence(*fit, s.f, s.p);
+  ASSERT_TRUE(ci.has_value());
+  EXPECT_NEAR(ci->residual_stddev, 0.02, 0.01);
+}
+
+TEST(ConfidenceTest, RejectsDegenerateInputs) {
+  PowerLawFit fit;
+  const std::vector<double> f3 = {1.0, 1.5, 2.0};
+  const std::vector<double> p3 = {1.0, 1.1, 1.2};
+  EXPECT_FALSE(power_law_confidence(fit, f3, p3).has_value());
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_FALSE(power_law_confidence(fit, f3, mismatched).has_value());
+}
+
+TEST(ConfidenceTest, SingularNormalMatrixFailsCleanly) {
+  // With a = 0 the b column of the Jacobian is identically zero.
+  PowerLawFit flat;
+  flat.a = 0.0;
+  flat.b = 2.0;
+  flat.c = 0.9;
+  std::vector<double> f;
+  std::vector<double> p;
+  for (double x = 0.8; x <= 2.0; x += 0.1) {
+    f.push_back(x);
+    p.push_back(0.9);
+  }
+  EXPECT_FALSE(power_law_confidence(flat, f, p).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::model

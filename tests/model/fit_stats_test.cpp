@@ -1,0 +1,54 @@
+#include "model/fit_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lcp::model {
+namespace {
+
+TEST(FitStatsTest, PerfectPrediction) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  const auto stats = compute_fit_stats(obs, obs);
+  EXPECT_DOUBLE_EQ(stats.sse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.r_squared, 1.0);
+  EXPECT_EQ(stats.n, 3u);
+}
+
+TEST(FitStatsTest, KnownResiduals) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred = {1.5, 2.0, 2.5, 4.0};
+  const auto stats = compute_fit_stats(obs, pred);
+  EXPECT_DOUBLE_EQ(stats.sse, 0.25 + 0.0 + 0.25 + 0.0);
+  EXPECT_DOUBLE_EQ(stats.rmse, std::sqrt(0.5 / 4.0));
+  // ss_tot = 5.0 around mean 2.5.
+  EXPECT_DOUBLE_EQ(stats.r_squared, 1.0 - 0.5 / 5.0);
+}
+
+TEST(FitStatsTest, MeanPredictorGivesZeroRSquared) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  const auto stats = compute_fit_stats(obs, pred);
+  EXPECT_NEAR(stats.r_squared, 0.0, 1e-12);
+}
+
+TEST(FitStatsTest, WorseThanMeanGivesNegativeRSquared) {
+  // The paper's R^2 caveat for nonlinear models: it can go negative.
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {3.0, 2.0, 1.0};
+  const auto stats = compute_fit_stats(obs, pred);
+  EXPECT_LT(stats.r_squared, 0.0);
+}
+
+TEST(FitStatsTest, ConstantObservationsYieldZeroRSquaredConvention) {
+  const std::vector<double> obs = {2.0, 2.0, 2.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  const auto stats = compute_fit_stats(obs, pred);
+  EXPECT_DOUBLE_EQ(stats.r_squared, 0.0);
+  EXPECT_DOUBLE_EQ(stats.sse, 0.0);
+}
+
+}  // namespace
+}  // namespace lcp::model

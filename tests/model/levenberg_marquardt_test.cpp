@@ -1,0 +1,133 @@
+#include "model/levenberg_marquardt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::model {
+namespace {
+
+TEST(SolveDenseTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveDenseTest, PivotsOnZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] needs the row swap.
+  std::vector<double> a = {0, 1, 1, 0};
+  std::vector<double> b = {2, 3};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(SolveDenseTest, DetectsSingularSystem) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(solve_dense(a, b, 2));
+}
+
+TEST(LmFitTest, RecoversLinearModelExactly) {
+  // y = 3x + 2 observed without noise.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(3.0 * i * 0.5 + 2.0);
+  }
+  const ModelFn model = [&x](std::span<const double> p, std::size_t i) {
+    return p[0] * x[i] + p[1];
+  };
+  const std::vector<double> initial = {0.0, 0.0};
+  const auto result = lm_fit(model, y, initial);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->params[0], 3.0, 1e-6);
+  EXPECT_NEAR(result->params[1], 2.0, 1e-6);
+  EXPECT_LT(result->sse, 1e-10);
+}
+
+TEST(LmFitTest, RecoversExponentialDecay) {
+  // y = 5 exp(-0.7 x) + noiseless.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i * 0.2);
+    y.push_back(5.0 * std::exp(-0.7 * x.back()));
+  }
+  const ModelFn model = [&x](std::span<const double> p, std::size_t i) {
+    return p[0] * std::exp(p[1] * x[i]);
+  };
+  const std::vector<double> initial = {1.0, -0.1};
+  const auto result = lm_fit(model, y, initial);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->params[0], 5.0, 1e-4);
+  EXPECT_NEAR(result->params[1], -0.7, 1e-4);
+}
+
+TEST(LmFitTest, NoisyDataStillCloseToTruth) {
+  Rng rng{1};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(0.8 + i * 0.007);
+    y.push_back(2.0 * x.back() * x.back() + 1.0 + rng.normal(0.0, 0.01));
+  }
+  const ModelFn model = [&x](std::span<const double> p, std::size_t i) {
+    return p[0] * x[i] * x[i] + p[1];
+  };
+  const std::vector<double> initial = {1.0, 0.0};
+  const auto result = lm_fit(model, y, initial);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->params[0], 2.0, 0.05);
+  EXPECT_NEAR(result->params[1], 1.0, 0.05);
+}
+
+TEST(LmFitTest, RespectsParameterBounds) {
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const ModelFn model = [](std::span<const double> p, std::size_t i) {
+    return p[0] * static_cast<double>(i + 1);
+  };
+  LmOptions options;
+  options.lower = {2.5};
+  options.upper = {10.0};
+  const std::vector<double> initial = {3.0};
+  const auto result = lm_fit(model, y, initial, options);
+  ASSERT_TRUE(result.has_value());
+  // Unconstrained optimum is 1.0; the bound pins it at 2.5.
+  EXPECT_NEAR(result->params[0], 2.5, 1e-9);
+}
+
+TEST(LmFitTest, RejectsEmptyAndUnderdeterminedInputs) {
+  const ModelFn model = [](std::span<const double> p, std::size_t) {
+    return p[0];
+  };
+  const std::vector<double> empty;
+  const std::vector<double> one_param = {1.0};
+  EXPECT_FALSE(lm_fit(model, empty, one_param).has_value());
+  const std::vector<double> one_obs = {1.0};
+  const std::vector<double> two_params = {1.0, 2.0};
+  EXPECT_FALSE(lm_fit(model, one_obs, two_params).has_value());
+}
+
+TEST(LmFitTest, AlreadyOptimalStartTerminatesQuickly) {
+  std::vector<double> y = {2.0, 4.0, 6.0};
+  const ModelFn model = [](std::span<const double> p, std::size_t i) {
+    return p[0] * static_cast<double>(i + 1);
+  };
+  const std::vector<double> initial = {2.0};
+  const auto result = lm_fit(model, y, initial);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->sse, 1e-20);
+  EXPECT_LE(result->iterations, 3u);
+}
+
+}  // namespace
+}  // namespace lcp::model

@@ -1,0 +1,53 @@
+#include "model/partitions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::model {
+namespace {
+
+using power::ChipId;
+
+TEST(PartitionsTest, TableThreeRowsInPaperOrder) {
+  const auto& parts = compression_partitions();
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0].name, "Total");
+  EXPECT_EQ(parts[1].name, "SZ");
+  EXPECT_EQ(parts[2].name, "ZFP");
+  EXPECT_EQ(parts[3].name, "Broadwell");
+  EXPECT_EQ(parts[4].name, "Skylake");
+}
+
+TEST(PartitionsTest, TotalMatchesEverything) {
+  const auto& total = compression_partitions()[0];
+  for (auto codec : {CodecFilter::kSz, CodecFilter::kZfp}) {
+    for (auto chip : {ChipId::kBroadwellD1548, ChipId::kSkylake4114}) {
+      EXPECT_TRUE(total.matches(codec, chip));
+    }
+  }
+}
+
+TEST(PartitionsTest, CodecPartitionsFilterByCodecOnly) {
+  const auto& sz = compression_partitions()[1];
+  EXPECT_TRUE(sz.matches(CodecFilter::kSz, ChipId::kBroadwellD1548));
+  EXPECT_TRUE(sz.matches(CodecFilter::kSz, ChipId::kSkylake4114));
+  EXPECT_FALSE(sz.matches(CodecFilter::kZfp, ChipId::kBroadwellD1548));
+}
+
+TEST(PartitionsTest, ChipPartitionsFilterByChipOnly) {
+  const auto& bdw = compression_partitions()[3];
+  EXPECT_TRUE(bdw.matches(CodecFilter::kSz, ChipId::kBroadwellD1548));
+  EXPECT_TRUE(bdw.matches(CodecFilter::kZfp, ChipId::kBroadwellD1548));
+  EXPECT_FALSE(bdw.matches(CodecFilter::kSz, ChipId::kSkylake4114));
+}
+
+TEST(PartitionsTest, TransitTableHasThreeRows) {
+  const auto& parts = transit_partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].name, "Total");
+  EXPECT_EQ(parts[1].name, "Broadwell");
+  EXPECT_EQ(parts[2].name, "Skylake");
+  EXPECT_FALSE(parts[0].codec.has_value());
+}
+
+}  // namespace
+}  // namespace lcp::model

@@ -1,0 +1,149 @@
+#include "model/power_law.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp::model {
+namespace {
+
+struct Truth {
+  double a, b, c;
+};
+
+void synthesize(const Truth& t, double noise_sigma, std::uint64_t seed,
+                std::vector<double>& f, std::vector<double>& p) {
+  Rng rng{seed};
+  f.clear();
+  p.clear();
+  for (double x = 0.8; x <= 2.2001; x += 0.05) {
+    f.push_back(x);
+    p.push_back(t.a * std::pow(x, t.b) + t.c + rng.normal(0.0, noise_sigma));
+  }
+}
+
+TEST(PowerLawFitTest, RecoversBroadwellClassExponent) {
+  // Paper Table IV Broadwell: 0.0064 f^5.315 + 0.7429.
+  std::vector<double> f;
+  std::vector<double> p;
+  synthesize({0.0064, 5.315, 0.7429}, 0.0, 1, f, p);
+  const auto fit = fit_power_law(f, p);
+  ASSERT_TRUE(fit.has_value()) << fit.status().to_string();
+  EXPECT_NEAR(fit->b, 5.315, 0.05);
+  EXPECT_NEAR(fit->c, 0.7429, 0.005);
+  EXPECT_LT(fit->stats.sse, 1e-8);
+}
+
+TEST(PowerLawFitTest, RecoversSkylakeClassExponent) {
+  // Paper Table IV Skylake: 2.235e-9 f^23.31 + 0.7941 — the multimodal case
+  // that requires multi-start.
+  std::vector<double> f;
+  std::vector<double> p;
+  synthesize({2.235e-9, 23.31, 0.7941}, 0.0, 2, f, p);
+  const auto fit = fit_power_law(f, p);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->b, 23.31, 1.0);
+  EXPECT_NEAR(fit->c, 0.7941, 0.01);
+}
+
+TEST(PowerLawFitTest, NoisyRecoveryStaysInBand) {
+  std::vector<double> f;
+  std::vector<double> p;
+  synthesize({0.0107, 3.788, 0.754}, 0.01, 3, f, p);
+  const auto fit = fit_power_law(f, p);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->b, 3.788, 1.2);
+  EXPECT_NEAR(fit->c, 0.754, 0.05);
+  EXPECT_GT(fit->stats.r_squared, 0.5);
+}
+
+TEST(PowerLawFitTest, EvaluateMatchesFormula) {
+  PowerLawFit fit;
+  fit.a = 0.0086;
+  fit.b = 4.038;
+  fit.c = 0.757;
+  EXPECT_NEAR(fit.evaluate(2.0), 0.0086 * std::pow(2.0, 4.038) + 0.757,
+              1e-12);
+  EXPECT_NEAR(fit.evaluate(GigaHertz{1.0}), 0.7656, 1e-9);
+}
+
+TEST(PowerLawFitTest, ToStringRendersReadably) {
+  PowerLawFit fit;
+  fit.a = 0.0086;
+  fit.b = 4.038;
+  fit.c = 0.757;
+  const auto s = fit.to_string();
+  EXPECT_NE(s.find("f^"), std::string::npos);
+  PowerLawFit tiny;
+  tiny.a = 2.235e-9;
+  tiny.b = 23.31;
+  tiny.c = 0.794;
+  EXPECT_NE(tiny.to_string().find("e-09"), std::string::npos);
+}
+
+TEST(PowerLawFitTest, RejectsBadInputs) {
+  const std::vector<double> f3 = {1.0, 1.5, 2.0};
+  const std::vector<double> p3 = {1.0, 1.1, 1.2};
+  EXPECT_FALSE(fit_power_law(f3, p3).has_value());  // < 4 points
+  const std::vector<double> f4 = {0.0, 1.0, 1.5, 2.0};
+  const std::vector<double> p4 = {1.0, 1.0, 1.1, 1.2};
+  EXPECT_FALSE(fit_power_law(f4, p4).has_value());  // f = 0
+  const std::vector<double> mismatch = {1.0, 2.0};
+  EXPECT_FALSE(fit_power_law(f4, mismatch).has_value());
+}
+
+TEST(PowerLawFitTest, FlatDataFitsWithNearZeroAmplitude) {
+  std::vector<double> f;
+  std::vector<double> p;
+  for (double x = 0.8; x <= 2.0; x += 0.05) {
+    f.push_back(x);
+    p.push_back(0.9);
+  }
+  const auto fit = fit_power_law(f, p);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->evaluate(0.8), 0.9, 1e-3);
+  EXPECT_NEAR(fit->evaluate(2.0), 0.9, 1e-3);
+}
+
+TEST(ValidateFitTest, PerfectModelHasZeroSse) {
+  PowerLawFit fit;
+  fit.a = 0.01;
+  fit.b = 4.0;
+  fit.c = 0.75;
+  std::vector<double> f;
+  std::vector<double> p;
+  for (double x = 0.8; x <= 2.0; x += 0.1) {
+    f.push_back(x);
+    p.push_back(fit.evaluate(x));
+  }
+  const auto stats = validate_fit(fit, f, p);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_LT(stats->sse, 1e-20);
+  EXPECT_NEAR(stats->r_squared, 1.0, 1e-9);
+}
+
+TEST(ValidateFitTest, WrongModelHasLargeError) {
+  PowerLawFit fit;
+  fit.a = 0.01;
+  fit.b = 4.0;
+  fit.c = 0.75;
+  const std::vector<double> f = {1.0, 1.5, 2.0};
+  const std::vector<double> p = {10.0, 20.0, 30.0};
+  const auto stats = validate_fit(fit, f, p);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->sse, 100.0);
+}
+
+TEST(ValidateFitTest, RejectsEmptyOrMismatched) {
+  PowerLawFit fit;
+  const std::vector<double> f = {1.0};
+  const std::vector<double> empty;
+  EXPECT_FALSE(validate_fit(fit, f, empty).has_value());
+  EXPECT_FALSE(validate_fit(fit, empty, empty).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::model

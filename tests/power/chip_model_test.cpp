@@ -1,0 +1,97 @@
+#include "power/chip_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::power {
+namespace {
+
+TEST(ChipModelTest, TableTwoSpecifications) {
+  const auto& bdw = chip(ChipId::kBroadwellD1548);
+  EXPECT_EQ(bdw.cpu_name, "Xeon D-1548");
+  EXPECT_EQ(bdw.cloudlab_node, "m510");
+  EXPECT_EQ(bdw.series, "Broadwell");
+  EXPECT_DOUBLE_EQ(bdw.f_min.ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(bdw.f_max.ghz(), 2.0);
+  EXPECT_DOUBLE_EQ(bdw.tdp.watts(), 45.0);
+
+  const auto& skl = chip(ChipId::kSkylake4114);
+  EXPECT_EQ(skl.cpu_name, "Xeon Silver 4114");
+  EXPECT_EQ(skl.cloudlab_node, "c220g5");
+  EXPECT_DOUBLE_EQ(skl.f_max.ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(skl.tdp.watts(), 85.0);
+}
+
+TEST(ChipModelTest, FiftyMhzStepping) {
+  for (ChipId id : all_chips()) {
+    EXPECT_DOUBLE_EQ(chip(id).f_step.mhz(), 50.0);
+  }
+}
+
+TEST(ChipModelTest, PowerIsMonotoneInFrequency) {
+  for (ChipId id : all_chips()) {
+    const auto& spec = chip(id);
+    double prev = 0.0;
+    for (double f = spec.f_min.ghz(); f <= spec.f_max.ghz(); f += 0.05) {
+      const double p = package_power(spec, GigaHertz{f}, 1.0).watts();
+      EXPECT_GE(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST(ChipModelTest, PowerIsMonotoneInActivity) {
+  const auto& spec = chip(ChipId::kBroadwellD1548);
+  const auto f = spec.f_max;
+  EXPECT_LT(package_power(spec, f, 0.0).watts(),
+            package_power(spec, f, 0.5).watts());
+  EXPECT_LT(package_power(spec, f, 0.5).watts(),
+            package_power(spec, f, 1.0).watts());
+}
+
+TEST(ChipModelTest, ZeroActivityEqualsStaticPower) {
+  for (ChipId id : all_chips()) {
+    const auto& spec = chip(id);
+    EXPECT_DOUBLE_EQ(package_power(spec, spec.f_max, 0.0).watts(),
+                     spec.static_power.watts());
+  }
+}
+
+TEST(ChipModelTest, ScaledPowerFloorNearPaperValue) {
+  // Figure 1: scaled compression power bottoms out around 0.8 on both
+  // parts. Calibration target, so a tight band.
+  for (ChipId id : all_chips()) {
+    const auto& spec = chip(id);
+    const double floor = package_power(spec, spec.f_min, 1.0).watts() /
+                         package_power(spec, spec.f_max, 1.0).watts();
+    EXPECT_GT(floor, 0.74) << spec.series;
+    EXPECT_LT(floor, 0.86) << spec.series;
+  }
+}
+
+TEST(ChipModelTest, SkylakeKneeIsLaterThanBroadwell) {
+  // The Skylake curve stays flat longer (paper: f^23 vs f^5 fits).
+  const auto& bdw = chip(ChipId::kBroadwellD1548);
+  const auto& skl = chip(ChipId::kSkylake4114);
+  const double bdw_knee = bdw.vf.clamp_frequency().ghz() / bdw.f_max.ghz();
+  const double skl_knee = skl.vf.clamp_frequency().ghz() / skl.f_max.ghz();
+  EXPECT_GT(skl_knee, bdw_knee);
+}
+
+TEST(ChipModelTest, SingleCorePackagePowerIsPhysicallyPlausible) {
+  // Single active core should draw a small fraction of TDP plus uncore.
+  for (ChipId id : all_chips()) {
+    const auto& spec = chip(id);
+    const double p = package_power(spec, spec.f_max, 1.0).watts();
+    EXPECT_GT(p, 5.0) << spec.series;
+    EXPECT_LT(p, spec.tdp.watts()) << spec.series;
+  }
+}
+
+TEST(ChipModelTest, SeriesNames) {
+  EXPECT_STREQ(chip_series_name(ChipId::kBroadwellD1548), "Broadwell");
+  EXPECT_STREQ(chip_series_name(ChipId::kSkylake4114), "Skylake");
+  EXPECT_EQ(all_chips().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lcp::power

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_counter.hpp"
+#include "power/noise_model.hpp"
+#include "support/rng.hpp"
+
+namespace lcp::power {
+namespace {
+
+TEST(NoiseModelTest, NoneIsIdentity) {
+  Rng rng{1};
+  const auto noise = NoiseModel::none();
+  EXPECT_DOUBLE_EQ(noise.perturb_runtime(Seconds{3.0}, rng).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(noise.perturb_power(Watts{11.0}, rng).watts(), 11.0);
+}
+
+TEST(NoiseModelTest, PerturbationsCenterOnTruth) {
+  Rng rng{2};
+  NoiseModel noise;  // defaults: 1% runtime, 1.5% power
+  double sum_t = 0.0;
+  double sum_p = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_t += noise.perturb_runtime(Seconds{10.0}, rng).seconds();
+    sum_p += noise.perturb_power(Watts{20.0}, rng).watts();
+  }
+  EXPECT_NEAR(sum_t / n, 10.0, 0.01);
+  EXPECT_NEAR(sum_p / n, 20.0, 0.02);
+}
+
+TEST(NoiseModelTest, SpreadMatchesSigma) {
+  Rng rng{3};
+  NoiseModel noise;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = noise.perturb_power(Watts{1.0}, rng).watts() - 1.0;
+    sum_sq += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), noise.power_sigma, 0.002);
+}
+
+TEST(NoiseModelTest, DrawsAreClampedPositive) {
+  Rng rng{4};
+  NoiseModel noise;
+  noise.runtime_sigma = 0.9;  // absurd sigma to stress the clamp
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GT(noise.perturb_runtime(Seconds{1.0}, rng).seconds(), 0.0);
+  }
+}
+
+TEST(EnergyCounterTest, AccumulatesMonotonically) {
+  EnergyCounter c;
+  EXPECT_DOUBLE_EQ(c.total().joules(), 0.0);
+  c.add(Joules{1.5});
+  c.add(Joules{2.5});
+  EXPECT_NEAR(c.total().joules(), 4.0, 1e-6);
+}
+
+TEST(EnergyCounterTest, MicrojouleResolution) {
+  EnergyCounter c;
+  c.add(Joules{1e-6});
+  EXPECT_NEAR(c.total().joules(), 1e-6, 1e-12);
+}
+
+TEST(EnergyCounterTest, DeltaHandlesWraparound) {
+  // Like the 32-bit RAPL MSR: after ~4295 J the raw counter wraps.
+  const std::uint32_t before = 0xFFFFFF00u;
+  const std::uint32_t after = 0x00000100u;
+  EXPECT_NEAR(EnergyCounter::delta(before, after).joules(), 512e-6, 1e-9);
+}
+
+TEST(EnergyCounterTest, RawViewMatchesTotalBelowWrap) {
+  EnergyCounter c;
+  c.add(Joules{2.0});
+  EXPECT_EQ(c.raw_microjoules(), 2000000u);
+}
+
+}  // namespace
+}  // namespace lcp::power

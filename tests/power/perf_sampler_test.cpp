@@ -1,0 +1,79 @@
+#include "power/perf_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::power {
+namespace {
+
+Workload test_workload() {
+  Workload w;
+  w.cpu_ghz_seconds = 2.0;
+  w.stall_seconds = Seconds{1.0};
+  w.activity = 1.0;
+  return w;
+}
+
+TEST(PerfSamplerTest, NoiselessSampleMatchesModel) {
+  const auto& spec = chip(ChipId::kBroadwellD1548);
+  PerfSampler sampler{spec, NoiseModel::none(), 1};
+  const auto w = test_workload();
+  const auto m = sampler.sample(w, spec.f_max);
+  EXPECT_DOUBLE_EQ(m.runtime.seconds(),
+                   workload_runtime(w, spec, spec.f_max).seconds());
+  EXPECT_NEAR(m.energy.joules(),
+              workload_energy(w, spec, spec.f_max).joules(), 1e-9);
+  EXPECT_NEAR(m.average_power().watts(),
+              workload_power(w, spec, spec.f_max).watts(), 1e-9);
+}
+
+TEST(PerfSamplerTest, NoisySamplesVaryButAverageToTruth) {
+  const auto& spec = chip(ChipId::kSkylake4114);
+  PerfSampler sampler{spec, NoiseModel{}, 2};
+  const auto w = test_workload();
+  const auto samples = sampler.sample_repeats(w, spec.f_max, 500);
+  ASSERT_EQ(samples.size(), 500u);
+  double sum = 0.0;
+  bool varied = false;
+  for (const auto& m : samples) {
+    sum += m.energy.joules();
+    varied |= m.energy.joules() != samples[0].energy.joules();
+  }
+  EXPECT_TRUE(varied);
+  const double truth = workload_energy(w, spec, spec.f_max).joules();
+  EXPECT_NEAR(sum / 500.0, truth, truth * 0.01);
+}
+
+TEST(PerfSamplerTest, CounterAccumulatesEverySample) {
+  const auto& spec = chip(ChipId::kBroadwellD1548);
+  PerfSampler sampler{spec, NoiseModel::none(), 3};
+  const auto w = test_workload();
+  (void)sampler.sample_repeats(w, spec.f_min, 5);
+  const double expected =
+      5.0 * workload_energy(w, spec, spec.f_min).joules();
+  EXPECT_NEAR(sampler.counter().total().joules(), expected, expected * 1e-6);
+}
+
+TEST(PerfSamplerTest, DeterministicForSameSeed) {
+  const auto& spec = chip(ChipId::kBroadwellD1548);
+  const auto w = test_workload();
+  PerfSampler a{spec, NoiseModel{}, 42};
+  PerfSampler b{spec, NoiseModel{}, 42};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(w, spec.f_max).energy.joules(),
+                     b.sample(w, spec.f_max).energy.joules());
+  }
+}
+
+TEST(PerfSamplerTest, MeasuredEnergyFallsWithFrequencyDropForCpuBoundWork) {
+  // Compression-shaped workload: moderate beta means lowering f saves
+  // energy (the paper's whole premise).
+  const auto& spec = chip(ChipId::kBroadwellD1548);
+  PerfSampler sampler{spec, NoiseModel::none(), 4};
+  const auto w = compression_workload(spec, Seconds{10.0}, 0.53, 1.0);
+  const auto base = sampler.sample(w, spec.f_max);
+  const auto tuned = sampler.sample(w, spec.f_max * 0.875);
+  EXPECT_LT(tuned.energy.joules(), base.energy.joules());
+}
+
+}  // namespace
+}  // namespace lcp::power

@@ -1,0 +1,133 @@
+#include "power/uncore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::power {
+namespace {
+
+const ChipSpec& bdw() { return chip(ChipId::kBroadwellD1548); }
+const ChipSpec& skl() { return chip(ChipId::kSkylake4114); }
+
+Workload mixed_workload() {
+  Workload w;
+  w.cpu_ghz_seconds = 5.0;
+  w.stall_seconds = Seconds{3.0};
+  w.activity = 1.0;
+  return w;
+}
+
+TEST(UncoreTest, RegistryCoversBothChips) {
+  for (ChipId id : all_chips()) {
+    const auto& u = uncore(id);
+    EXPECT_GT(u.f_min.ghz(), 0.0);
+    EXPECT_GT(u.f_max.ghz(), u.f_min.ghz());
+    EXPECT_GT(u.share_of_static, 0.0);
+    EXPECT_LT(u.share_of_static, 1.0);
+  }
+}
+
+TEST(UncoreTest, FullUncoreClockMatchesBasePowerModel) {
+  // At f_uncore = f_max the extended model must coincide with the base
+  // package_power model.
+  const auto& u = uncore(ChipId::kBroadwellD1548);
+  for (double f = 0.8; f <= 2.0; f += 0.2) {
+    EXPECT_NEAR(
+        package_power_uncore(bdw(), u, GigaHertz{f}, u.f_max, 1.0).watts(),
+        package_power(bdw(), GigaHertz{f}, 1.0).watts(), 1e-9)
+        << f;
+  }
+}
+
+TEST(UncoreTest, LoweringUncoreSavesPower) {
+  const auto& u = uncore(ChipId::kSkylake4114);
+  const double at_max =
+      package_power_uncore(skl(), u, skl().f_max, u.f_max, 1.0).watts();
+  const double at_min =
+      package_power_uncore(skl(), u, skl().f_max, u.f_min, 1.0).watts();
+  EXPECT_LT(at_min, at_max);
+  // Saving bounded by the dynamic slice of the uncore share.
+  const double max_saving = skl().static_power.watts() * u.share_of_static *
+                            u.dynamic_fraction;
+  EXPECT_LE(at_max - at_min, max_saving + 1e-9);
+}
+
+TEST(UncoreTest, LoweringUncoreStretchesStallTime) {
+  const auto& u = uncore(ChipId::kBroadwellD1548);
+  const auto w = mixed_workload();
+  const double t_fast =
+      workload_runtime_uncore(w, bdw(), u, bdw().f_max, u.f_max).seconds();
+  const double t_slow =
+      workload_runtime_uncore(w, bdw(), u, bdw().f_max, u.f_min).seconds();
+  EXPECT_GT(t_slow, t_fast);
+  // Only the stall share stretches; cpu time is untouched.
+  const double cpu = w.cpu_ghz_seconds / (bdw().f_max.ghz() * bdw().perf_factor);
+  EXPECT_NEAR(t_slow - t_fast,
+              w.stall_seconds.seconds() *
+                  (std::pow(2.4 / 1.2, u.stall_sensitivity) - 1.0),
+              1e-9);
+  EXPECT_GT(t_fast, cpu);
+}
+
+TEST(UncoreTest, FullUncoreRuntimeMatchesBaseModel) {
+  const auto& u = uncore(ChipId::kBroadwellD1548);
+  const auto w = mixed_workload();
+  EXPECT_NEAR(
+      workload_runtime_uncore(w, bdw(), u, GigaHertz{1.5}, u.f_max).seconds(),
+      workload_runtime(w, bdw(), GigaHertz{1.5}).seconds(), 1e-9);
+}
+
+TEST(UncoreTest, EnergyIsPowerTimesRuntime) {
+  const auto& u = uncore(ChipId::kSkylake4114);
+  const auto w = mixed_workload();
+  const auto fc = GigaHertz{1.8};
+  const auto fu = GigaHertz{1.6};
+  EXPECT_NEAR(workload_energy_uncore(w, skl(), u, fc, fu).joules(),
+              workload_power_uncore(w, skl(), u, fc, fu).watts() *
+                  workload_runtime_uncore(w, skl(), u, fc, fu).seconds(),
+              1e-9);
+}
+
+TEST(UncoreTest, OptimalPointBeatsCoreOnlyTuning) {
+  // The EAR finding: the combined knob never loses to core-only tuning.
+  const auto& u = uncore(ChipId::kSkylake4114);
+  const auto w = compression_workload(skl(), Seconds{10.0}, 0.53, 1.0);
+  const auto point = energy_optimal_operating_point(w, skl(), u);
+
+  // Best core-only energy (uncore pinned at max).
+  double best_core_only = 1e300;
+  for (double f = 0.8; f <= 2.2001; f += 0.05) {
+    best_core_only =
+        std::min(best_core_only,
+                 workload_energy_uncore(w, skl(), u, GigaHertz{f}, u.f_max)
+                     .joules());
+  }
+  const double combined =
+      workload_energy_uncore(w, skl(), u, point.core, point.uncore).joules();
+  EXPECT_LE(combined, best_core_only + 1e-9);
+  EXPECT_LT(combined, best_core_only);  // strictly better for mixed work
+}
+
+TEST(UncoreTest, CpuBoundWorkPrefersMinUncore) {
+  // No stalls: downclocking the uncore is free power savings.
+  const auto& u = uncore(ChipId::kBroadwellD1548);
+  Workload w;
+  w.cpu_ghz_seconds = 5.0;
+  w.activity = 1.0;
+  const auto point = energy_optimal_operating_point(w, bdw(), u);
+  EXPECT_NEAR(point.uncore.ghz(), u.f_min.ghz(), 1e-9);
+}
+
+TEST(UncoreTest, MemoryBoundWorkKeepsUncoreHigh) {
+  // Stall-dominated work: stretching stalls costs more energy than the
+  // uncore saves, so the optimum stays near the top.
+  const auto& u = uncore(ChipId::kSkylake4114);
+  Workload w;
+  w.cpu_ghz_seconds = 0.5;
+  w.stall_seconds = Seconds{10.0};
+  w.activity = 0.8;
+  const auto point = energy_optimal_operating_point(w, skl(), u);
+  EXPECT_GT(point.uncore.ghz(), 1.6);
+}
+
+}  // namespace
+}  // namespace lcp::power

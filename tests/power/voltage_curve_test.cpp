@@ -1,0 +1,44 @@
+#include "power/voltage_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp::power {
+namespace {
+
+TEST(VoltageCurveTest, ClampsAtVminBelowKnee) {
+  const VoltageCurve vf{Volts{0.65}, Volts{1.0}, GigaHertz{2.0}, 2.2};
+  EXPECT_DOUBLE_EQ(vf.at(GigaHertz{0.8}).volts(), 0.65);
+  EXPECT_DOUBLE_EQ(vf.at(GigaHertz{0.1}).volts(), 0.65);
+}
+
+TEST(VoltageCurveTest, ReachesVmaxAtFmax) {
+  const VoltageCurve vf{Volts{0.65}, Volts{1.0}, GigaHertz{2.0}, 2.2};
+  EXPECT_DOUBLE_EQ(vf.at(GigaHertz{2.0}).volts(), 1.0);
+}
+
+TEST(VoltageCurveTest, MonotoneNonDecreasing) {
+  const VoltageCurve vf{Volts{0.7}, Volts{1.05}, GigaHertz{2.2}, 6.0};
+  double prev = 0.0;
+  for (double f = 0.8; f <= 2.2; f += 0.05) {
+    const double v = vf.at(GigaHertz{f}).volts();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(VoltageCurveTest, ClampFrequencyIsTheBreakpoint) {
+  const VoltageCurve vf{Volts{0.65}, Volts{1.0}, GigaHertz{2.0}, 2.2};
+  const GigaHertz knee = vf.clamp_frequency();
+  EXPECT_NEAR(vf.at(knee).volts(), 0.65, 1e-9);
+  EXPECT_GT(vf.at(GigaHertz{knee.ghz() + 0.05}).volts(), 0.65);
+  EXPECT_DOUBLE_EQ(vf.at(GigaHertz{knee.ghz() - 0.05}).volts(), 0.65);
+}
+
+TEST(VoltageCurveTest, HigherGammaMeansLaterKnee) {
+  const VoltageCurve soft{Volts{0.7}, Volts{1.05}, GigaHertz{2.2}, 2.0};
+  const VoltageCurve sharp{Volts{0.7}, Volts{1.05}, GigaHertz{2.2}, 6.0};
+  EXPECT_GT(sharp.clamp_frequency().ghz(), soft.clamp_frequency().ghz());
+}
+
+}  // namespace
+}  // namespace lcp::power

@@ -1,0 +1,59 @@
+#include "support/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lcp {
+namespace {
+
+TEST(AsciiPlotTest, EmptySeriesRendersPlaceholder) {
+  EXPECT_EQ(render_plot({}, {}), "(empty plot)\n");
+  PlotSeries empty{"none", '*', {}, {}};
+  EXPECT_EQ(render_plot({empty}, {}), "(empty plot)\n");
+}
+
+TEST(AsciiPlotTest, GlyphsAppearInOutput) {
+  PlotSeries s{"broadwell", 'B', {0.8, 1.4, 2.0}, {0.8, 0.85, 1.0}};
+  PlotOptions opts;
+  opts.title = "Fig 1";
+  const auto out = render_plot({s}, opts);
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find("Fig 1"), std::string::npos);
+  EXPECT_NE(out.find("B=broadwell"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MultipleSeriesShareAxes) {
+  PlotSeries a{"a", 'a', {0.0, 1.0}, {0.0, 1.0}};
+  PlotSeries b{"b", 'b', {0.0, 1.0}, {1.0, 0.0}};
+  const auto out = render_plot({a, b}, {});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, NonFinitePointsAreSkipped) {
+  PlotSeries s{"s", 's',
+               {0.0, std::numeric_limits<double>::quiet_NaN(), 2.0},
+               {1.0, 5.0, 3.0}};
+  const auto out = render_plot({s}, {});
+  EXPECT_NE(out.find('s'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotDivideByZero) {
+  PlotSeries s{"flat", 'f', {1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}};
+  const auto out = render_plot({s}, {});
+  EXPECT_NE(out.find('f'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AxisLabelsRendered) {
+  PlotSeries s{"s", '*', {0.8, 2.0}, {0.8, 1.0}};
+  PlotOptions opts;
+  opts.x_label = "frequency (GHz)";
+  opts.y_label = "scaled power";
+  const auto out = render_plot({s}, opts);
+  EXPECT_NE(out.find("frequency (GHz)"), std::string::npos);
+  EXPECT_NE(out.find("scaled power"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcp

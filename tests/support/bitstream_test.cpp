@@ -1,0 +1,134 @@
+#include "support/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(BitStreamTest, SingleBitsRoundTrip) {
+  BitWriter w;
+  const std::vector<bool> bits = {true, false, true, true, false,
+                                  false, true, false, true};
+  for (bool b : bits) {
+    w.write_bit(b);
+  }
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  for (bool b : bits) {
+    EXPECT_EQ(r.read_bit(), b);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, MultiBitFieldsRoundTrip) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x1234, 16);
+  w.write_bits(0xdeadbeefcafe, 48);
+  w.write_bits(1, 1);
+  const auto bytes = w.finish();
+
+  BitReader r{bytes};
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+  EXPECT_EQ(r.read_bits(16), 0x1234u);
+  EXPECT_EQ(r.read_bits(48), 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.read_bits(1), 1u);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, SixtyFourBitWrite) {
+  BitWriter w;
+  w.write_bits(UINT64_MAX, 64);
+  w.write_bits(0x123456789abcdef0ULL, 64);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  EXPECT_EQ(r.read_bits(64), UINT64_MAX);
+  EXPECT_EQ(r.read_bits(64), 0x123456789abcdef0ULL);
+}
+
+TEST(BitStreamTest, ValueBitsAboveWidthAreMasked) {
+  BitWriter w;
+  w.write_bits(0xFF, 4);  // only low 4 bits should land
+  w.write_bits(0x0, 4);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  EXPECT_EQ(r.read_bits(4), 0xFu);
+  EXPECT_EQ(r.read_bits(4), 0x0u);
+}
+
+TEST(BitStreamTest, UnaryRoundTrip) {
+  BitWriter w;
+  for (unsigned n : {0u, 1u, 2u, 7u, 31u, 100u}) {
+    w.write_unary(n);
+  }
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  for (unsigned n : {0u, 1u, 2u, 7u, 31u, 100u}) {
+    EXPECT_EQ(r.read_unary(), n);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, ReadPastEndPadsZeroAndFlagsOverflow) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  // Padding bits of the final byte read as zero without overflow...
+  EXPECT_EQ(r.read_bits(5), 0u);
+  EXPECT_FALSE(r.overflowed());
+  // ...but crossing the buffer flags it.
+  (void)r.read_bits(8);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitStreamTest, BitCountExcludesPadding) {
+  BitWriter w;
+  w.write_bits(0, 13);
+  EXPECT_EQ(w.bit_count(), 13u);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes.size(), 2u);
+}
+
+TEST(BitStreamTest, RandomizedRoundTripProperty) {
+  Rng rng{2024};
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> writes;
+    const int ops = 200;
+    for (int i = 0; i < ops; ++i) {
+      const unsigned bits = 1 + static_cast<unsigned>(rng.uniform_index(64));
+      const std::uint64_t value =
+          bits == 64 ? rng.next_u64()
+                     : rng.next_u64() & ((std::uint64_t{1} << bits) - 1);
+      writes.emplace_back(value, bits);
+      w.write_bits(value, bits);
+    }
+    const auto bytes = w.finish();
+    BitReader r{bytes};
+    for (const auto& [value, bits] : writes) {
+      EXPECT_EQ(r.read_bits(bits), value);
+    }
+    EXPECT_FALSE(r.overflowed());
+  }
+}
+
+TEST(BitStreamTest, EmptyWriterYieldsEmptyBuffer) {
+  BitWriter w;
+  EXPECT_TRUE(w.finish().empty());
+}
+
+TEST(BitStreamTest, ReaderOnEmptyBufferOverflowsImmediately) {
+  BitReader r{{}};
+  EXPECT_EQ(r.bits_remaining(), 0u);
+  EXPECT_EQ(r.read_bits(1), 0u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+}  // namespace
+}  // namespace lcp

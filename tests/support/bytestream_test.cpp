@@ -1,0 +1,102 @@
+#include "support/bytestream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lcp {
+namespace {
+
+TEST(ByteStreamTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i64(-42);
+  w.write_f64(6.5e3);
+  const auto bytes = w.finish();
+
+  ByteReader r{bytes};
+  EXPECT_EQ(*r.read_u8(), 0xAB);
+  EXPECT_EQ(*r.read_u16(), 0x1234);
+  EXPECT_EQ(*r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(*r.read_f64(), 6.5e3);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStreamTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.write_u32(0x01020304);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(ByteStreamTest, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5};
+  w.write_blob(blob);
+  w.write_string("CESM-ATM");
+  w.write_string("");  // empty string is legal
+  const auto bytes = w.finish();
+
+  ByteReader r{bytes};
+  auto read_blob = r.read_blob();
+  ASSERT_TRUE(read_blob.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(read_blob->begin(), read_blob->end()),
+            blob);
+  EXPECT_EQ(*r.read_string(), "CESM-ATM");
+  EXPECT_EQ(*r.read_string(), "");
+}
+
+TEST(ByteStreamTest, TruncatedReadsFailCleanly) {
+  ByteWriter w;
+  w.write_u16(7);
+  const auto bytes = w.finish();
+
+  ByteReader r{bytes};
+  EXPECT_FALSE(r.read_u32().has_value());
+  EXPECT_EQ(r.read_u32().status().code(), ErrorCode::kCorruptData);
+
+  ByteReader r2{bytes};
+  ASSERT_TRUE(r2.read_u16().has_value());
+  EXPECT_FALSE(r2.read_u8().has_value());
+}
+
+TEST(ByteStreamTest, TruncatedBlobFails) {
+  ByteWriter w;
+  w.write_u32(100);  // declares 100 bytes, provides none
+  const auto bytes = w.finish();
+  ByteReader r{bytes};
+  EXPECT_FALSE(r.read_blob().has_value());
+}
+
+TEST(ByteStreamTest, ReadBytesIsZeroCopyView) {
+  ByteWriter w;
+  w.write_u8(9);
+  w.write_u8(8);
+  const auto bytes = w.finish();
+  ByteReader r{bytes};
+  auto view = r.read_bytes(2);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->data(), bytes.data());
+}
+
+TEST(ByteStreamTest, PositionTracksConsumption) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_u64(2);
+  const auto bytes = w.finish();
+  ByteReader r{bytes};
+  EXPECT_EQ(r.position(), 0u);
+  (void)r.read_u64();
+  EXPECT_EQ(r.position(), 8u);
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,112 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lcp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng{11};
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++hits[rng.uniform_index(8)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 800);  // each bucket near 1000
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(RngTest, NormalMomentsAreStandard) {
+  Rng rng{42};
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng{42};
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.5), 0.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a{99};
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ZeroSeedDoesNotProduceZeroState) {
+  Rng rng{0};
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    any_nonzero |= rng.next_u64() != 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,117 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(StatsTest, MeanAndVarianceOfKnownSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingletonAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  const std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(mean(one), 3.5);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  const auto s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(StatsTest, SummaryMatchesDirectComputation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  // t(4 dof) = 2.776; sd = sqrt(2.5).
+  EXPECT_NEAR(s.ci95_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
+
+TEST(StatsTest, TQuantileTableBoundaries) {
+  EXPECT_DOUBLE_EQ(t_quantile_975(0), 0.0);
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_quantile_975(9), 2.262, 1e-9);  // the paper's 10 repeats
+  EXPECT_DOUBLE_EQ(t_quantile_975(1000), 1.96);
+}
+
+TEST(StatsTest, PearsonOfPerfectLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> yn = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateCases) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  const std::vector<double> short_x = {1};
+  EXPECT_DOUBLE_EQ(pearson(short_x, short_x), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary) {
+  Rng rng{3};
+  std::vector<double> v;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    v.push_back(x);
+    rs.add(x);
+  }
+  const auto batch = summarize(v);
+  const auto online = rs.summary();
+  EXPECT_EQ(online.count, batch.count);
+  EXPECT_NEAR(online.mean, batch.mean, 1e-9);
+  EXPECT_NEAR(online.stddev, batch.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(online.min, batch.min);
+  EXPECT_DOUBLE_EQ(online.max, batch.max);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePass) {
+  Rng rng{17};
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,70 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  const auto s = Status::invalid_argument("bad eb");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad eb");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad eb");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (auto code : {ErrorCode::kOk, ErrorCode::kInvalidArgument,
+                    ErrorCode::kOutOfRange, ErrorCode::kCorruptData,
+                    ErrorCode::kUnsupported, ErrorCode::kInternal,
+                    ErrorCode::kUnavailable}) {
+    EXPECT_FALSE(error_code_name(code).empty());
+    EXPECT_NE(error_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e{42};
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().is_ok());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e{Status::corrupt_data("boom")};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(ExpectedTest, OkStatusWithoutValueBecomesInternalError) {
+  Expected<int> e{Status::ok()};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), ErrorCode::kInternal);
+}
+
+TEST(ExpectedTest, TakeMovesValueOut) {
+  Expected<std::string> e{std::string("payload")};
+  const std::string v = std::move(e).take();
+  EXPECT_EQ(v, "payload");
+}
+
+Status fails() { return Status::out_of_range("nope"); }
+Status propagates() {
+  LCP_RETURN_IF_ERROR(fails());
+  return Status::ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(propagates().code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace lcp

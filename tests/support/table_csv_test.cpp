@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t{{"Model Data", "SSE", "RMSE"}};
+  t.add_row({"Total", "11.407", "0.0442"});
+  t.add_row({"Broadwell", "2.463", "0.0279"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("Model Data"), std::string::npos);
+  EXPECT_NE(out.find("Broadwell"), std::string::npos);
+  EXPECT_NE(out.find("0.0279"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, TitleAppearsAboveTable) {
+  Table t{{"A"}};
+  t.set_title("TABLE IV");
+  t.add_row({"x"});
+  const auto out = t.render();
+  EXPECT_EQ(out.rfind("TABLE IV", 0), 0u);
+}
+
+TEST(TableTest, ColumnsPadToWidestCell) {
+  Table t{{"h", "col"}};
+  t.add_row({"longvalue", "x"});
+  const auto out = t.render();
+  // Header row and data row must have identical width.
+  const auto first_newline = out.find('\n');
+  const auto second = out.find('\n', first_newline + 1);
+  const auto third = out.find('\n', second + 1);
+  EXPECT_EQ(second - first_newline, third - second);
+}
+
+TEST(TableTest, FormattersProduceExpectedStrings) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_scientific(2.235e-9, 3), "2.235e-09");
+  EXPECT_EQ(format_percent(0.143, 1), "14.3%");
+}
+
+TEST(CsvTest, RendersRowsWithHeader) {
+  CsvWriter csv{{"f_ghz", "scaled_power"}};
+  csv.add_row({"0.8", "0.801"});
+  csv.add_row({"2.0", "1.0"});
+  EXPECT_EQ(csv.render(), "f_ghz,scaled_power\n0.8,0.801\n2.0,1.0\n");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter csv{{"name", "note"}};
+  csv.add_row({"a,b", "say \"hi\"\nplease"});
+  const auto out = csv.render();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\nplease\""), std::string::npos);
+}
+
+TEST(CsvTest, WriteFileRoundTrips) {
+  CsvWriter csv{{"x"}};
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/lcp_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path).is_ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "x\n1\n");
+}
+
+TEST(CsvTest, WriteFileToBadPathFails) {
+  CsvWriter csv{{"x"}};
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir-xyz/out.csv").is_ok());
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,90 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lcp {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksRun) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.worker_count(), 2u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) {
+    f.wait();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool{2};
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithSingleWorker) {
+  ThreadPool pool{1};
+  std::atomic<long> sum{0};
+  pool.parallel_for(1, 101, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 42) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
+  ThreadPool pool{1};
+  auto f = pool.submit([] { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.submit([&count] { ++count; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, NestedSizesAndLargeRange) {
+  ThreadPool pool{4};
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 100000, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 100000u);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,57 @@
+#include "support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcp {
+namespace {
+
+TEST(UnitsTest, FrequencyConversions) {
+  const auto f = GigaHertz::from_mhz(800);
+  EXPECT_DOUBLE_EQ(f.ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(f.mhz(), 800.0);
+  EXPECT_DOUBLE_EQ(f.hz(), 8e8);
+  EXPECT_DOUBLE_EQ(GigaHertz::from_hz(2.2e9).ghz(), 2.2);
+}
+
+TEST(UnitsTest, FrequencyArithmeticAndOrdering) {
+  const GigaHertz a{2.0};
+  const GigaHertz b{0.8};
+  EXPECT_DOUBLE_EQ((a - b).ghz(), 1.2);
+  EXPECT_DOUBLE_EQ((a * 0.875).ghz(), 1.75);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(UnitsTest, EnergyEqualsPowerTimesTime) {
+  // Eqn 1 of the paper.
+  const Joules e = Watts{11.85} * Seconds{10.0};
+  EXPECT_DOUBLE_EQ(e.joules(), 118.5);
+  EXPECT_DOUBLE_EQ((e / Seconds{10.0}).watts(), 11.85);
+  EXPECT_DOUBLE_EQ((e / Watts{11.85}).seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(Joules::from_kj(6.5).joules(), 6500.0);
+  EXPECT_DOUBLE_EQ(e.kj(), 0.1185);
+}
+
+TEST(UnitsTest, SecondsConversions) {
+  EXPECT_DOUBLE_EQ(Seconds::from_ms(250).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Seconds{0.25}.ms(), 250.0);
+  EXPECT_DOUBLE_EQ((Seconds{1.0} + Seconds{0.5}).seconds(), 1.5);
+}
+
+TEST(UnitsTest, BytesConversions) {
+  EXPECT_EQ(Bytes::from_gb(512).bytes(), 512'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(Bytes::from_mb(673.9).mb(), 673.9);
+  EXPECT_EQ(Bytes::from_gib(1).bytes(), 1073741824ULL);
+  EXPECT_DOUBLE_EQ(Bytes::from_gb(16) / Bytes::from_gb(4), 4.0);
+}
+
+TEST(UnitsTest, DefaultConstructedQuantitiesAreZero) {
+  EXPECT_DOUBLE_EQ(GigaHertz{}.ghz(), 0.0);
+  EXPECT_DOUBLE_EQ(Watts{}.watts(), 0.0);
+  EXPECT_DOUBLE_EQ(Seconds{}.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(Joules{}.joules(), 0.0);
+  EXPECT_EQ(Bytes{}.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace lcp

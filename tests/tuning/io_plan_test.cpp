@@ -1,0 +1,109 @@
+#include "tuning/io_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/transit_model.hpp"
+
+namespace lcp::tuning {
+namespace {
+
+const power::ChipSpec& bdw() {
+  return power::chip(power::ChipId::kBroadwellD1548);
+}
+
+power::Workload compress_w() {
+  return power::compression_workload(bdw(), Seconds{60.0}, 0.53, 1.0);
+}
+
+power::Workload write_w() {
+  return io::transit_workload(bdw(), Bytes::from_gb(4), {});
+}
+
+TEST(IoPlanTest, TotalsAreSumsOverStages) {
+  IoPlan plan;
+  plan.stages = {{"compress", compress_w(), bdw().f_max},
+                 {"write", write_w(), bdw().f_max}};
+  const double t = plan.total_runtime(bdw()).seconds();
+  const double e = plan.total_energy(bdw()).joules();
+  const double t_expected =
+      power::workload_runtime(compress_w(), bdw(), bdw().f_max).seconds() +
+      power::workload_runtime(write_w(), bdw(), bdw().f_max).seconds();
+  EXPECT_NEAR(t, t_expected, 1e-9);
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(IoPlanTest, EmptyPlanIsZero) {
+  IoPlan plan;
+  EXPECT_DOUBLE_EQ(plan.total_runtime(bdw()).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.total_energy(bdw()).joules(), 0.0);
+}
+
+TEST(PlanComparisonTest, TunedDumpSavesEnergy) {
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  EXPECT_GT(cmp.energy_savings(), 0.0);
+  EXPECT_LT(cmp.energy_savings(), 0.35);
+  EXPECT_GT(cmp.runtime_increase(), 0.0);
+  EXPECT_LT(cmp.runtime_increase(), 0.2);
+  EXPECT_GT(cmp.energy_saved().joules(), 0.0);
+}
+
+TEST(PlanComparisonTest, BaseStagesRunAtMaxClock) {
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  ASSERT_EQ(cmp.base.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(cmp.base.stages[0].frequency.ghz(), bdw().f_max.ghz());
+  EXPECT_DOUBLE_EQ(cmp.base.stages[1].frequency.ghz(), bdw().f_max.ghz());
+}
+
+TEST(PlanComparisonTest, TunedStagesFollowEqnThree) {
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  ASSERT_EQ(cmp.tuned.stages.size(), 2u);
+  EXPECT_NEAR(cmp.tuned.stages[0].frequency.ghz(), 0.875 * 2.0, 1e-9);
+  EXPECT_NEAR(cmp.tuned.stages[1].frequency.ghz(), 0.85 * 2.0, 1e-9);
+  EXPECT_EQ(cmp.tuned.stages[0].name, "compress");
+  EXPECT_EQ(cmp.tuned.stages[1].name, "write");
+}
+
+TEST(PlanComparisonTest, IdentityRuleIsNeutral) {
+  const TuningRule identity{1.0, 1.0};
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), identity);
+  EXPECT_NEAR(cmp.energy_savings(), 0.0, 1e-12);
+  EXPECT_NEAR(cmp.runtime_increase(), 0.0, 1e-12);
+}
+
+TEST(IoPlanTest, TransitionOverheadCountsOnlyFrequencyChanges) {
+  IoPlan plan;
+  plan.stages = {{"a", compress_w(), GigaHertz{1.75}},
+                 {"b", write_w(), GigaHertz{1.70}},
+                 {"c", write_w(), GigaHertz{1.70}},   // no switch
+                 {"d", compress_w(), GigaHertz{1.75}}};
+  EXPECT_NEAR(plan.transition_time(bdw()).seconds(),
+              2.0 * bdw().dvfs_transition_latency.seconds(), 1e-12);
+  EXPECT_GT(plan.transition_energy(bdw()).joules(), 0.0);
+}
+
+TEST(IoPlanTest, BaseClockPlanHasNoTransitions) {
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  EXPECT_DOUBLE_EQ(cmp.base.transition_time(bdw()).seconds(), 0.0);
+}
+
+TEST(IoPlanTest, TransitionOverheadIsNegligibleForEqn3Plans) {
+  // Validates the paper's implicit assumption: the per-stage frequency
+  // switch (tens of microseconds) is noise next to seconds-scale stages.
+  const auto cmp =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  const double overhead_j = cmp.tuned.transition_energy(bdw()).joules();
+  const double plan_j = cmp.energy_tuned.joules();
+  EXPECT_GT(overhead_j, 0.0);
+  EXPECT_LT(overhead_j / plan_j, 1e-5);
+  EXPECT_LT(cmp.tuned.transition_time(bdw()).seconds() /
+                cmp.runtime_tuned.seconds(),
+            1e-5);
+}
+
+}  // namespace
+}  // namespace lcp::tuning

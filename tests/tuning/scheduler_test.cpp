@@ -1,0 +1,150 @@
+#include "tuning/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/transit_model.hpp"
+
+namespace lcp::tuning {
+namespace {
+
+const power::ChipSpec& bdw() {
+  return power::chip(power::ChipId::kBroadwellD1548);
+}
+
+std::vector<Job> typical_jobs() {
+  return {
+      {"compress-A", power::compression_workload(bdw(), Seconds{10.0}, 0.53, 1.0)},
+      {"compress-B", power::compression_workload(bdw(), Seconds{4.0}, 0.50, 0.94)},
+      {"write-A", io::transit_workload(bdw(), Bytes::from_gb(2), {})},
+  };
+}
+
+TEST(SchedulerTest, BaselineRunsEverythingAtFmax) {
+  const auto schedule = schedule_baseline(bdw(), typical_jobs());
+  ASSERT_EQ(schedule.jobs.size(), 3u);
+  for (const auto& sj : schedule.jobs) {
+    EXPECT_DOUBLE_EQ(sj.frequency.ghz(), bdw().f_max.ghz());
+  }
+  EXPECT_GT(schedule.total_energy.joules(), 0.0);
+  EXPECT_GT(schedule.total_runtime.seconds(), 0.0);
+}
+
+TEST(SchedulerTest, GenerousDeadlineYieldsEnergyOptimalPoints) {
+  const auto jobs = typical_jobs();
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  const auto schedule =
+      schedule_for_deadline(bdw(), jobs, baseline.total_runtime * 10.0);
+  ASSERT_TRUE(schedule.has_value()) << schedule.status().to_string();
+  EXPECT_LT(schedule->total_energy.joules(), baseline.total_energy.joules());
+  // With slack, no job should sit at f_max (energy optimum is interior).
+  for (const auto& sj : schedule->jobs) {
+    EXPECT_LT(sj.frequency.ghz(), bdw().f_max.ghz()) << sj.job.name;
+  }
+}
+
+TEST(SchedulerTest, TightDeadlinePushesJobsTowardFmax) {
+  const auto jobs = typical_jobs();
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  const auto schedule =
+      schedule_for_deadline(bdw(), jobs, baseline.total_runtime * 1.001);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_LE(schedule->total_runtime.seconds(),
+            baseline.total_runtime.seconds() * 1.001 + 1e-9);
+}
+
+TEST(SchedulerTest, DeadlineIsRespected) {
+  const auto jobs = typical_jobs();
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  for (double slack : {1.02, 1.05, 1.10, 1.5}) {
+    const auto schedule = schedule_for_deadline(
+        bdw(), jobs, baseline.total_runtime * slack);
+    ASSERT_TRUE(schedule.has_value()) << slack;
+    EXPECT_LE(schedule->total_runtime.seconds(),
+              baseline.total_runtime.seconds() * slack + 1e-9)
+        << slack;
+    // Any feasible schedule must beat or match baseline energy.
+    EXPECT_LE(schedule->total_energy.joules(),
+              baseline.total_energy.joules() + 1e-9)
+        << slack;
+  }
+}
+
+TEST(SchedulerTest, MoreSlackNeverCostsMoreEnergy) {
+  const auto jobs = typical_jobs();
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  double prev_energy = baseline.total_energy.joules();
+  for (double slack : {1.01, 1.05, 1.10, 1.25, 2.0}) {
+    const auto schedule = schedule_for_deadline(
+        bdw(), jobs, baseline.total_runtime * slack);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_LE(schedule->total_energy.joules(), prev_energy + 1e-9) << slack;
+    prev_energy = schedule->total_energy.joules();
+  }
+}
+
+TEST(SchedulerTest, InfeasibleDeadlineFails) {
+  const auto jobs = typical_jobs();
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  const auto schedule =
+      schedule_for_deadline(bdw(), jobs, baseline.total_runtime * 0.5);
+  EXPECT_FALSE(schedule.has_value());
+  EXPECT_EQ(schedule.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, EmptyJobListRejected) {
+  EXPECT_FALSE(schedule_for_deadline(bdw(), {}, Seconds{10.0}).has_value());
+  EXPECT_FALSE(schedule_for_power_cap(bdw(), {}, Watts{20.0}).has_value());
+}
+
+TEST(SchedulerTest, PowerCapPicksFastestCompliantFrequency) {
+  const auto jobs = typical_jobs();
+  const auto schedule = schedule_for_power_cap(bdw(), jobs, Watts{10.5});
+  ASSERT_TRUE(schedule.has_value()) << schedule.status().to_string();
+  for (const auto& sj : schedule->jobs) {
+    const auto p = power::workload_power(sj.job.workload, bdw(), sj.frequency);
+    EXPECT_LE(p.watts(), 10.5) << sj.job.name;
+    // The next grid point up must violate the cap (else we weren't fastest)
+    // unless the job already sits at f_max.
+    if (sj.frequency < bdw().f_max) {
+      const GigaHertz next{sj.frequency.ghz() + bdw().f_step.ghz()};
+      EXPECT_GT(power::workload_power(sj.job.workload, bdw(), next).watts(),
+                10.5)
+          << sj.job.name;
+    }
+  }
+}
+
+TEST(SchedulerTest, LooseCapRunsAtFmax) {
+  const auto jobs = typical_jobs();
+  const auto schedule = schedule_for_power_cap(bdw(), jobs, Watts{100.0});
+  ASSERT_TRUE(schedule.has_value());
+  for (const auto& sj : schedule->jobs) {
+    EXPECT_DOUBLE_EQ(sj.frequency.ghz(), bdw().f_max.ghz());
+  }
+}
+
+TEST(SchedulerTest, ImpossibleCapFails) {
+  const auto jobs = typical_jobs();
+  const auto schedule = schedule_for_power_cap(bdw(), jobs, Watts{1.0});
+  EXPECT_FALSE(schedule.has_value());
+}
+
+TEST(SchedulerTest, FloorBoundJobsDoNotWedgeTheGreedyLoop) {
+  // A fully floor-bound job gains no runtime from frequency; the deadline
+  // loop must still terminate and meet a tight deadline via other jobs.
+  std::vector<Job> jobs = typical_jobs();
+  power::Workload floor_job;
+  floor_job.cpu_ghz_seconds = 0.1;
+  floor_job.floor_seconds = Seconds{30.0};
+  floor_job.activity = 0.5;
+  jobs.push_back({"floor-bound", floor_job});
+  const auto baseline = schedule_baseline(bdw(), jobs);
+  const auto schedule =
+      schedule_for_deadline(bdw(), jobs, baseline.total_runtime * 1.01);
+  ASSERT_TRUE(schedule.has_value()) << schedule.status().to_string();
+  EXPECT_LE(schedule->total_runtime.seconds(),
+            baseline.total_runtime.seconds() * 1.01 + 1e-9);
+}
+
+}  // namespace
+}  // namespace lcp::tuning
