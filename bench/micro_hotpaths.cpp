@@ -1,0 +1,261 @@
+// Micro-benchmarks for the hot paths touched by the kernel overhaul:
+// thread-pool dispatch, the fused SZ predict+quantize pass, canonical
+// Huffman encode/decode, raw bitstream write/read, and chunk-parallel SZ
+// compression across worker counts.
+//
+// Unlike the figure/table benches this is a plain timing harness (no
+// google-benchmark) so it can emit a stable machine-readable summary:
+//   micro_hotpaths [--quick] [--json [path]]
+// --json writes BENCH_hotpaths.json (default path) with one record per
+// op: {op, ns_per_op, bytes_per_sec, workers}.
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compress/common/parallel.hpp"
+#include "compress/sz/huffman.hpp"
+#include "compress/sz/pipeline.hpp"
+#include "compress/sz/quantizer.hpp"
+#include "compress/sz/sz_compressor.hpp"
+#include "data/generators.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchRecord {
+  std::string op;
+  double ns_per_op = 0.0;
+  double bytes_per_sec = 0.0;  // 0 when the op has no natural byte volume
+  std::size_t workers = 0;     // 0 for single-threaded kernels
+};
+
+std::vector<BenchRecord> g_records;
+
+/// Times `body` (which must process `bytes` payload bytes per call) over
+/// `iters` iterations and records + prints one line.
+template <typename Body>
+void run_case(const std::string& op, std::size_t iters, std::size_t bytes,
+              std::size_t workers, Body&& body) {
+  body();  // warm-up (also primes pool workers / page-faults the buffers)
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    body();
+  }
+  const auto stop = Clock::now();
+  const double total_ns =
+      std::chrono::duration<double, std::nano>(stop - start).count();
+  BenchRecord rec;
+  rec.op = op;
+  rec.ns_per_op = total_ns / static_cast<double>(iters);
+  rec.workers = workers;
+  if (bytes > 0 && total_ns > 0.0) {
+    rec.bytes_per_sec = static_cast<double>(bytes) *
+                        static_cast<double>(iters) / (total_ns * 1e-9);
+  }
+  g_records.push_back(rec);
+  std::printf("%-34s %12.1f ns/op", rec.op.c_str(), rec.ns_per_op);
+  if (rec.bytes_per_sec > 0.0) {
+    std::printf(" %9.1f MB/s", rec.bytes_per_sec / 1e6);
+  }
+  if (rec.workers > 0) {
+    std::printf("  workers=%zu", rec.workers);
+  }
+  std::printf("\n");
+}
+
+void write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_hotpaths: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const auto& r = g_records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"bytes_per_sec\": %.3f, \"workers\": %zu}%s\n",
+                 r.op.c_str(), r.ns_per_op, r.bytes_per_sec, r.workers,
+                 i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), g_records.size());
+}
+
+void bench_pool_dispatch(bool quick) {
+  const std::size_t tasks = quick ? 2000 : 20000;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    lcp::ThreadPool pool{workers};
+    std::atomic<std::uint64_t> sink{0};
+    run_case("pool/parallel_for_" + std::to_string(tasks), quick ? 3 : 10, 0,
+             workers, [&] {
+               pool.parallel_for(0, tasks, [&](std::size_t i) {
+                 sink.fetch_add(i, std::memory_order_relaxed);
+               });
+             });
+  }
+}
+
+void bench_fused_pipeline(bool quick) {
+  const std::size_t n = quick ? 64 : 192;
+  const auto field = lcp::data::generate_nyx(n, 7);
+  const lcp::sz::LinearQuantizer quantizer{1e-3};
+  std::vector<std::uint32_t> codes;
+  std::vector<std::uint32_t> exact;
+  std::vector<float> decoded;
+  const std::size_t bytes = field.element_count() * sizeof(float);
+  run_case("sz/predict_quantize_fused", quick ? 3 : 10, bytes, 0, [&] {
+    codes.clear();
+    exact.clear();
+    lcp::sz::predict_quantize_fused(field.values(), field.dims().extents(),
+                                    lcp::sz::SzPredictor::kFirstOrder,
+                                    quantizer, codes, exact, decoded);
+  });
+
+  std::vector<float> exact_f(exact.size());
+  std::memcpy(exact_f.data(), exact.data(), exact.size() * sizeof(float));
+  std::vector<float> out(field.element_count());
+  run_case("sz/reconstruct_fused", quick ? 3 : 10, bytes, 0, [&] {
+    std::size_t consumed = 0;
+    const bool ok = lcp::sz::reconstruct_fused(
+        codes, exact_f, field.dims().extents(),
+        lcp::sz::SzPredictor::kFirstOrder, quantizer, out, consumed);
+    LCP_REQUIRE(ok, "fused reconstruction failed in benchmark");
+  });
+}
+
+void bench_huffman(bool quick) {
+  // Quantization-code-shaped symbols: concentrated near the radius with a
+  // geometric tail, matching the Huffman coder's production input.
+  const std::size_t count = quick ? (1u << 16) : (1u << 20);
+  constexpr std::uint32_t kRadius = 32768;
+  lcp::Rng rng{11};
+  std::vector<std::uint32_t> symbols(count);
+  for (auto& s : symbols) {
+    std::int64_t delta = 0;
+    while (delta < 64 && rng.uniform() < 0.5) {
+      ++delta;
+    }
+    if (rng.uniform() < 0.5) {
+      delta = -delta;
+    }
+    s = static_cast<std::uint32_t>(kRadius + delta);
+  }
+  const std::size_t bytes = count * sizeof(std::uint32_t);
+  std::vector<std::uint8_t> blob;
+  run_case("huffman/encode", quick ? 3 : 10, bytes, 0,
+           [&] { blob = lcp::sz::huffman_encode(symbols, 2 * kRadius); });
+  run_case("huffman/decode", quick ? 3 : 10, bytes, 0, [&] {
+    auto decoded = lcp::sz::huffman_decode(blob, count);
+    LCP_REQUIRE(decoded.has_value() && decoded->size() == count,
+                "huffman decode failed in benchmark");
+  });
+}
+
+void bench_bitstream(bool quick) {
+  const std::size_t n = quick ? (1u << 16) : (1u << 20);
+  lcp::Rng rng{23};
+  std::vector<std::uint64_t> words(n);
+  std::vector<unsigned> widths(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    widths[i] = 1 + static_cast<unsigned>(rng.next_u64() % 24);
+    words[i] = rng.next_u64() & ((1ULL << widths[i]) - 1);
+  }
+  std::size_t payload_bits = 0;
+  for (unsigned w : widths) {
+    payload_bits += w;
+  }
+  const std::size_t bytes = payload_bits / 8;
+
+  std::vector<std::uint8_t> buffer;
+  run_case("bitstream/write_bits", quick ? 3 : 10, bytes, 0, [&] {
+    lcp::BitWriter writer;
+    for (std::size_t i = 0; i < n; ++i) {
+      writer.write_bits(words[i], widths[i]);
+    }
+    buffer = writer.finish();
+  });
+  run_case("bitstream/read_bits", quick ? 3 : 10, bytes, 0, [&] {
+    lcp::BitReader reader{buffer};
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sink ^= reader.read_bits(widths[i]);
+    }
+    LCP_REQUIRE(!reader.overflowed(), "bitstream benchmark overflow");
+  });
+}
+
+void bench_parallel_compress(bool quick) {
+  const std::size_t n = quick ? 96 : 256;
+  const auto field = lcp::data::generate_nyx(n, 3);
+  const lcp::sz::SzCompressor codec{{}};
+  const auto bound = lcp::compress::ErrorBound::absolute(1e-3);
+  lcp::compress::ParallelOptions options;
+  options.target_chunk_elements = field.element_count() / 16;
+  const std::size_t bytes = field.element_count() * sizeof(float);
+
+  double baseline_ns = 0.0;
+  for (std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    lcp::ThreadPool pool{workers};
+    run_case("parallel_compress/sz", quick ? 1 : 3, bytes, workers, [&] {
+      auto result = lcp::compress::parallel_compress(codec, field, bound, pool,
+                                                     options);
+      LCP_REQUIRE(result.has_value(), "parallel_compress failed in benchmark");
+    });
+    const auto& rec = g_records.back();
+    if (workers == 1) {
+      baseline_ns = rec.ns_per_op;
+    } else if (baseline_ns > 0.0) {
+      std::printf("  speedup vs 1 worker: %.2fx\n",
+                  baseline_ns / rec.ns_per_op);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_hotpaths.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json [path]]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("== micro_hotpaths (%s scale) ==\n", quick ? "quick" : "full");
+  bench_pool_dispatch(quick);
+  bench_fused_pipeline(quick);
+  bench_huffman(quick);
+  bench_bitstream(quick);
+  bench_parallel_compress(quick);
+
+  if (json) {
+    write_json(json_path);
+  }
+  return 0;
+}

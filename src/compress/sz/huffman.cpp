@@ -10,6 +10,11 @@ namespace {
 
 constexpr unsigned kMaxCodeLength = 32;
 
+/// Primary decode table width: codes up to this many bits resolve with one
+/// table lookup; longer codes (rare tails of skewed histograms) fall back
+/// to the canonical per-length walk.
+constexpr unsigned kDecodeTableBits = 11;
+
 struct HeapNode {
   std::uint64_t weight;
   std::uint32_t index;  // tie-break for determinism
@@ -18,7 +23,20 @@ struct HeapNode {
   }
 };
 
-/// Builds code lengths by standard Huffman tree construction.
+/// Reverses the low `len` bits of `v` (code <-> stream bit order).
+std::uint64_t reverse_bits(std::uint64_t v, unsigned len) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// Builds code lengths by standard Huffman tree construction. Depths are
+/// computed in one topological pass over the parent links: internal nodes
+/// are appended after their children, so parent indices are always larger
+/// and a single descending sweep resolves every depth.
 std::vector<std::uint8_t> build_lengths(std::span<const std::uint64_t> freq) {
   const std::uint32_t n = static_cast<std::uint32_t>(freq.size());
   std::vector<std::uint8_t> lengths(n, 0);
@@ -26,14 +44,11 @@ std::vector<std::uint8_t> build_lengths(std::span<const std::uint64_t> freq) {
   // Internal representation: parent links over (symbols + internal nodes).
   std::vector<std::uint32_t> parent;
   parent.reserve(2 * n);
-  std::vector<std::uint64_t> weight;
-  weight.reserve(2 * n);
 
   std::priority_queue<HeapNode, std::vector<HeapNode>, std::greater<>> heap;
   std::uint32_t live = 0;
   std::uint32_t last_symbol = 0;
   for (std::uint32_t s = 0; s < n; ++s) {
-    weight.push_back(freq[s]);
     parent.push_back(UINT32_MAX);
     if (freq[s] > 0) {
       heap.push({freq[s], s});
@@ -53,24 +68,27 @@ std::vector<std::uint8_t> build_lengths(std::span<const std::uint64_t> freq) {
     heap.pop();
     const HeapNode b = heap.top();
     heap.pop();
-    const auto node = static_cast<std::uint32_t>(weight.size());
-    weight.push_back(a.weight + b.weight);
+    const auto node = static_cast<std::uint32_t>(parent.size());
     parent.push_back(UINT32_MAX);
     parent[a.index] = node;
     parent[b.index] = node;
     heap.push({a.weight + b.weight, node});
   }
+
+  // With 64-bit weights the deepest possible tree is Fibonacci-bounded at
+  // ~92 levels, so a 16-bit depth cannot saturate.
+  const auto total = static_cast<std::uint32_t>(parent.size());
+  std::vector<std::uint16_t> depth(total, 0);
+  for (std::uint32_t idx = total; idx-- > 0;) {
+    if (parent[idx] != UINT32_MAX) {
+      depth[idx] = static_cast<std::uint16_t>(depth[parent[idx]] + 1);
+    }
+  }
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (freq[s] == 0) {
-      continue;
+    if (freq[s] > 0) {
+      lengths[s] = static_cast<std::uint8_t>(std::min<std::uint16_t>(
+          depth[s], 255));
     }
-    unsigned depth = 0;
-    std::uint32_t cur = s;
-    while (parent[cur] != UINT32_MAX) {
-      cur = parent[cur];
-      ++depth;
-    }
-    lengths[s] = static_cast<std::uint8_t>(depth);
   }
   return lengths;
 }
@@ -165,15 +183,18 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
   auto rle_bytes = rle.finish();
   header.write_bytes(rle_bytes);
 
+  // Canonical codes are MSB-first by construction and the decoder consumes
+  // them MSB-first; BitWriter emits the low bit of a value first, so each
+  // code is emitted pre-reversed as a single write_bits call.
+  std::vector<std::uint64_t> stream_codes(alphabet_size, 0);
+  for (std::uint32_t s = 0; s < alphabet_size; ++s) {
+    if (lengths[s] > 0) {
+      stream_codes[s] = reverse_bits(codes[s], lengths[s]);
+    }
+  }
   BitWriter bits;
   for (std::uint32_t s : symbols) {
-    // Canonical codes are MSB-first by construction; emit MSB-first so the
-    // decoder can extend a prefix one bit at a time.
-    const unsigned len = lengths[s];
-    const std::uint64_t code = codes[s];
-    for (unsigned b = 0; b < len; ++b) {
-      bits.write_bit(((code >> (len - 1 - b)) & 1) != 0);
-    }
+    bits.write_bits(stream_codes[s], lengths[s]);
   }
   auto payload = bits.finish();
 
@@ -241,12 +262,37 @@ Expected<std::vector<std::uint32_t>> huffman_decode(
     first_index[l] = index;
     index += count_by_len[l];
   }
-  std::vector<std::uint32_t> symbols_by_rank;
-  symbols_by_rank.reserve(index);
-  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+  // Counting sort of the symbols by (length, symbol) in one pass.
+  std::vector<std::uint32_t> symbols_by_rank(index, 0);
+  {
+    std::vector<std::uint32_t> cursor(first_index.begin(), first_index.end());
     for (std::uint32_t s = 0; s < *alphabet; ++s) {
-      if (lengths[s] == l) {
-        symbols_by_rank.push_back(s);
+      if (lengths[s] > 0) {
+        symbols_by_rank[cursor[lengths[s]]++] = s;
+      }
+    }
+  }
+
+  // Primary lookup table over the next kDecodeTableBits stream bits. The
+  // stream carries codes MSB-first but BitReader::peek_bits returns the
+  // first stream bit in the LSB, so entries are indexed by the reversed
+  // code with every possible fill of the remaining high bits.
+  struct TableEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = not resolvable at table width
+  };
+  std::vector<TableEntry> table(std::size_t{1} << kDecodeTableBits);
+  {
+    const auto codes = canonical_codes(lengths);
+    for (std::uint32_t s = 0; s < *alphabet; ++s) {
+      const unsigned len = lengths[s];
+      if (len == 0 || len > kDecodeTableBits) {
+        continue;
+      }
+      const std::uint64_t base = reverse_bits(codes[s], len);
+      const std::size_t fills = std::size_t{1} << (kDecodeTableBits - len);
+      for (std::size_t fill = 0; fill < fills; ++fill) {
+        table[base | (fill << len)] = {s, static_cast<std::uint8_t>(len)};
       }
     }
   }
@@ -264,6 +310,17 @@ Expected<std::vector<std::uint32_t>> huffman_decode(
   std::vector<std::uint32_t> out;
   out.reserve(static_cast<std::size_t>(*count));
   for (std::uint64_t i = 0; i < *count; ++i) {
+    const TableEntry entry = table[bits.peek_bits(kDecodeTableBits)];
+    if (entry.length != 0) {
+      bits.skip_bits(entry.length);
+      if (bits.overflowed()) {
+        return Status::corrupt_data("huffman: invalid code in stream");
+      }
+      out.push_back(entry.symbol);
+      continue;
+    }
+    // Slow path: extend the prefix one bit at a time (codes longer than the
+    // table width, or garbage).
     std::uint64_t acc = 0;
     unsigned len = 0;
     std::uint32_t symbol = UINT32_MAX;

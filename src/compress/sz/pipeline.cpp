@@ -1,0 +1,174 @@
+#include "compress/sz/pipeline.hpp"
+
+#include <bit>
+
+#include "compress/sz/lorenzo.hpp"
+
+namespace lcp::sz {
+namespace {
+
+/// Walks every site in row-major order, invoking emit(idx, prediction).
+/// emit returns false to abort the walk (decode-side corruption).
+///
+/// Rows whose every causal neighbour is in-domain take an unguarded
+/// stencil path; border rows fall back to the guarded predictors. The
+/// unguarded expressions mirror the accumulation order of the guarded
+/// ones, so both produce bit-identical float predictions.
+template <int Rank, bool Second, typename Emit>
+bool walk_sites(std::span<const std::size_t> ext, std::span<const float> d,
+                Emit&& emit) {
+  if constexpr (Rank == 1) {
+    const std::size_t n0 = ext[0];
+    for (std::size_t i = 0; i < n0; ++i) {
+      const float pred =
+          Second ? lorenzo2_predict_1d(d, i) : lorenzo_predict_1d(d, i);
+      if (!emit(i, pred)) {
+        return false;
+      }
+    }
+  } else if constexpr (Rank == 2) {
+    const std::size_t n0 = ext[0];
+    const std::size_t n1 = ext[1];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n0; ++i) {
+      if (Second || i == 0) {
+        for (std::size_t j = 0; j < n1; ++j, ++idx) {
+          const float pred = Second ? lorenzo2_predict_2d(d, i, j, n1)
+                                    : lorenzo_predict_2d(d, i, j, n1);
+          if (!emit(idx, pred)) {
+            return false;
+          }
+        }
+      } else {
+        if (!emit(idx, lorenzo_predict_2d(d, i, 0, n1))) {
+          return false;
+        }
+        ++idx;
+        for (std::size_t j = 1; j < n1; ++j, ++idx) {
+          const float pred = d[idx - n1] + d[idx - 1] - d[idx - n1 - 1];
+          if (!emit(idx, pred)) {
+            return false;
+          }
+        }
+      }
+    }
+  } else {
+    static_assert(Rank == 3);
+    const std::size_t n0 = ext[0];
+    const std::size_t n1 = ext[1];
+    const std::size_t n2 = ext[2];
+    const std::size_t plane = n1 * n2;
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n0; ++i) {
+      for (std::size_t j = 0; j < n1; ++j) {
+        if (Second) {
+          // lorenzo2 falls back internally near borders; interior rows
+          // (i, j >= 2) resolve its guard once per site but the stencil
+          // dispatch is already compiled out.
+          for (std::size_t k = 0; k < n2; ++k, ++idx) {
+            if (!emit(idx, lorenzo2_predict_3d(d, i, j, k, n1, n2))) {
+              return false;
+            }
+          }
+        } else if (i == 0 || j == 0) {
+          for (std::size_t k = 0; k < n2; ++k, ++idx) {
+            if (!emit(idx, lorenzo_predict_3d(d, i, j, k, n1, n2))) {
+              return false;
+            }
+          }
+        } else {
+          if (!emit(idx, lorenzo_predict_3d(d, i, j, 0, n1, n2))) {
+            return false;
+          }
+          ++idx;
+          for (std::size_t k = 1; k < n2; ++k, ++idx) {
+            const float pred = d[idx - plane] + d[idx - n2] + d[idx - 1] -
+                               d[idx - plane - n2] - d[idx - plane - 1] -
+                               d[idx - n2 - 1] + d[idx - plane - n2 - 1];
+            if (!emit(idx, pred)) {
+              return false;
+            }
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+template <typename Emit>
+bool walk_dispatch(std::span<const std::size_t> ext, SzPredictor predictor,
+                   std::span<const float> decoded, Emit&& emit) {
+  const bool second = predictor == SzPredictor::kSecondOrder;
+  switch (ext.size()) {
+    case 1:
+      return second ? walk_sites<1, true>(ext, decoded, emit)
+                    : walk_sites<1, false>(ext, decoded, emit);
+    case 2:
+      return second ? walk_sites<2, true>(ext, decoded, emit)
+                    : walk_sites<2, false>(ext, decoded, emit);
+    default:
+      return second ? walk_sites<3, true>(ext, decoded, emit)
+                    : walk_sites<3, false>(ext, decoded, emit);
+  }
+}
+
+}  // namespace
+
+void predict_quantize_fused(std::span<const float> values,
+                            std::span<const std::size_t> ext,
+                            SzPredictor predictor,
+                            const LinearQuantizer& quantizer,
+                            std::vector<std::uint32_t>& codes,
+                            std::vector<std::uint32_t>& exact,
+                            std::vector<float>& decoded) {
+  const std::size_t n = values.size();
+  codes.resize(n);
+  decoded.assign(n, 0.0F);
+  float* const dec = decoded.data();
+  std::uint32_t* const out = codes.data();
+  const float* const vals = values.data();
+
+  (void)walk_dispatch(
+      ext, predictor, decoded, [&](std::size_t idx, float prediction) {
+        float recon = 0.0F;
+        const auto code = quantizer.quantize(vals[idx], prediction, recon);
+        if (code.has_value()) {
+          out[idx] = *code;
+          dec[idx] = recon;
+        } else {
+          out[idx] = 0;
+          exact.push_back(std::bit_cast<std::uint32_t>(vals[idx]));
+          dec[idx] = vals[idx];
+        }
+        return true;
+      });
+}
+
+bool reconstruct_fused(std::span<const std::uint32_t> codes,
+                       std::span<const float> exact,
+                       std::span<const std::size_t> ext,
+                       SzPredictor predictor, const LinearQuantizer& quantizer,
+                       std::span<float> decoded, std::size_t& exact_consumed) {
+  float* const dec = decoded.data();
+  std::size_t exact_pos = 0;
+  const bool ok = walk_dispatch(
+      ext, predictor, decoded, [&](std::size_t idx, float prediction) {
+        const std::uint32_t code = codes[idx];
+        if (code == 0) {
+          if (exact_pos >= exact.size()) {
+            return false;
+          }
+          dec[idx] = exact[exact_pos++];
+        } else if (code < quantizer.alphabet_size()) {
+          dec[idx] = quantizer.reconstruct(code, prediction);
+        } else {
+          return false;
+        }
+        return true;
+      });
+  exact_consumed = exact_pos;
+  return ok;
+}
+
+}  // namespace lcp::sz

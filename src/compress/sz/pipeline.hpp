@@ -1,0 +1,51 @@
+#pragma once
+// Fused SZ hot-path kernels: Lorenzo prediction and linear-scaling
+// quantization (or reconstruction) in one pass over the field.
+//
+// The per-site work is compiled once per (rank, predictor) pair, so the
+// inner loops carry no stencil dispatch, and interior rows — where every
+// causal neighbour exists — run an unguarded stencil. Row-major traversal
+// keeps the previous plane/row in cache, which is the access pattern the
+// Lorenzo stencils want.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/sz/quantizer.hpp"
+
+namespace lcp::sz {
+
+/// Prediction stencil family.
+enum class SzPredictor : std::uint8_t {
+  kFirstOrder = 0,   ///< classic Lorenzo (SZ 1.x/2.x default path)
+  kSecondOrder = 1,  ///< second-order Lorenzo (Zhao et al., HPDC'20)
+};
+
+/// Runs prediction+quantization over the field in row-major order.
+/// Fills `codes` (one per element) and appends to `exact` (raw bits of
+/// unpredictable samples, in stream order). `decoded` is resized and
+/// carries the decoder-visible values.
+void predict_quantize_fused(std::span<const float> values,
+                            std::span<const std::size_t> ext,
+                            SzPredictor predictor,
+                            const LinearQuantizer& quantizer,
+                            std::vector<std::uint32_t>& codes,
+                            std::vector<std::uint32_t>& exact,
+                            std::vector<float>& decoded);
+
+/// Inverse pass: rebuilds `decoded` (sized to the element count by the
+/// caller) from quantization codes and the exact-value side stream.
+/// Returns false if the streams are inconsistent (bad code, exhausted
+/// exact values); `exact_consumed` reports how many exact values were
+/// used either way.
+[[nodiscard]] bool reconstruct_fused(std::span<const std::uint32_t> codes,
+                                     std::span<const float> exact,
+                                     std::span<const std::size_t> ext,
+                                     SzPredictor predictor,
+                                     const LinearQuantizer& quantizer,
+                                     std::span<float> decoded,
+                                     std::size_t& exact_consumed);
+
+}  // namespace lcp::sz

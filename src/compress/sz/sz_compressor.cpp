@@ -6,7 +6,7 @@
 
 #include "compress/common/container.hpp"
 #include "compress/sz/huffman.hpp"
-#include "compress/sz/lorenzo.hpp"
+#include "compress/sz/pipeline.hpp"
 #include "compress/sz/quantizer.hpp"
 #include "compress/sz/zlite.hpp"
 #include "support/bytestream.hpp"
@@ -26,75 +26,6 @@ std::vector<std::size_t> effective_extents(const data::Dims& dims) {
     ext.erase(ext.begin());
   }
   return ext;
-}
-
-/// Prediction at one site with the configured stencil family.
-float predict(std::span<const float> decoded, SzPredictor predictor,
-              std::span<const std::size_t> ext, std::size_t idx, std::size_t i,
-              std::size_t j, std::size_t k) {
-  const bool second = predictor == SzPredictor::kSecondOrder;
-  if (ext.size() == 1) {
-    return second ? lorenzo2_predict_1d(decoded, idx)
-                  : lorenzo_predict_1d(decoded, idx);
-  }
-  if (ext.size() == 2) {
-    return second ? lorenzo2_predict_2d(decoded, i, j, ext[1])
-                  : lorenzo_predict_2d(decoded, i, j, ext[1]);
-  }
-  return second ? lorenzo2_predict_3d(decoded, i, j, k, ext[1], ext[2])
-                : lorenzo_predict_3d(decoded, i, j, k, ext[1], ext[2]);
-}
-
-/// Runs prediction+quantization over the field in row-major order.
-/// Fills `codes` (one per element) and `exact` (raw bits of unpredictable
-/// samples, in stream order). `decoded` carries the decoder-visible values.
-void predict_quantize(std::span<const float> values,
-                      std::span<const std::size_t> ext,
-                      SzPredictor predictor, const LinearQuantizer& quantizer,
-                      std::vector<std::uint32_t>& codes,
-                      std::vector<std::uint32_t>& exact,
-                      std::vector<float>& decoded) {
-  const std::size_t n = values.size();
-  codes.resize(n);
-  decoded.assign(n, 0.0F);
-
-  auto emit = [&](std::size_t idx, float prediction) {
-    float recon = 0.0F;
-    const auto code = quantizer.quantize(values[idx], prediction, recon);
-    if (code.has_value()) {
-      codes[idx] = *code;
-      decoded[idx] = recon;
-    } else {
-      codes[idx] = 0;
-      exact.push_back(std::bit_cast<std::uint32_t>(values[idx]));
-      decoded[idx] = values[idx];
-    }
-  };
-
-  if (ext.size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      emit(i, predict(decoded, predictor, ext, i, i, 0, 0));
-    }
-  } else if (ext.size() == 2) {
-    const std::size_t n1 = ext[1];
-    std::size_t idx = 0;
-    for (std::size_t i = 0; i < ext[0]; ++i) {
-      for (std::size_t j = 0; j < n1; ++j, ++idx) {
-        emit(idx, predict(decoded, predictor, ext, idx, i, j, 0));
-      }
-    }
-  } else {
-    const std::size_t n1 = ext[1];
-    const std::size_t n2 = ext[2];
-    std::size_t idx = 0;
-    for (std::size_t i = 0; i < ext[0]; ++i) {
-      for (std::size_t j = 0; j < n1; ++j) {
-        for (std::size_t k = 0; k < n2; ++k, ++idx) {
-          emit(idx, predict(decoded, predictor, ext, idx, i, j, k));
-        }
-      }
-    }
-  }
 }
 
 /// Packs one bit per element into bytes (LSB-first).
@@ -169,8 +100,8 @@ Expected<compress::CompressResult> SzCompressor::compress(
   std::vector<std::uint32_t> codes;
   std::vector<std::uint32_t> exact;
   std::vector<float> decoded;
-  predict_quantize(work, ext, options_.predictor, quantizer, codes,
-                   exact, decoded);
+  predict_quantize_fused(work, ext, options_.predictor, quantizer, codes,
+                         exact, decoded);
 
   auto huffman = huffman_encode(codes, quantizer.alphabet_size());
   std::vector<std::uint8_t> entropy_blob;
@@ -308,47 +239,8 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   const auto ext = effective_extents(view->dims);
   std::vector<float> decoded(n, 0.0F);
   std::size_t exact_pos = 0;
-
-  auto reconstruct = [&](std::size_t idx, float prediction) -> bool {
-    const std::uint32_t code = codes[idx];
-    if (code == 0) {
-      if (exact_pos >= exact.size()) {
-        return false;
-      }
-      decoded[idx] = exact[exact_pos++];
-    } else if (code < quantizer.alphabet_size()) {
-      decoded[idx] = quantizer.reconstruct(code, prediction);
-    } else {
-      return false;
-    }
-    return true;
-  };
-
-  bool ok = true;
-  if (ext.size() == 1) {
-    for (std::size_t i = 0; i < n && ok; ++i) {
-      ok = reconstruct(i, predict(decoded, predictor, ext, i, i, 0, 0));
-    }
-  } else if (ext.size() == 2) {
-    const std::size_t n1 = ext[1];
-    std::size_t idx = 0;
-    for (std::size_t i = 0; i < ext[0] && ok; ++i) {
-      for (std::size_t j = 0; j < n1 && ok; ++j, ++idx) {
-        ok = reconstruct(idx, predict(decoded, predictor, ext, idx, i, j, 0));
-      }
-    }
-  } else {
-    const std::size_t n1 = ext[1];
-    const std::size_t n2 = ext[2];
-    std::size_t idx = 0;
-    for (std::size_t i = 0; i < ext[0] && ok; ++i) {
-      for (std::size_t j = 0; j < n1 && ok; ++j) {
-        for (std::size_t k = 0; k < n2 && ok; ++k, ++idx) {
-          ok = reconstruct(idx, predict(decoded, predictor, ext, idx, i, j, k));
-        }
-      }
-    }
-  }
+  const bool ok = reconstruct_fused(codes, exact, ext, predictor, quantizer,
+                                    decoded, exact_pos);
   if (!ok || exact_pos != exact.size()) {
     return Status::corrupt_data("sz: stream inconsistent with unpredictables");
   }

@@ -4,14 +4,9 @@
 // absolute error bound (the configuration the paper studies).
 
 #include "compress/common/codec.hpp"
+#include "compress/sz/pipeline.hpp"
 
 namespace lcp::sz {
-
-/// Prediction stencil family.
-enum class SzPredictor : std::uint8_t {
-  kFirstOrder = 0,   ///< classic Lorenzo (SZ 1.x/2.x default path)
-  kSecondOrder = 1,  ///< second-order Lorenzo (Zhao et al., HPDC'20)
-};
 
 /// Tunables; defaults match upstream SZ conventions.
 struct SzOptions {

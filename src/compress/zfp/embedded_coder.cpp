@@ -1,8 +1,48 @@
 #include "compress/zfp/embedded_coder.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "support/status.hpp"
 
 namespace lcp::zfp {
+namespace {
+
+/// Bit `plane` of each coefficient in [begin, begin+count), packed LSB-first
+/// into one word. count <= 64.
+std::uint64_t gather_plane(std::span<const std::uint64_t> coeffs,
+                           unsigned plane, std::size_t begin,
+                           std::size_t count) {
+  std::uint64_t word = 0;
+  for (std::size_t t = 0; t < count; ++t) {
+    word |= ((coeffs[begin + t] >> plane) & 1u) << t;
+  }
+  return word;
+}
+
+/// Writes `count` zero bits in word-sized batches.
+void write_zeros(BitWriter& writer, std::uint64_t count) {
+  while (count >= 64) {
+    writer.write_bits(0, 64);
+    count -= 64;
+  }
+  if (count > 0) {
+    writer.write_bits(0, static_cast<unsigned>(count));
+  }
+}
+
+/// Skips `count` bits in word-sized batches (still flags overflow).
+void skip_bits(BitReader& reader, std::uint64_t count) {
+  while (count >= 64) {
+    (void)reader.read_bits(64);
+    count -= 64;
+  }
+  if (count > 0) {
+    (void)reader.read_bits(static_cast<unsigned>(count));
+  }
+}
+
+}  // namespace
 
 void encode_block_planes(std::span<const std::uint64_t> coeffs,
                          unsigned plane_hi, unsigned plane_lo,
@@ -12,17 +52,26 @@ void encode_block_planes(std::span<const std::uint64_t> coeffs,
   std::size_t sig = 0;  // coefficients [0, sig) are already significant
 
   for (unsigned plane = plane_hi + 1; plane-- > plane_lo;) {
-    // Verbatim bits for the significant prefix.
-    for (std::size_t i = 0; i < sig; ++i) {
-      writer.write_bit(((coeffs[i] >> plane) & 1) != 0);
+    // Verbatim bits for the significant prefix, one word-batched write per
+    // 64 coefficients (ZFP blocks hold at most 4^3 = 64, so usually one).
+    for (std::size_t i = 0; i < sig;) {
+      const auto chunk =
+          static_cast<unsigned>(std::min<std::size_t>(64, sig - i));
+      writer.write_bits(gather_plane(coeffs, plane, i, chunk), chunk);
+      i += chunk;
     }
     // Grow the significant prefix: locate each new coefficient whose first
-    // one-bit is in this plane.
+    // one-bit is in this plane with a packed-word scan.
     std::size_t scan = sig;
     while (scan < n) {
-      std::size_t j = scan;
-      while (j < n && ((coeffs[j] >> plane) & 1) == 0) {
-        ++j;
+      std::size_t j = n;
+      for (std::size_t base = scan; base < n; base += 64) {
+        const std::size_t chunk = std::min<std::size_t>(64, n - base);
+        const std::uint64_t word = gather_plane(coeffs, plane, base, chunk);
+        if (word != 0) {
+          j = base + static_cast<unsigned>(std::countr_zero(word));
+          break;
+        }
       }
       if (j == n) {
         writer.write_bit(false);  // no more significance in this plane
@@ -43,10 +92,16 @@ bool decode_block_planes(std::span<std::uint64_t> coeffs, unsigned plane_hi,
   std::size_t sig = 0;
 
   for (unsigned plane = plane_hi + 1; plane-- > plane_lo;) {
-    for (std::size_t i = 0; i < sig; ++i) {
-      if (reader.read_bit()) {
-        coeffs[i] |= std::uint64_t{1} << plane;
+    for (std::size_t i = 0; i < sig;) {
+      const auto chunk =
+          static_cast<unsigned>(std::min<std::size_t>(64, sig - i));
+      std::uint64_t word = reader.read_bits(chunk);
+      while (word != 0) {
+        const auto t = static_cast<unsigned>(std::countr_zero(word));
+        coeffs[i + t] |= std::uint64_t{1} << plane;
+        word &= word - 1;
       }
+      i += chunk;
     }
     std::size_t scan = sig;
     while (scan < n) {
@@ -77,24 +132,32 @@ void encode_block_planes_capped(std::span<const std::uint64_t> coeffs,
   const std::uint64_t start = writer.bit_count();
   std::uint64_t used = 0;
   auto remaining = [&] { return budget_bits - used; };
-  auto put = [&](bool bit) {
-    writer.write_bit(bit);
-    ++used;
+  auto put_word = [&](std::uint64_t word, unsigned bits) {
+    writer.write_bits(word, bits);
+    used += bits;
   };
 
   std::size_t sig = 0;
   for (unsigned plane = plane_hi + 1; plane-- > 0 && remaining() > 0;) {
-    for (std::size_t i = 0; i < sig && remaining() > 0; ++i) {
-      put(((coeffs[i] >> plane) & 1) != 0);
+    for (std::size_t i = 0; i < sig && remaining() > 0;) {
+      const auto chunk = static_cast<unsigned>(std::min<std::uint64_t>(
+          {64, static_cast<std::uint64_t>(sig - i), remaining()}));
+      put_word(gather_plane(coeffs, plane, i, chunk), chunk);
+      i += chunk;
     }
     std::size_t scan = sig;
     while (scan < n && remaining() > 0) {
-      std::size_t j = scan;
-      while (j < n && ((coeffs[j] >> plane) & 1) == 0) {
-        ++j;
+      std::size_t j = n;
+      for (std::size_t base = scan; base < n; base += 64) {
+        const std::size_t chunk = std::min<std::size_t>(64, n - base);
+        const std::uint64_t word = gather_plane(coeffs, plane, base, chunk);
+        if (word != 0) {
+          j = base + static_cast<unsigned>(std::countr_zero(word));
+          break;
+        }
       }
       if (j == n) {
-        put(false);
+        put_word(0, 1);
         break;
       }
       // The (flag, unary) token costs 1 + (j - scan) + 1 bits. If it does
@@ -102,24 +165,22 @@ void encode_block_planes_capped(std::span<const std::uint64_t> coeffs,
       // same zeros and likewise never completes the token.
       const std::uint64_t token = 2 + (j - scan);
       if (token > remaining()) {
-        while (remaining() > 0) {
-          put(false);
-        }
+        const std::uint64_t pad = remaining();
+        write_zeros(writer, pad);
+        used += pad;
         break;
       }
-      put(true);
-      for (std::size_t z = scan; z < j; ++z) {
-        put(false);
-      }
-      put(true);
+      put_word(1, 1);
+      const auto run = static_cast<std::uint64_t>(j - scan);
+      write_zeros(writer, run);
+      used += run;
+      put_word(1, 1);
       sig = j + 1;
       scan = sig;
     }
   }
   // Zero-pad to exactly the budget so every block occupies the same size.
-  while (writer.bit_count() - start < budget_bits) {
-    writer.write_bit(false);
-  }
+  write_zeros(writer, budget_bits - (writer.bit_count() - start));
 }
 
 bool decode_block_planes_capped(std::span<std::uint64_t> coeffs,
@@ -137,10 +198,17 @@ bool decode_block_planes_capped(std::span<std::uint64_t> coeffs,
 
   std::size_t sig = 0;
   for (unsigned plane = plane_hi + 1; plane-- > 0 && remaining() > 0;) {
-    for (std::size_t i = 0; i < sig && remaining() > 0; ++i) {
-      if (take()) {
-        coeffs[i] |= std::uint64_t{1} << plane;
+    for (std::size_t i = 0; i < sig && remaining() > 0;) {
+      const auto chunk = static_cast<unsigned>(std::min<std::uint64_t>(
+          {64, static_cast<std::uint64_t>(sig - i), remaining()}));
+      std::uint64_t word = reader.read_bits(chunk);
+      used += chunk;
+      while (word != 0) {
+        const auto t = static_cast<unsigned>(std::countr_zero(word));
+        coeffs[i + t] |= std::uint64_t{1} << plane;
+        word &= word - 1;
       }
+      i += chunk;
     }
     std::size_t scan = sig;
     while (scan < n && remaining() > 0) {
@@ -175,9 +243,7 @@ bool decode_block_planes_capped(std::span<std::uint64_t> coeffs,
     }
   }
   // Skip padding up to the block boundary.
-  while (reader.bit_position() - start < budget_bits) {
-    (void)reader.read_bit();
-  }
+  skip_bits(reader, budget_bits - (reader.bit_position() - start));
   return !reader.overflowed();
 }
 

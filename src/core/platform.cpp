@@ -23,4 +23,16 @@ std::vector<power::Measurement> Platform::run_repeats(const power::Workload& w,
   return sampler_.sample_repeats(w, governor_.current(), repeats);
 }
 
+std::vector<power::Measurement> Platform::run_repeats_seeded(
+    const power::Workload& w, GigaHertz f, std::size_t repeats,
+    std::uint64_t stream) const {
+  return sampler_.sample_repeats_stream(w, f, repeats, stream);
+}
+
+void Platform::record_measurements(std::span<const power::Measurement> ms) {
+  for (const auto& m : ms) {
+    sampler_.record(m);
+  }
+}
+
 }  // namespace lcp::core

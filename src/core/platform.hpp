@@ -4,6 +4,8 @@
 // studies pin a frequency and run workloads, exactly mirroring the paper's
 // cpufreq-set + perf-stat measurement loop.
 
+#include <span>
+
 #include "dvfs/governor.hpp"
 #include "power/chip_model.hpp"
 #include "power/noise_model.hpp"
@@ -31,6 +33,17 @@ class Platform {
   /// Repeated measurement at the current frequency (the paper's 10x loop).
   [[nodiscard]] std::vector<power::Measurement> run_repeats(
       const power::Workload& w, std::size_t repeats);
+
+  /// Pure repeated measurement at a pinned frequency, drawn from an
+  /// independent noise stream keyed by `stream`. Thread-safe (touches no
+  /// platform state) — the parallel sweep's seam. Pair with
+  /// record_measurements to fold energies into the package counter.
+  [[nodiscard]] std::vector<power::Measurement> run_repeats_seeded(
+      const power::Workload& w, GigaHertz f, std::size_t repeats,
+      std::uint64_t stream) const;
+
+  /// Adds the energies of `ms` to the package counter, in order.
+  void record_measurements(std::span<const power::Measurement> ms);
 
   [[nodiscard]] const power::EnergyCounter& package_counter() const noexcept {
     return sampler_.counter();

@@ -8,36 +8,60 @@ namespace lcp::core {
 
 std::vector<SweepPoint> frequency_sweep(Platform& platform,
                                         const power::Workload& w,
-                                        std::size_t repeats) {
-  LCP_REQUIRE(repeats > 0, "sweep needs at least one repeat");
-  std::vector<SweepPoint> out;
+                                        const SweepOptions& options) {
+  LCP_REQUIRE(options.repeats > 0, "sweep needs at least one repeat");
   const auto steps = platform.governor().range().steps();
-  out.reserve(steps.size());
-  for (GigaHertz f : steps) {
-    const Status set = platform.governor().set_frequency(f);
-    LCP_REQUIRE(set.is_ok(), "grid frequency rejected by governor");
-    const auto samples = platform.run_repeats(w, repeats);
+  std::vector<std::vector<power::Measurement>> samples(steps.size());
+  std::vector<SweepPoint> out(steps.size());
+
+  // Each grid point is an independent simulated measurement with its own
+  // noise stream keyed by the frequency index, so execution order — and
+  // therefore parallelism — cannot change any result bit.
+  auto run_point = [&](std::size_t idx) {
+    samples[idx] =
+        platform.run_repeats_seeded(w, steps[idx], options.repeats, idx);
 
     std::vector<double> power;
     std::vector<double> runtime;
     std::vector<double> energy;
-    power.reserve(samples.size());
-    runtime.reserve(samples.size());
-    energy.reserve(samples.size());
-    for (const auto& m : samples) {
+    power.reserve(samples[idx].size());
+    runtime.reserve(samples[idx].size());
+    energy.reserve(samples[idx].size());
+    for (const auto& m : samples[idx]) {
       power.push_back(m.average_power().watts());
       runtime.push_back(m.runtime.seconds());
       energy.push_back(m.energy.joules());
     }
-    SweepPoint point;
-    point.frequency = f;
+    SweepPoint& point = out[idx];
+    point.frequency = steps[idx];
     point.power_w = summarize(power);
     point.runtime_s = summarize(runtime);
     point.energy_j = summarize(energy);
-    out.push_back(point);
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, steps.size(), run_point, 1);
+  } else {
+    for (std::size_t idx = 0; idx < steps.size(); ++idx) {
+      run_point(idx);
+    }
+  }
+
+  // Fold energies into the package counter in frequency order, keeping the
+  // RAPL-style accumulator deterministic under either execution mode.
+  for (const auto& point_samples : samples) {
+    platform.record_measurements(point_samples);
   }
   platform.governor().reset();
   return out;
+}
+
+std::vector<SweepPoint> frequency_sweep(Platform& platform,
+                                        const power::Workload& w,
+                                        std::size_t repeats) {
+  SweepOptions options;
+  options.repeats = repeats;
+  return frequency_sweep(platform, w, options);
 }
 
 ScaledCurve scale_by_max_frequency(const std::vector<SweepPoint>& points,

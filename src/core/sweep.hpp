@@ -8,6 +8,7 @@
 
 #include "core/platform.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 #include "support/units.hpp"
 
 namespace lcp::core {
@@ -20,7 +21,19 @@ struct SweepPoint {
   SampleSummary energy_j;
 };
 
+struct SweepOptions {
+  std::size_t repeats = 10;  ///< measurements per grid point (paper: 10)
+  ThreadPool* pool = nullptr;  ///< non-null: measure grid points in parallel
+};
+
 /// Runs `w` at every grid frequency with `repeats` measurements each.
+/// Each grid point draws from an independent noise stream keyed by its
+/// frequency index, so the result is bit-identical whether the grid is
+/// walked sequentially or in parallel on `options.pool`.
+[[nodiscard]] std::vector<SweepPoint> frequency_sweep(
+    Platform& platform, const power::Workload& w, const SweepOptions& options);
+
+/// Sequential convenience overload (repeats only).
 [[nodiscard]] std::vector<SweepPoint> frequency_sweep(Platform& platform,
                                                       const power::Workload& w,
                                                       std::size_t repeats);

@@ -6,7 +6,7 @@ namespace lcp::power {
 
 PerfSampler::PerfSampler(const ChipSpec& spec, NoiseModel noise,
                          std::uint64_t seed)
-    : spec_(spec), noise_(noise), rng_(seed) {}
+    : spec_(spec), noise_(noise), seed_(seed), rng_(seed) {}
 
 Measurement PerfSampler::sample(const Workload& w, GigaHertz f) {
   LCP_REQUIRE(f >= spec_.f_min && f <= spec_.f_max,
@@ -28,6 +28,28 @@ std::vector<Measurement> PerfSampler::sample_repeats(const Workload& w,
   out.reserve(repeats);
   for (std::size_t i = 0; i < repeats; ++i) {
     out.push_back(sample(w, f));
+  }
+  return out;
+}
+
+std::vector<Measurement> PerfSampler::sample_repeats_stream(
+    const Workload& w, GigaHertz f, std::size_t repeats,
+    std::uint64_t stream) const {
+  LCP_REQUIRE(f >= spec_.f_min && f <= spec_.f_max,
+              "frequency outside the chip's DVFS range");
+  // Stream keying: the golden-ratio stride decorrelates consecutive
+  // streams through the splitmix64 seeding inside Rng.
+  Rng rng{seed_ + (stream + 1) * 0x9e3779b97f4a7c15ULL};
+  const Seconds t_true = workload_runtime(w, spec_, f);
+  const Watts p_true = workload_power(w, spec_, f);
+
+  std::vector<Measurement> out;
+  out.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    Measurement m;
+    m.runtime = noise_.perturb_runtime(t_true, rng);
+    m.energy = noise_.perturb_power(p_true, rng) * m.runtime;
+    out.push_back(m);
   }
   return out;
 }

@@ -39,6 +39,20 @@ class PerfSampler {
                                                         GigaHertz f,
                                                         std::size_t repeats);
 
+  /// Pure variant for parallel harnesses: samples `repeats` runs from an
+  /// independent noise stream derived from (constructor seed, `stream`),
+  /// touching neither the shared RNG nor the energy counter. Identical
+  /// (seed, stream, workload, f, repeats) always yields identical draws,
+  /// regardless of interleaving with other streams or threads.
+  [[nodiscard]] std::vector<Measurement> sample_repeats_stream(
+      const Workload& w, GigaHertz f, std::size_t repeats,
+      std::uint64_t stream) const;
+
+  /// Folds a measurement produced by sample_repeats_stream into the
+  /// package counter (call in deterministic order for reproducible RAPL
+  /// readings).
+  void record(const Measurement& m) { counter_.add(m.energy); }
+
   /// Cumulative package counter across all samples (RAPL view).
   [[nodiscard]] const EnergyCounter& counter() const noexcept {
     return counter_;
@@ -49,6 +63,7 @@ class PerfSampler {
  private:
   const ChipSpec& spec_;
   NoiseModel noise_;
+  std::uint64_t seed_;
   Rng rng_;
   EnergyCounter counter_;
 };

@@ -1,5 +1,8 @@
 #include "support/bitstream.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace lcp {
 
 void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
@@ -31,10 +34,12 @@ void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
 }
 
 void BitWriter::write_unary(unsigned n) {
-  for (unsigned i = 0; i < n; ++i) {
-    write_bit(false);
+  // Zeros in word-sized batches instead of bit-by-bit.
+  while (n >= 64) {
+    write_bits(0, 64);
+    n -= 64;
   }
-  write_bit(true);
+  write_bits(std::uint64_t{1} << n, n + 1);
 }
 
 void BitWriter::flush_accumulator() {
@@ -55,35 +60,92 @@ std::vector<std::uint8_t> BitWriter::finish() {
   return std::move(bytes_);
 }
 
+std::uint64_t BitReader::extract(std::uint64_t pos,
+                                 unsigned bits) const noexcept {
+  if (bits == 0) {
+    return 0;
+  }
+  const std::size_t first = static_cast<std::size_t>(pos >> 3);
+  const unsigned off = static_cast<unsigned>(pos & 7);
+  const std::size_t nbytes = (off + bits + 7) >> 3;  // <= 9
+  std::uint64_t word = 0;
+  const std::size_t low = std::min<std::size_t>(nbytes, 8);
+  for (std::size_t i = 0; i < low; ++i) {
+    word |= static_cast<std::uint64_t>(bytes_[first + i]) << (8 * i);
+  }
+  word >>= off;
+  if (nbytes == 9) {
+    // off > 0 here, so the shift amount is in (0, 64).
+    word |= static_cast<std::uint64_t>(bytes_[first + 8]) << (64 - off);
+  }
+  if (bits < 64) {
+    word &= (std::uint64_t{1} << bits) - 1;
+  }
+  return word;
+}
+
 std::uint64_t BitReader::read_bits(unsigned bits) noexcept {
   if (bits == 0) {
     return 0;
   }
-  std::uint64_t out = 0;
-  for (unsigned i = 0; i < bits; ++i) {
-    const std::uint64_t byte_index = (pos_ + i) >> 3;
-    std::uint64_t bit = 0;
-    if (byte_index < bytes_.size()) {
-      bit = (bytes_[byte_index] >> ((pos_ + i) & 7)) & 1u;
-    } else {
-      overflow_ = true;
-    }
-    out |= bit << i;
+  const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+  if (pos_ + bits <= total) {
+    const std::uint64_t out = extract(pos_, bits);
+    pos_ += bits;
+    return out;
   }
+  // Crossing the end: available bits, zero-padded, and overflow marked —
+  // byte-granular like the hardware-free reference reader.
+  const unsigned avail =
+      pos_ < total ? static_cast<unsigned>(total - pos_) : 0;
+  const std::uint64_t out = extract(pos_, std::min(avail, bits));
+  overflow_ = true;
   pos_ += bits;
   return out;
 }
 
+std::uint64_t BitReader::peek_bits(unsigned bits) const noexcept {
+  if (bits == 0) {
+    return 0;
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+  if (pos_ + bits <= total) {
+    return extract(pos_, bits);
+  }
+  const unsigned avail =
+      pos_ < total ? static_cast<unsigned>(total - pos_) : 0;
+  return extract(pos_, std::min(avail, bits));
+}
+
+void BitReader::skip_bits(std::uint64_t bits) noexcept {
+  const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+  if (pos_ + bits > total) {
+    overflow_ = true;
+  }
+  pos_ += bits;
+}
+
 unsigned BitReader::read_unary() noexcept {
   unsigned zeros = 0;
-  while (bits_remaining() > 0) {
-    if (read_bit()) {
+  for (;;) {
+    const std::uint64_t remaining = bits_remaining();
+    if (remaining == 0) {
+      overflow_ = true;
       return zeros;
     }
-    ++zeros;
+    const unsigned take =
+        static_cast<unsigned>(std::min<std::uint64_t>(remaining, 64));
+    const std::uint64_t word = peek_bits(take);
+    if (word == 0) {
+      zeros += take;
+      pos_ += take;
+      continue;
+    }
+    const unsigned tz = static_cast<unsigned>(std::countr_zero(word));
+    zeros += tz;
+    pos_ += tz + 1;
+    return zeros;
   }
-  overflow_ = true;
-  return zeros;
 }
 
 }  // namespace lcp

@@ -53,6 +53,14 @@ class BitReader {
 
   bool read_bit() noexcept { return read_bits(1) != 0; }
 
+  /// Returns what read_bits(bits) would, without consuming anything or
+  /// marking overflow (past-the-end bits read as zero). bits in [0, 64].
+  [[nodiscard]] std::uint64_t peek_bits(unsigned bits) const noexcept;
+
+  /// Advances the cursor by `bits` without extracting them. Skipping past
+  /// the end marks overflow, exactly as reading those bits would.
+  void skip_bits(std::uint64_t bits) noexcept;
+
   /// Reads a unary code written by BitWriter::write_unary.
   /// Returns the count of zeros before the terminating one. If the stream
   /// ends before a one is seen, marks overflow and returns the zeros seen.
@@ -71,6 +79,10 @@ class BitReader {
   }
 
  private:
+  /// Gathers `bits` bits starting at bit offset `pos` (all within bounds).
+  [[nodiscard]] std::uint64_t extract(std::uint64_t pos,
+                                      unsigned bits) const noexcept;
+
   std::span<const std::uint8_t> bytes_;
   std::uint64_t pos_ = 0;
   bool overflow_ = false;

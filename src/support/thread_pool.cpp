@@ -2,26 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "support/status.hpp"
 
 namespace lcp {
+namespace {
+
+/// Identity of the worker thread currently executing pool code, so that
+/// tasks spawned from inside the pool land on the spawner's own deque
+/// (LIFO, cache-hot) instead of the shared injector.
+struct WorkerIdentity {
+  const void* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard lock{mutex_};
-    stopping_ = true;
+    std::lock_guard lock{sleep_mutex_};
   }
   cv_.notify_all();
   for (auto& thread : threads_) {
@@ -29,79 +46,193 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged{std::move(task)};
-  auto future = packaged.get_future();
+void ThreadPool::push_task(detail::Task task) {
+  if (tls_worker.pool == this) {
+    Worker& own = *workers_[tls_worker.index];
+    std::lock_guard lock{own.mutex};
+    own.deque.push_back(std::move(task));
+  } else {
+    std::lock_guard lock{inject_mutex_};
+    inject_.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard lock{mutex_};
-    LCP_REQUIRE(!stopping_, "submit on a stopping pool");
-    queue_.push_back(std::move(packaged));
+    // Pairs with the waiters' predicate check: a waiter is either about to
+    // re-test `pending_` or already blocked and gets the notify.
+    std::lock_guard lock{sleep_mutex_};
   }
   cv_.notify_one();
+}
+
+detail::Task ThreadPool::pop_injected() {
+  std::lock_guard lock{inject_mutex_};
+  if (inject_.empty()) {
+    return {};
+  }
+  detail::Task task = std::move(inject_.front());
+  inject_.pop_front();
+  return task;
+}
+
+detail::Task ThreadPool::steal_from(Worker& victim) {
+  std::unique_lock lock{victim.mutex, std::try_to_lock};
+  if (!lock.owns_lock() || victim.deque.empty()) {
+    return {};
+  }
+  detail::Task task = std::move(victim.deque.front());
+  victim.deque.pop_front();
+  return task;
+}
+
+detail::Task ThreadPool::try_acquire(std::size_t self) {
+  {
+    // Own deque first, newest first (LIFO keeps the working set hot).
+    Worker& own = *workers_[self];
+    std::lock_guard lock{own.mutex};
+    if (!own.deque.empty()) {
+      detail::Task task = std::move(own.deque.back());
+      own.deque.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  if (detail::Task task = pop_injected()) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return task;
+  }
+  const std::size_t n = workers_.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    if (detail::Task task = steal_from(*workers_[(self + hop) % n])) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  return {};
+}
+
+detail::Task ThreadPool::try_acquire_any() {
+  if (detail::Task task = pop_injected()) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return task;
+  }
+  for (auto& worker : workers_) {
+    if (detail::Task task = steal_from(*worker)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_worker = {this, self};
+  for (;;) {
+    if (detail::Task task = try_acquire(self)) {
+      task();
+      continue;
+    }
+    std::unique_lock lock{sleep_mutex_};
+    cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // stopping and drained
+    }
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  LCP_REQUIRE(!stopping_.load(std::memory_order_acquire),
+              "submit on a stopping pool");
+  std::packaged_task<void()> packaged{std::move(task)};
+  auto future = packaged.get_future();
+  push_task(detail::Task{std::move(packaged)});
   return future;
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock lock{mutex_};
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stopping and drained
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();  // exceptions are captured in the packaged_task's future
-  }
-}
-
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
   if (begin >= end) {
     return;
   }
   const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, worker_count() + 1);
-  const std::size_t chunk = (n + parts - 1) / parts;
+  if (grain == 0) {
+    // A few chunks per thread balances stealing against dispatch overhead.
+    const std::size_t threads = worker_count() + 1;
+    grain = std::max<std::size_t>(1, n / (4 * threads));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
 
-  std::atomic<std::size_t> next{begin};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  struct SharedState {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> active{0};
+    std::size_t end = 0;
+    std::size_t grain = 0;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  } state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.grain = grain;
 
-  auto run_chunks = [&] {
+  auto run_chunks = [&state, &body] {
     for (;;) {
-      const std::size_t lo = next.fetch_add(chunk);
-      if (lo >= end) {
+      const std::size_t lo =
+          state.next.fetch_add(state.grain, std::memory_order_relaxed);
+      if (lo >= state.end) {
         return;
       }
-      const std::size_t hi = std::min(end, lo + chunk);
+      const std::size_t hi = std::min(state.end, lo + state.grain);
       try {
         for (std::size_t i = lo; i < hi; ++i) {
           body(i);
         }
       } catch (...) {
-        std::lock_guard lock{error_mutex};
-        if (!first_error) {
-          first_error = std::current_exception();
+        std::lock_guard lock{state.error_mutex};
+        if (!state.first_error) {
+          state.first_error = std::current_exception();
         }
+        state.next.store(state.end, std::memory_order_relaxed);  // abort early
         return;
       }
     }
   };
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(parts - 1);
-  for (std::size_t p = 1; p < parts; ++p) {
-    futures.push_back(submit(run_chunks));
+  const std::size_t helpers =
+      std::min(worker_count(), chunks > 0 ? chunks - 1 : 0);
+  state.active.store(helpers, std::memory_order_relaxed);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    push_task(detail::Task{[&state, run_chunks] {
+      run_chunks();
+      if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock{state.done_mutex};
+        state.done_cv.notify_all();
+      }
+    }});
   }
+
   run_chunks();  // calling thread participates
-  for (auto& f : futures) {
-    f.wait();
+
+  // Wait for helpers; while they lag, help with whatever is queued (possibly
+  // other callers' chunks) so nested parallel_for cannot deadlock the pool.
+  while (state.active.load(std::memory_order_acquire) != 0) {
+    if (detail::Task task = try_acquire_any()) {
+      task();
+      continue;
+    }
+    std::unique_lock lock{state.done_mutex};
+    state.done_cv.wait_for(lock, std::chrono::milliseconds(1), [&state] {
+      return state.active.load(std::memory_order_acquire) == 0;
+    });
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+
+  if (state.first_error) {
+    std::rethrow_exception(state.first_error);
   }
 }
 

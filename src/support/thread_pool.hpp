@@ -1,19 +1,121 @@
 #pragma once
-// Minimal fixed-size thread pool used by the parallel compression layer.
-// Work items are type-erased tasks; parallel_for partitions an index range
-// into contiguous chunks (one in-flight task per worker, plus the calling
-// thread participates) — the shape OpenMP's static schedule would give.
+// Work-stealing thread pool used by the parallel compression layer and the
+// sweep harness.
+//
+// Each worker owns a deque: the owner pushes and pops at the back (LIFO,
+// cache-hot), thieves take from the front (FIFO, oldest first — the classic
+// work-stealing discipline). External submitters go through a shared
+// injector queue that idle workers drain before stealing from peers. Tasks
+// are stored in a small-buffer type-erased container, so the common case
+// (a lambda capturing a few pointers) never touches the heap.
+//
+// parallel_for partitions an index range into grain-sized chunks claimed
+// from a shared atomic cursor; the calling thread participates and, while
+// waiting for stragglers, helps by executing unrelated pool tasks, so
+// nested parallelism cannot deadlock the pool.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace lcp {
+
+namespace detail {
+
+/// Move-only type-erased nullary callable with inline (small-buffer)
+/// storage. Callables up to kInlineSize bytes that are nothrow-movable are
+/// stored in place; larger ones fall back to the heap.
+class Task {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Task() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor): function-like wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      relocate_ = [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      };
+      destroy_ = [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) noexcept { delete static_cast<Fn*>(p); };
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  void operator()() { invoke_(target()); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void* target() noexcept { return relocate_ != nullptr ? storage_ : heap_; }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      destroy_(target());
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  void move_from(Task& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (invoke_ != nullptr) {
+      if (relocate_ != nullptr) {
+        relocate_(storage_, other.storage_);
+      } else {
+        heap_ = other.heap_;
+      }
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) noexcept = nullptr;  // inline storage only
+  void (*destroy_)(void*) noexcept = nullptr;
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -33,19 +135,36 @@ class ThreadPool {
 
   /// Runs body(i) for i in [begin, end) across the pool, blocking until all
   /// iterations finish. The caller's thread also executes chunks, so the
-  /// pool works even with zero workers. Exceptions propagate (first one
-  /// wins).
+  /// pool works even with zero queued workers. Exceptions propagate (first
+  /// one wins). `grain` is the number of consecutive indices claimed per
+  /// dispatch; 0 picks one aiming at a few chunks per thread.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
 
  private:
-  void worker_loop();
+  struct Worker {
+    std::mutex mutex;
+    std::deque<detail::Task> deque;  // owner: back; thieves: front
+  };
 
+  void worker_loop(std::size_t self);
+  void push_task(detail::Task task);
+  [[nodiscard]] detail::Task try_acquire(std::size_t self);
+  [[nodiscard]] detail::Task try_acquire_any();
+  [[nodiscard]] detail::Task pop_injected();
+  [[nodiscard]] detail::Task steal_from(Worker& victim);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+
+  std::deque<detail::Task> inject_;
+  std::mutex inject_mutex_;
+
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  std::atomic<std::size_t> pending_{0};  // queued, not-yet-acquired tasks
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace lcp

@@ -124,5 +124,43 @@ TEST(HuffmanTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(huffman_decode(garbage).has_value());
 }
 
+TEST(HuffmanTest, GeometricHistogramYieldsPathTreeDepths) {
+  // freq[i] = 2^i degenerates the Huffman tree into a path: the two rarest
+  // symbols sit at depth n-1 and each wealthier symbol one level higher.
+  // Regression for the topological-pass depth computation in build_lengths.
+  constexpr std::size_t kSymbols = 24;
+  std::vector<std::uint64_t> freq(kSymbols);
+  for (std::size_t i = 0; i < kSymbols; ++i) {
+    freq[i] = std::uint64_t{1} << i;
+  }
+  const auto lengths = huffman_code_lengths(freq);
+  ASSERT_EQ(lengths.size(), kSymbols);
+  EXPECT_EQ(lengths[0], kSymbols - 1);
+  EXPECT_EQ(lengths[1], kSymbols - 1);
+  for (std::size_t s = 2; s < kSymbols; ++s) {
+    EXPECT_EQ(lengths[s], kSymbols - s) << "symbol " << s;
+  }
+}
+
+TEST(HuffmanTest, DeepCodesBeyondDecodeTableRoundTrip) {
+  // The geometric histogram produces code lengths up to 15 bits — past the
+  // decoder's 11-bit primary table — so this round-trip exercises the
+  // canonical fallback path alongside the table fast path.
+  constexpr std::size_t kSymbols = 16;
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < kSymbols; ++s) {
+    const std::size_t copies = std::size_t{1} << s;
+    symbols.insert(symbols.end(), copies, s);
+  }
+  Rng rng{29};
+  for (std::size_t i = symbols.size(); i > 1; --i) {
+    std::swap(symbols[i - 1], symbols[rng.uniform_index(i)]);
+  }
+  const auto blob = huffman_encode(symbols, kSymbols);
+  const auto decoded = huffman_decode(blob, symbols.size());
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  EXPECT_EQ(*decoded, symbols);
+}
+
 }  // namespace
 }  // namespace lcp::sz

@@ -102,6 +102,43 @@ TEST_P(ParallelCodecTest, ChunkingIsDeterministic) {
   EXPECT_EQ(a->container, b->container);
 }
 
+TEST_P(ParallelCodecTest, WorkerCountNeverChangesTheBytes) {
+  // Chunk boundaries depend only on the options, so the frame must be
+  // byte-identical no matter how many workers raced over the chunks —
+  // including 0 (hardware concurrency) and a deliberately odd 7 that does
+  // not divide the 13-chunk split.
+  const auto codec = make_compressor(GetParam());
+  const auto field = data::generate_cesm_atm(13, 24, 36, 9);
+  ParallelOptions options;
+  options.target_chunk_elements = 24 * 36;  // one hyperplane per chunk
+  const auto bound = ErrorBound::absolute(1e-3);
+
+  ThreadPool reference_pool{1};
+  auto reference =
+      parallel_compress(*codec, field, bound, reference_pool, options);
+  ASSERT_TRUE(reference.has_value());
+
+  for (std::size_t workers : {std::size_t{0}, std::size_t{7}}) {
+    ThreadPool pool{workers};
+    auto compressed = parallel_compress(*codec, field, bound, pool, options);
+    ASSERT_TRUE(compressed.has_value()) << workers;
+    EXPECT_EQ(compressed->container, reference->container) << workers;
+
+    auto decoded = parallel_decompress(*codec, compressed->container, pool);
+    ASSERT_TRUE(decoded.has_value()) << workers;
+    auto reference_decoded =
+        parallel_decompress(*codec, reference->container, reference_pool);
+    ASSERT_TRUE(reference_decoded.has_value()) << workers;
+    ASSERT_EQ(decoded->field.element_count(),
+              reference_decoded->field.element_count());
+    const auto lhs = decoded->field.values();
+    const auto rhs = reference_decoded->field.values();
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      ASSERT_EQ(lhs[i], rhs[i]) << "element " << i << " workers " << workers;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(BothCodecs, ParallelCodecTest,
                          ::testing::Values(CodecId::kSz, CodecId::kZfp),
                          [](const auto& info) {

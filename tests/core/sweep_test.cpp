@@ -89,5 +89,51 @@ TEST(ScaleTest, EnergyMetricScalesToo) {
   EXPECT_TRUE(dips);
 }
 
+TEST(SweepTest, ParallelSweepIsBitIdenticalToSequential) {
+  // Same seed, noisy model: every summary statistic must match exactly
+  // because each grid point draws from its own index-keyed noise stream.
+  const auto run = [](ThreadPool* pool) {
+    Platform p{ChipId::kSkylake4114, power::NoiseModel{}, 42};
+    SweepOptions options;
+    options.repeats = 10;
+    options.pool = pool;
+    auto sweep = frequency_sweep(p, compression_like(p.spec()), options);
+    return std::pair{sweep, p.package_counter().total().joules()};
+  };
+
+  const auto [sequential, seq_energy] = run(nullptr);
+  ThreadPool pool{5};
+  const auto [parallel, par_energy] = run(&pool);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    const auto& s = sequential[i];
+    const auto& q = parallel[i];
+    EXPECT_EQ(q.frequency.ghz(), s.frequency.ghz());
+    for (auto pick : {&SweepPoint::power_w, &SweepPoint::runtime_s,
+                      &SweepPoint::energy_j}) {
+      EXPECT_EQ((q.*pick).mean, (s.*pick).mean) << i;
+      EXPECT_EQ((q.*pick).stddev, (s.*pick).stddev) << i;
+      EXPECT_EQ((q.*pick).ci95_half, (s.*pick).ci95_half) << i;
+      EXPECT_EQ((q.*pick).count, (s.*pick).count) << i;
+    }
+  }
+  EXPECT_EQ(par_energy, seq_energy);
+}
+
+TEST(SweepTest, OptionsOverloadMatchesRepeatsOverload) {
+  Platform a{ChipId::kBroadwellD1548, power::NoiseModel{}, 9};
+  Platform b{ChipId::kBroadwellD1548, power::NoiseModel{}, 9};
+  const auto via_repeats = frequency_sweep(a, compression_like(a.spec()), 4);
+  SweepOptions options;
+  options.repeats = 4;
+  const auto via_options =
+      frequency_sweep(b, compression_like(b.spec()), options);
+  ASSERT_EQ(via_repeats.size(), via_options.size());
+  for (std::size_t i = 0; i < via_repeats.size(); ++i) {
+    EXPECT_EQ(via_repeats[i].power_w.mean, via_options[i].power_w.mean) << i;
+  }
+}
+
 }  // namespace
 }  // namespace lcp::core

@@ -130,5 +130,59 @@ TEST(BitStreamTest, ReaderOnEmptyBufferOverflowsImmediately) {
   EXPECT_TRUE(r.overflowed());
 }
 
+TEST(BitStreamTest, PeekDoesNotConsumeOrOverflow) {
+  BitWriter w;
+  w.write_bits(0b1101, 4);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  EXPECT_EQ(r.peek_bits(4), 0b1101u);
+  EXPECT_EQ(r.peek_bits(4), 0b1101u);  // still there
+  // Peeking past the end zero-pads but never flags overflow.
+  EXPECT_EQ(r.peek_bits(32), 0b1101u);
+  EXPECT_FALSE(r.overflowed());
+  EXPECT_EQ(r.read_bits(4), 0b1101u);
+}
+
+TEST(BitStreamTest, SkipAdvancesLikeRead) {
+  BitWriter w;
+  w.write_bits(0xABCD, 16);
+  w.write_bits(0x37, 8);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  r.skip_bits(16);
+  EXPECT_EQ(r.read_bits(8), 0x37u);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, SkipPastEndFlagsOverflow) {
+  BitWriter w;
+  w.write_bits(0, 8);
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  r.skip_bits(9);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitStreamTest, PeekMatchesReadAcrossWordBoundaries) {
+  Rng rng{77};
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  for (int i = 0; i < 100; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.uniform_index(64));
+    const std::uint64_t value =
+        bits == 64 ? rng.next_u64()
+                   : rng.next_u64() & ((std::uint64_t{1} << bits) - 1);
+    writes.emplace_back(value, bits);
+    w.write_bits(value, bits);
+  }
+  const auto bytes = w.finish();
+  BitReader r{bytes};
+  for (const auto& [value, bits] : writes) {
+    EXPECT_EQ(r.peek_bits(bits), value);
+    r.skip_bits(bits);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
 }  // namespace
 }  // namespace lcp

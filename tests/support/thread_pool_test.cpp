@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace lcp {
@@ -84,6 +86,74 @@ TEST(ThreadPoolTest, NestedSizesAndLargeRange) {
   std::atomic<std::size_t> total{0};
   pool.parallel_for(0, 100000, [&](std::size_t) { ++total; });
   EXPECT_EQ(total.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, StressManyTinyTasksFromManySubmitters) {
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 500;
+  ThreadPool pool{3};
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures.push_back(pool.submit([&count] { ++count; }));
+      }
+      for (auto& f : futures) {
+        f.get();
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  EXPECT_EQ(count.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolTest, GrainSizesCoverEveryIndexExactlyOnce) {
+  constexpr std::size_t kRange = 1234;
+  ThreadPool pool{4};
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                            std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kRange);
+    pool.parallel_for(
+        0, kRange, [&](std::size_t i) { ++hits[i]; }, grain);
+    for (std::size_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, OddWorkerCountsWithNonDividingGrain) {
+  // 0 means hardware concurrency; 7 deliberately does not divide the range
+  // or align with the chunking.
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+    ThreadPool pool{workers};
+    EXPECT_GE(pool.worker_count(), 1u);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(
+        0, 101, [&](std::size_t i) { sum += i; }, 13);
+    EXPECT_EQ(sum.load(), 5050u) << workers;
+  }
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterParallelForThrows) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(
+                   0, 1000,
+                   [](std::size_t i) {
+                     if (i == 500) {
+                       throw std::logic_error("boom");
+                     }
+                   },
+                   8),
+               std::logic_error);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
 }
 
 }  // namespace
