@@ -126,11 +126,27 @@ detail::Task ThreadPool::try_acquire_any() {
 
 void ThreadPool::worker_loop(std::size_t self) {
   tls_worker = {this, self};
+  unsigned failed_acquires = 0;
   for (;;) {
     if (detail::Task task = try_acquire(self)) {
+      failed_acquires = 0;
       task();
       continue;
     }
+    if (pending_.load(std::memory_order_acquire) > 0) {
+      // Queued work exists but was not acquirable — a victim's deque lock
+      // was contended, or another thread took the task between the count
+      // check and the scan. The sleep predicate below would pass
+      // immediately, so back off briefly instead of hammering the deques.
+      if (++failed_acquires < 16) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock lock{sleep_mutex_};
+        cv_.wait_for(lock, std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    failed_acquires = 0;
     std::unique_lock lock{sleep_mutex_};
     cv_.wait(lock, [this] {
       return stopping_.load(std::memory_order_acquire) ||
@@ -166,38 +182,45 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   const std::size_t chunks = (n + grain - 1) / grain;
 
+  // Shared-ownership completion state: each helper task holds a reference,
+  // so the mutex/condition_variable stay alive while the last helper is
+  // inside its post-decrement notify even if the caller has already observed
+  // active == 0 and returned from parallel_for.
   struct SharedState {
     std::atomic<std::size_t> next;
     std::atomic<std::size_t> active{0};
     std::size_t end = 0;
     std::size_t grain = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
     std::exception_ptr first_error;
     std::mutex error_mutex;
     std::mutex done_mutex;
     std::condition_variable done_cv;
-  } state;
-  state.next.store(begin, std::memory_order_relaxed);
-  state.end = end;
-  state.grain = grain;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->body = &body;  // outlives every chunk: the caller blocks on active
 
-  auto run_chunks = [&state, &body] {
+  auto run_chunks = [](SharedState& s) {
     for (;;) {
       const std::size_t lo =
-          state.next.fetch_add(state.grain, std::memory_order_relaxed);
-      if (lo >= state.end) {
+          s.next.fetch_add(s.grain, std::memory_order_relaxed);
+      if (lo >= s.end) {
         return;
       }
-      const std::size_t hi = std::min(state.end, lo + state.grain);
+      const std::size_t hi = std::min(s.end, lo + s.grain);
       try {
         for (std::size_t i = lo; i < hi; ++i) {
-          body(i);
+          (*s.body)(i);
         }
       } catch (...) {
-        std::lock_guard lock{state.error_mutex};
-        if (!state.first_error) {
-          state.first_error = std::current_exception();
+        std::lock_guard lock{s.error_mutex};
+        if (!s.first_error) {
+          s.first_error = std::current_exception();
         }
-        state.next.store(state.end, std::memory_order_relaxed);  // abort early
+        s.next.store(s.end, std::memory_order_relaxed);  // abort early
         return;
       }
     }
@@ -205,34 +228,34 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   const std::size_t helpers =
       std::min(worker_count(), chunks > 0 ? chunks - 1 : 0);
-  state.active.store(helpers, std::memory_order_relaxed);
+  state->active.store(helpers, std::memory_order_relaxed);
   for (std::size_t h = 0; h < helpers; ++h) {
-    push_task(detail::Task{[&state, run_chunks] {
-      run_chunks();
-      if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock{state.done_mutex};
-        state.done_cv.notify_all();
+    push_task(detail::Task{[state, run_chunks] {
+      run_chunks(*state);
+      if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock{state->done_mutex};
+        state->done_cv.notify_all();
       }
     }});
   }
 
-  run_chunks();  // calling thread participates
+  run_chunks(*state);  // calling thread participates
 
   // Wait for helpers; while they lag, help with whatever is queued (possibly
   // other callers' chunks) so nested parallel_for cannot deadlock the pool.
-  while (state.active.load(std::memory_order_acquire) != 0) {
+  while (state->active.load(std::memory_order_acquire) != 0) {
     if (detail::Task task = try_acquire_any()) {
       task();
       continue;
     }
-    std::unique_lock lock{state.done_mutex};
-    state.done_cv.wait_for(lock, std::chrono::milliseconds(1), [&state] {
-      return state.active.load(std::memory_order_acquire) == 0;
+    std::unique_lock lock{state->done_mutex};
+    state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&state] {
+      return state->active.load(std::memory_order_acquire) == 0;
     });
   }
 
-  if (state.first_error) {
-    std::rethrow_exception(state.first_error);
+  if (state->first_error) {
+    std::rethrow_exception(state->first_error);
   }
 }
 
