@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cpu_fraction"
+  "../bench/ablation_cpu_fraction.pdb"
+  "CMakeFiles/ablation_cpu_fraction.dir/ablation_cpu_fraction.cpp.o"
+  "CMakeFiles/ablation_cpu_fraction.dir/ablation_cpu_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_optimal_freq"
+  "../bench/ablation_optimal_freq.pdb"
+  "CMakeFiles/ablation_optimal_freq.dir/ablation_optimal_freq.cpp.o"
+  "CMakeFiles/ablation_optimal_freq.dir/ablation_optimal_freq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimal_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

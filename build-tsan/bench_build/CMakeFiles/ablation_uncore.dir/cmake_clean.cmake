@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_uncore"
+  "../bench/ablation_uncore.pdb"
+  "CMakeFiles/ablation_uncore.dir/ablation_uncore.cpp.o"
+  "CMakeFiles/ablation_uncore.dir/ablation_uncore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

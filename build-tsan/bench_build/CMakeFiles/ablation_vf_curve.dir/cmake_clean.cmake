@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vf_curve"
+  "../bench/ablation_vf_curve.pdb"
+  "CMakeFiles/ablation_vf_curve.dir/ablation_vf_curve.cpp.o"
+  "CMakeFiles/ablation_vf_curve.dir/ablation_vf_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vf_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_read_path"
+  "../bench/extension_read_path.pdb"
+  "CMakeFiles/extension_read_path.dir/extension_read_path.cpp.o"
+  "CMakeFiles/extension_read_path.dir/extension_read_path.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_read_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_compression_power"
+  "../bench/fig1_compression_power.pdb"
+  "CMakeFiles/fig1_compression_power.dir/fig1_compression_power.cpp.o"
+  "CMakeFiles/fig1_compression_power.dir/fig1_compression_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_compression_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_compression_runtime"
+  "../bench/fig2_compression_runtime.pdb"
+  "CMakeFiles/fig2_compression_runtime.dir/fig2_compression_runtime.cpp.o"
+  "CMakeFiles/fig2_compression_runtime.dir/fig2_compression_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compression_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_transit_power"
+  "../bench/fig3_transit_power.pdb"
+  "CMakeFiles/fig3_transit_power.dir/fig3_transit_power.cpp.o"
+  "CMakeFiles/fig3_transit_power.dir/fig3_transit_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_transit_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_transit_runtime"
+  "../bench/fig4_transit_runtime.pdb"
+  "CMakeFiles/fig4_transit_runtime.dir/fig4_transit_runtime.cpp.o"
+  "CMakeFiles/fig4_transit_runtime.dir/fig4_transit_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_transit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_model_validation"
+  "../bench/fig5_model_validation.pdb"
+  "CMakeFiles/fig5_model_validation.dir/fig5_model_validation.cpp.o"
+  "CMakeFiles/fig5_model_validation.dir/fig5_model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_data_dumping"
+  "../bench/fig6_data_dumping.pdb"
+  "CMakeFiles/fig6_data_dumping.dir/fig6_data_dumping.cpp.o"
+  "CMakeFiles/fig6_data_dumping.dir/fig6_data_dumping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_data_dumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_savings"
+  "../bench/headline_savings.pdb"
+  "CMakeFiles/headline_savings.dir/headline_savings.cpp.o"
+  "CMakeFiles/headline_savings.dir/headline_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/lcp_bench_common.dir/common.cpp.o.d"
+  "liblcp_bench_common.a"
+  "liblcp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

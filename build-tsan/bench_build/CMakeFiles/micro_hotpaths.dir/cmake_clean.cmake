@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hotpaths"
+  "../bench/micro_hotpaths.pdb"
+  "CMakeFiles/micro_hotpaths.dir/micro_hotpaths.cpp.o"
+  "CMakeFiles/micro_hotpaths.dir/micro_hotpaths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hotpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

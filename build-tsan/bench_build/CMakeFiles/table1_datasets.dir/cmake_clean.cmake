@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_datasets"
+  "../bench/table1_datasets.pdb"
+  "CMakeFiles/table1_datasets.dir/table1_datasets.cpp.o"
+  "CMakeFiles/table1_datasets.dir/table1_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_hardware"
+  "../bench/table2_hardware.pdb"
+  "CMakeFiles/table2_hardware.dir/table2_hardware.cpp.o"
+  "CMakeFiles/table2_hardware.dir/table2_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_compression_models"
+  "../bench/table4_compression_models.pdb"
+  "CMakeFiles/table4_compression_models.dir/table4_compression_models.cpp.o"
+  "CMakeFiles/table4_compression_models.dir/table4_compression_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compression_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

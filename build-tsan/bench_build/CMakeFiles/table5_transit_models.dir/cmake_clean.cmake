@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_transit_models"
+  "../bench/table5_transit_models.pdb"
+  "CMakeFiles/table5_transit_models.dir/table5_transit_models.cpp.o"
+  "CMakeFiles/table5_transit_models.dir/table5_transit_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_transit_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

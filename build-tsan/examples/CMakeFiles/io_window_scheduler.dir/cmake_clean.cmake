@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_window_scheduler.dir/io_window_scheduler.cpp.o"
+  "CMakeFiles/io_window_scheduler.dir/io_window_scheduler.cpp.o.d"
+  "io_window_scheduler"
+  "io_window_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_window_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

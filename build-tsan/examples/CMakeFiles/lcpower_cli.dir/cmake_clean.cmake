@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcpower_cli.dir/lcpower_cli.cpp.o"
+  "CMakeFiles/lcpower_cli.dir/lcpower_cli.cpp.o.d"
+  "lcpower_cli"
+  "lcpower_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcpower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

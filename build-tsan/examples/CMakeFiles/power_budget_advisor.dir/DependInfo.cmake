@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/power_budget_advisor.cpp" "examples/CMakeFiles/power_budget_advisor.dir/power_budget_advisor.cpp.o" "gcc" "examples/CMakeFiles/power_budget_advisor.dir/power_budget_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/lcp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuning/CMakeFiles/lcp_tuning.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/lcp_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/lcp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dvfs/CMakeFiles/lcp_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lcp_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/lcp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

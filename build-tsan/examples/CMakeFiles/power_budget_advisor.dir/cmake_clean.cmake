@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_budget_advisor.dir/power_budget_advisor.cpp.o"
+  "CMakeFiles/power_budget_advisor.dir/power_budget_advisor.cpp.o.d"
+  "power_budget_advisor"
+  "power_budget_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_budget_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("data")
+subdirs("compress")
+subdirs("power")
+subdirs("dvfs")
+subdirs("io")
+subdirs("model")
+subdirs("tuning")
+subdirs("core")

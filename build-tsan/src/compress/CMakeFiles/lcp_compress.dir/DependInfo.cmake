@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/common/codec.cpp" "src/compress/CMakeFiles/lcp_compress.dir/common/codec.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/common/codec.cpp.o.d"
+  "/root/repo/src/compress/common/container.cpp" "src/compress/CMakeFiles/lcp_compress.dir/common/container.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/common/container.cpp.o.d"
+  "/root/repo/src/compress/common/metrics.cpp" "src/compress/CMakeFiles/lcp_compress.dir/common/metrics.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/common/metrics.cpp.o.d"
+  "/root/repo/src/compress/common/parallel.cpp" "src/compress/CMakeFiles/lcp_compress.dir/common/parallel.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/common/parallel.cpp.o.d"
+  "/root/repo/src/compress/common/registry.cpp" "src/compress/CMakeFiles/lcp_compress.dir/common/registry.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/common/registry.cpp.o.d"
+  "/root/repo/src/compress/lossless/shuffle_codec.cpp" "src/compress/CMakeFiles/lcp_compress.dir/lossless/shuffle_codec.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/lossless/shuffle_codec.cpp.o.d"
+  "/root/repo/src/compress/sz/huffman.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/huffman.cpp.o.d"
+  "/root/repo/src/compress/sz/lorenzo.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/lorenzo.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/lorenzo.cpp.o.d"
+  "/root/repo/src/compress/sz/pipeline.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/pipeline.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/pipeline.cpp.o.d"
+  "/root/repo/src/compress/sz/quantizer.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/quantizer.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/quantizer.cpp.o.d"
+  "/root/repo/src/compress/sz/sz_compressor.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/sz_compressor.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/sz_compressor.cpp.o.d"
+  "/root/repo/src/compress/sz/zlite.cpp" "src/compress/CMakeFiles/lcp_compress.dir/sz/zlite.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/sz/zlite.cpp.o.d"
+  "/root/repo/src/compress/zfp/block.cpp" "src/compress/CMakeFiles/lcp_compress.dir/zfp/block.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/zfp/block.cpp.o.d"
+  "/root/repo/src/compress/zfp/embedded_coder.cpp" "src/compress/CMakeFiles/lcp_compress.dir/zfp/embedded_coder.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/zfp/embedded_coder.cpp.o.d"
+  "/root/repo/src/compress/zfp/negabinary.cpp" "src/compress/CMakeFiles/lcp_compress.dir/zfp/negabinary.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/zfp/negabinary.cpp.o.d"
+  "/root/repo/src/compress/zfp/transform.cpp" "src/compress/CMakeFiles/lcp_compress.dir/zfp/transform.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/zfp/transform.cpp.o.d"
+  "/root/repo/src/compress/zfp/zfp_compressor.cpp" "src/compress/CMakeFiles/lcp_compress.dir/zfp/zfp_compressor.cpp.o" "gcc" "src/compress/CMakeFiles/lcp_compress.dir/zfp/zfp_compressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/lcp_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression_study.cpp" "src/core/CMakeFiles/lcp_core.dir/compression_study.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/compression_study.cpp.o.d"
+  "/root/repo/src/core/dump_experiment.cpp" "src/core/CMakeFiles/lcp_core.dir/dump_experiment.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/dump_experiment.cpp.o.d"
+  "/root/repo/src/core/fetch_experiment.cpp" "src/core/CMakeFiles/lcp_core.dir/fetch_experiment.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/fetch_experiment.cpp.o.d"
+  "/root/repo/src/core/model_tables.cpp" "src/core/CMakeFiles/lcp_core.dir/model_tables.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/model_tables.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/lcp_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/study_export.cpp" "src/core/CMakeFiles/lcp_core.dir/study_export.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/study_export.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/lcp_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/transit_study.cpp" "src/core/CMakeFiles/lcp_core.dir/transit_study.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/transit_study.cpp.o.d"
+  "/root/repo/src/core/validation_study.cpp" "src/core/CMakeFiles/lcp_core.dir/validation_study.cpp.o" "gcc" "src/core/CMakeFiles/lcp_core.dir/validation_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/lcp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lcp_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dvfs/CMakeFiles/lcp_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/lcp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/lcp_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuning/CMakeFiles/lcp_tuning.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

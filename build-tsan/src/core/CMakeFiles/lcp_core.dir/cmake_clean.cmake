@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_core.dir/compression_study.cpp.o"
+  "CMakeFiles/lcp_core.dir/compression_study.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/dump_experiment.cpp.o"
+  "CMakeFiles/lcp_core.dir/dump_experiment.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/fetch_experiment.cpp.o"
+  "CMakeFiles/lcp_core.dir/fetch_experiment.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/model_tables.cpp.o"
+  "CMakeFiles/lcp_core.dir/model_tables.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/platform.cpp.o"
+  "CMakeFiles/lcp_core.dir/platform.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/study_export.cpp.o"
+  "CMakeFiles/lcp_core.dir/study_export.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/sweep.cpp.o"
+  "CMakeFiles/lcp_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/transit_study.cpp.o"
+  "CMakeFiles/lcp_core.dir/transit_study.cpp.o.d"
+  "CMakeFiles/lcp_core.dir/validation_study.cpp.o"
+  "CMakeFiles/lcp_core.dir/validation_study.cpp.o.d"
+  "liblcp_core.a"
+  "liblcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

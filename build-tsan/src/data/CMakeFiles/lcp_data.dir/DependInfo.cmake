@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/field.cpp" "src/data/CMakeFiles/lcp_data.dir/field.cpp.o" "gcc" "src/data/CMakeFiles/lcp_data.dir/field.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/data/CMakeFiles/lcp_data.dir/generators.cpp.o" "gcc" "src/data/CMakeFiles/lcp_data.dir/generators.cpp.o.d"
+  "/root/repo/src/data/noise.cpp" "src/data/CMakeFiles/lcp_data.dir/noise.cpp.o" "gcc" "src/data/CMakeFiles/lcp_data.dir/noise.cpp.o.d"
+  "/root/repo/src/data/registry.cpp" "src/data/CMakeFiles/lcp_data.dir/registry.cpp.o" "gcc" "src/data/CMakeFiles/lcp_data.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_data.dir/field.cpp.o"
+  "CMakeFiles/lcp_data.dir/field.cpp.o.d"
+  "CMakeFiles/lcp_data.dir/generators.cpp.o"
+  "CMakeFiles/lcp_data.dir/generators.cpp.o.d"
+  "CMakeFiles/lcp_data.dir/noise.cpp.o"
+  "CMakeFiles/lcp_data.dir/noise.cpp.o.d"
+  "CMakeFiles/lcp_data.dir/registry.cpp.o"
+  "CMakeFiles/lcp_data.dir/registry.cpp.o.d"
+  "liblcp_data.a"
+  "liblcp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcp_data.a"
+)

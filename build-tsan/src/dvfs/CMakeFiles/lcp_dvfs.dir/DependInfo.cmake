@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/frequency_range.cpp" "src/dvfs/CMakeFiles/lcp_dvfs.dir/frequency_range.cpp.o" "gcc" "src/dvfs/CMakeFiles/lcp_dvfs.dir/frequency_range.cpp.o.d"
+  "/root/repo/src/dvfs/governor.cpp" "src/dvfs/CMakeFiles/lcp_dvfs.dir/governor.cpp.o" "gcc" "src/dvfs/CMakeFiles/lcp_dvfs.dir/governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_dvfs.dir/frequency_range.cpp.o"
+  "CMakeFiles/lcp_dvfs.dir/frequency_range.cpp.o.d"
+  "CMakeFiles/lcp_dvfs.dir/governor.cpp.o"
+  "CMakeFiles/lcp_dvfs.dir/governor.cpp.o.d"
+  "liblcp_dvfs.a"
+  "liblcp_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/link.cpp" "src/io/CMakeFiles/lcp_io.dir/link.cpp.o" "gcc" "src/io/CMakeFiles/lcp_io.dir/link.cpp.o.d"
+  "/root/repo/src/io/nfs_client.cpp" "src/io/CMakeFiles/lcp_io.dir/nfs_client.cpp.o" "gcc" "src/io/CMakeFiles/lcp_io.dir/nfs_client.cpp.o.d"
+  "/root/repo/src/io/nfs_server.cpp" "src/io/CMakeFiles/lcp_io.dir/nfs_server.cpp.o" "gcc" "src/io/CMakeFiles/lcp_io.dir/nfs_server.cpp.o.d"
+  "/root/repo/src/io/transit_model.cpp" "src/io/CMakeFiles/lcp_io.dir/transit_model.cpp.o" "gcc" "src/io/CMakeFiles/lcp_io.dir/transit_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_io.dir/link.cpp.o"
+  "CMakeFiles/lcp_io.dir/link.cpp.o.d"
+  "CMakeFiles/lcp_io.dir/nfs_client.cpp.o"
+  "CMakeFiles/lcp_io.dir/nfs_client.cpp.o.d"
+  "CMakeFiles/lcp_io.dir/nfs_server.cpp.o"
+  "CMakeFiles/lcp_io.dir/nfs_server.cpp.o.d"
+  "CMakeFiles/lcp_io.dir/transit_model.cpp.o"
+  "CMakeFiles/lcp_io.dir/transit_model.cpp.o.d"
+  "liblcp_io.a"
+  "liblcp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/confidence.cpp" "src/model/CMakeFiles/lcp_model.dir/confidence.cpp.o" "gcc" "src/model/CMakeFiles/lcp_model.dir/confidence.cpp.o.d"
+  "/root/repo/src/model/fit_stats.cpp" "src/model/CMakeFiles/lcp_model.dir/fit_stats.cpp.o" "gcc" "src/model/CMakeFiles/lcp_model.dir/fit_stats.cpp.o.d"
+  "/root/repo/src/model/levenberg_marquardt.cpp" "src/model/CMakeFiles/lcp_model.dir/levenberg_marquardt.cpp.o" "gcc" "src/model/CMakeFiles/lcp_model.dir/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/model/partitions.cpp" "src/model/CMakeFiles/lcp_model.dir/partitions.cpp.o" "gcc" "src/model/CMakeFiles/lcp_model.dir/partitions.cpp.o.d"
+  "/root/repo/src/model/power_law.cpp" "src/model/CMakeFiles/lcp_model.dir/power_law.cpp.o" "gcc" "src/model/CMakeFiles/lcp_model.dir/power_law.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

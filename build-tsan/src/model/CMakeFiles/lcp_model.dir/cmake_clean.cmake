@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_model.dir/confidence.cpp.o"
+  "CMakeFiles/lcp_model.dir/confidence.cpp.o.d"
+  "CMakeFiles/lcp_model.dir/fit_stats.cpp.o"
+  "CMakeFiles/lcp_model.dir/fit_stats.cpp.o.d"
+  "CMakeFiles/lcp_model.dir/levenberg_marquardt.cpp.o"
+  "CMakeFiles/lcp_model.dir/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/lcp_model.dir/partitions.cpp.o"
+  "CMakeFiles/lcp_model.dir/partitions.cpp.o.d"
+  "CMakeFiles/lcp_model.dir/power_law.cpp.o"
+  "CMakeFiles/lcp_model.dir/power_law.cpp.o.d"
+  "liblcp_model.a"
+  "liblcp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

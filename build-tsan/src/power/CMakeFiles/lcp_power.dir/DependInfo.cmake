@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chip_model.cpp" "src/power/CMakeFiles/lcp_power.dir/chip_model.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/chip_model.cpp.o.d"
+  "/root/repo/src/power/energy_counter.cpp" "src/power/CMakeFiles/lcp_power.dir/energy_counter.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/energy_counter.cpp.o.d"
+  "/root/repo/src/power/noise_model.cpp" "src/power/CMakeFiles/lcp_power.dir/noise_model.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/noise_model.cpp.o.d"
+  "/root/repo/src/power/perf_sampler.cpp" "src/power/CMakeFiles/lcp_power.dir/perf_sampler.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/perf_sampler.cpp.o.d"
+  "/root/repo/src/power/rapl_reader.cpp" "src/power/CMakeFiles/lcp_power.dir/rapl_reader.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/rapl_reader.cpp.o.d"
+  "/root/repo/src/power/uncore.cpp" "src/power/CMakeFiles/lcp_power.dir/uncore.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/uncore.cpp.o.d"
+  "/root/repo/src/power/voltage_curve.cpp" "src/power/CMakeFiles/lcp_power.dir/voltage_curve.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/voltage_curve.cpp.o.d"
+  "/root/repo/src/power/workload.cpp" "src/power/CMakeFiles/lcp_power.dir/workload.cpp.o" "gcc" "src/power/CMakeFiles/lcp_power.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_power.dir/chip_model.cpp.o"
+  "CMakeFiles/lcp_power.dir/chip_model.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/energy_counter.cpp.o"
+  "CMakeFiles/lcp_power.dir/energy_counter.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/noise_model.cpp.o"
+  "CMakeFiles/lcp_power.dir/noise_model.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/perf_sampler.cpp.o"
+  "CMakeFiles/lcp_power.dir/perf_sampler.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/rapl_reader.cpp.o"
+  "CMakeFiles/lcp_power.dir/rapl_reader.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/uncore.cpp.o"
+  "CMakeFiles/lcp_power.dir/uncore.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/voltage_curve.cpp.o"
+  "CMakeFiles/lcp_power.dir/voltage_curve.cpp.o.d"
+  "CMakeFiles/lcp_power.dir/workload.cpp.o"
+  "CMakeFiles/lcp_power.dir/workload.cpp.o.d"
+  "liblcp_power.a"
+  "liblcp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ascii_plot.cpp" "src/support/CMakeFiles/lcp_support.dir/ascii_plot.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/support/bitstream.cpp" "src/support/CMakeFiles/lcp_support.dir/bitstream.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/bitstream.cpp.o.d"
+  "/root/repo/src/support/bytestream.cpp" "src/support/CMakeFiles/lcp_support.dir/bytestream.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/bytestream.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/lcp_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/csv.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/lcp_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/lcp_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/lcp_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/support/CMakeFiles/lcp_support.dir/status.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/status.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/lcp_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/lcp_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/support/CMakeFiles/lcp_support.dir/timer.cpp.o" "gcc" "src/support/CMakeFiles/lcp_support.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_support.dir/ascii_plot.cpp.o"
+  "CMakeFiles/lcp_support.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/bitstream.cpp.o"
+  "CMakeFiles/lcp_support.dir/bitstream.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/bytestream.cpp.o"
+  "CMakeFiles/lcp_support.dir/bytestream.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/csv.cpp.o"
+  "CMakeFiles/lcp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/log.cpp.o"
+  "CMakeFiles/lcp_support.dir/log.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/rng.cpp.o"
+  "CMakeFiles/lcp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/stats.cpp.o"
+  "CMakeFiles/lcp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/status.cpp.o"
+  "CMakeFiles/lcp_support.dir/status.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/table.cpp.o"
+  "CMakeFiles/lcp_support.dir/table.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/lcp_support.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lcp_support.dir/timer.cpp.o"
+  "CMakeFiles/lcp_support.dir/timer.cpp.o.d"
+  "liblcp_support.a"
+  "liblcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

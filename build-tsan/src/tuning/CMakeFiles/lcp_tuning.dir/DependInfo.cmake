@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/io_plan.cpp" "src/tuning/CMakeFiles/lcp_tuning.dir/io_plan.cpp.o" "gcc" "src/tuning/CMakeFiles/lcp_tuning.dir/io_plan.cpp.o.d"
+  "/root/repo/src/tuning/optimizer.cpp" "src/tuning/CMakeFiles/lcp_tuning.dir/optimizer.cpp.o" "gcc" "src/tuning/CMakeFiles/lcp_tuning.dir/optimizer.cpp.o.d"
+  "/root/repo/src/tuning/rule.cpp" "src/tuning/CMakeFiles/lcp_tuning.dir/rule.cpp.o" "gcc" "src/tuning/CMakeFiles/lcp_tuning.dir/rule.cpp.o.d"
+  "/root/repo/src/tuning/scheduler.cpp" "src/tuning/CMakeFiles/lcp_tuning.dir/scheduler.cpp.o" "gcc" "src/tuning/CMakeFiles/lcp_tuning.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dvfs/CMakeFiles/lcp_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/lcp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_tuning.dir/io_plan.cpp.o"
+  "CMakeFiles/lcp_tuning.dir/io_plan.cpp.o.d"
+  "CMakeFiles/lcp_tuning.dir/optimizer.cpp.o"
+  "CMakeFiles/lcp_tuning.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lcp_tuning.dir/rule.cpp.o"
+  "CMakeFiles/lcp_tuning.dir/rule.cpp.o.d"
+  "CMakeFiles/lcp_tuning.dir/scheduler.cpp.o"
+  "CMakeFiles/lcp_tuning.dir/scheduler.cpp.o.d"
+  "liblcp_tuning.a"
+  "liblcp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

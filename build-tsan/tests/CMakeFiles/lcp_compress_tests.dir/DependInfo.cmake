@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/codec_options_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/codec_options_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/codec_options_test.cpp.o.d"
+  "/root/repo/tests/compress/codec_property_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/codec_property_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/codec_property_test.cpp.o.d"
+  "/root/repo/tests/compress/container_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/container_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/container_test.cpp.o.d"
+  "/root/repo/tests/compress/fuzz_robustness_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/fuzz_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/fuzz_robustness_test.cpp.o.d"
+  "/root/repo/tests/compress/huffman_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/huffman_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/huffman_test.cpp.o.d"
+  "/root/repo/tests/compress/lorenzo_quantizer_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/lorenzo_quantizer_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/lorenzo_quantizer_test.cpp.o.d"
+  "/root/repo/tests/compress/lossless_codec_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/lossless_codec_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/lossless_codec_test.cpp.o.d"
+  "/root/repo/tests/compress/parallel_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/parallel_test.cpp.o.d"
+  "/root/repo/tests/compress/sz_compressor_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_compressor_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_compressor_test.cpp.o.d"
+  "/root/repo/tests/compress/sz_predictor_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_predictor_test.cpp.o.d"
+  "/root/repo/tests/compress/sz_relative_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_relative_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/sz_relative_test.cpp.o.d"
+  "/root/repo/tests/compress/zfp_block_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_block_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_block_test.cpp.o.d"
+  "/root/repo/tests/compress/zfp_coder_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_coder_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_coder_test.cpp.o.d"
+  "/root/repo/tests/compress/zfp_compressor_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_compressor_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_compressor_test.cpp.o.d"
+  "/root/repo/tests/compress/zfp_fixed_rate_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_fixed_rate_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_fixed_rate_test.cpp.o.d"
+  "/root/repo/tests/compress/zfp_transform_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_transform_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zfp_transform_test.cpp.o.d"
+  "/root/repo/tests/compress/zlite_test.cpp" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zlite_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_compress_tests.dir/compress/zlite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/lcp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuning/CMakeFiles/lcp_tuning.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/lcp_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/lcp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dvfs/CMakeFiles/lcp_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lcp_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/lcp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

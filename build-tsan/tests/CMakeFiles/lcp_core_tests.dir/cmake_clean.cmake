@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_core_tests.dir/core/compression_study_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/compression_study_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/dump_experiment_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/dump_experiment_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/fetch_experiment_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/fetch_experiment_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/integration_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/model_tables_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/model_tables_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/platform_properties_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/platform_properties_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/platform_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/platform_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/study_export_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/study_export_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/transit_study_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/transit_study_test.cpp.o.d"
+  "CMakeFiles/lcp_core_tests.dir/core/validation_study_test.cpp.o"
+  "CMakeFiles/lcp_core_tests.dir/core/validation_study_test.cpp.o.d"
+  "lcp_core_tests"
+  "lcp_core_tests.pdb"
+  "lcp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

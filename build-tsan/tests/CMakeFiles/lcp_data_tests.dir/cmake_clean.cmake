@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_data_tests.dir/data/field_test.cpp.o"
+  "CMakeFiles/lcp_data_tests.dir/data/field_test.cpp.o.d"
+  "CMakeFiles/lcp_data_tests.dir/data/generators_test.cpp.o"
+  "CMakeFiles/lcp_data_tests.dir/data/generators_test.cpp.o.d"
+  "CMakeFiles/lcp_data_tests.dir/data/noise_test.cpp.o"
+  "CMakeFiles/lcp_data_tests.dir/data/noise_test.cpp.o.d"
+  "CMakeFiles/lcp_data_tests.dir/data/registry_test.cpp.o"
+  "CMakeFiles/lcp_data_tests.dir/data/registry_test.cpp.o.d"
+  "lcp_data_tests"
+  "lcp_data_tests.pdb"
+  "lcp_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

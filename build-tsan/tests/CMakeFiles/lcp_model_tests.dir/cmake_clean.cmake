@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_model_tests.dir/model/confidence_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/model/confidence_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/model/fit_stats_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/model/fit_stats_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/model/levenberg_marquardt_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/model/levenberg_marquardt_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/model/partitions_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/model/partitions_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/model/power_law_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/model/power_law_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/tuning/io_plan_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/tuning/io_plan_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/tuning/optimizer_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/tuning/optimizer_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/tuning/rule_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/tuning/rule_test.cpp.o.d"
+  "CMakeFiles/lcp_model_tests.dir/tuning/scheduler_test.cpp.o"
+  "CMakeFiles/lcp_model_tests.dir/tuning/scheduler_test.cpp.o.d"
+  "lcp_model_tests"
+  "lcp_model_tests.pdb"
+  "lcp_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dvfs/frequency_range_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/dvfs/frequency_range_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/dvfs/frequency_range_test.cpp.o.d"
+  "/root/repo/tests/dvfs/governor_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/dvfs/governor_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/dvfs/governor_test.cpp.o.d"
+  "/root/repo/tests/io/link_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/io/link_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/io/link_test.cpp.o.d"
+  "/root/repo/tests/io/nfs_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/io/nfs_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/io/nfs_test.cpp.o.d"
+  "/root/repo/tests/io/transit_model_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/io/transit_model_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/io/transit_model_test.cpp.o.d"
+  "/root/repo/tests/power/chip_model_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/chip_model_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/chip_model_test.cpp.o.d"
+  "/root/repo/tests/power/noise_counter_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/noise_counter_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/noise_counter_test.cpp.o.d"
+  "/root/repo/tests/power/perf_sampler_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/perf_sampler_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/perf_sampler_test.cpp.o.d"
+  "/root/repo/tests/power/rapl_reader_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/rapl_reader_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/rapl_reader_test.cpp.o.d"
+  "/root/repo/tests/power/uncore_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/uncore_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/uncore_test.cpp.o.d"
+  "/root/repo/tests/power/voltage_curve_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/voltage_curve_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/voltage_curve_test.cpp.o.d"
+  "/root/repo/tests/power/workload_test.cpp" "tests/CMakeFiles/lcp_power_tests.dir/power/workload_test.cpp.o" "gcc" "tests/CMakeFiles/lcp_power_tests.dir/power/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/lcp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuning/CMakeFiles/lcp_tuning.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/lcp_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/lcp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dvfs/CMakeFiles/lcp_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/lcp_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lcp_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/lcp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/lcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_power_tests.dir/dvfs/frequency_range_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/dvfs/frequency_range_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/dvfs/governor_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/dvfs/governor_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/io/link_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/io/link_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/io/nfs_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/io/nfs_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/io/transit_model_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/io/transit_model_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/chip_model_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/chip_model_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/noise_counter_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/noise_counter_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/perf_sampler_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/perf_sampler_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/rapl_reader_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/rapl_reader_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/uncore_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/uncore_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/voltage_curve_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/voltage_curve_test.cpp.o.d"
+  "CMakeFiles/lcp_power_tests.dir/power/workload_test.cpp.o"
+  "CMakeFiles/lcp_power_tests.dir/power/workload_test.cpp.o.d"
+  "lcp_power_tests"
+  "lcp_power_tests.pdb"
+  "lcp_power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

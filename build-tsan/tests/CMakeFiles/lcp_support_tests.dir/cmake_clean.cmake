@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_support_tests.dir/support/ascii_plot_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/ascii_plot_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/bitstream_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/bitstream_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/bytestream_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/bytestream_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/rng_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/stats_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/status_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/status_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/table_csv_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/table_csv_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/thread_pool_test.cpp.o.d"
+  "CMakeFiles/lcp_support_tests.dir/support/units_test.cpp.o"
+  "CMakeFiles/lcp_support_tests.dir/support/units_test.cpp.o.d"
+  "lcp_support_tests"
+  "lcp_support_tests.pdb"
+  "lcp_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
