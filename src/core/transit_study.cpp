@@ -1,5 +1,11 @@
 #include "core/transit_study.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "io/nfs_client.hpp"
+
 namespace lcp::core {
 
 Expected<TransitStudyResult> run_transit_study(const TransitStudyConfig& config) {
@@ -15,17 +21,74 @@ Expected<TransitStudyResult> run_transit_study(const TransitStudyConfig& config)
       return Status::invalid_argument("transit sizes must be positive");
     }
   }
+  if (cfg.fault.enabled && cfg.fault.probe_chunk_bytes == 0) {
+    return Status::invalid_argument("probe chunk size must be positive");
+  }
+
+  // The fault probe moves real bytes through one shared server/client so
+  // the chunk-index stream is global across the study: fault episodes can
+  // target "chunks 40..80 of this run" and hit a predictable point.
+  std::optional<io::FaultInjector> injector;
+  std::optional<io::NfsServer> server;
+  std::optional<io::NfsClient> client;
+  std::vector<std::uint8_t> probe;
+  if (cfg.fault.enabled) {
+    injector.emplace(cfg.fault.plan);
+    server.emplace(cfg.transit.disk);
+    io::NfsClientConfig client_cfg;
+    client_cfg.link = cfg.transit.link;
+    client_cfg.rpc_chunk_bytes = cfg.fault.probe_chunk_bytes;
+    client_cfg.retry = cfg.fault.retry;
+    client.emplace(*server, client_cfg);
+    client->attach_fault_injector(&*injector);
+
+    std::uint64_t max_probe = 0;
+    const std::uint64_t cap =
+        cfg.fault.probe_chunks * cfg.fault.probe_chunk_bytes;
+    for (Bytes n : cfg.sizes) {
+      max_probe = std::max(max_probe, std::min(n.bytes(), cap));
+    }
+    probe.resize(max_probe);
+    for (std::uint64_t i = 0; i < max_probe; ++i) {
+      probe[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    }
+  }
 
   TransitStudyResult result;
   std::uint64_t stream = 0;
   for (power::ChipId chip : cfg.chips) {
     Platform platform{chip, cfg.noise, cfg.seed ^ 0x7261u ^ stream};
     for (Bytes size : cfg.sizes) {
-      const auto workload =
-          io::transit_workload(platform.spec(), size, cfg.transit);
       TransitSeries series;
       series.chip = chip;
       series.size = size;
+
+      if (cfg.fault.enabled) {
+        const std::uint64_t probe_bytes =
+            std::min(size.bytes(),
+                     cfg.fault.probe_chunks * cfg.fault.probe_chunk_bytes);
+        const std::string path = "probe/" + std::string(power::chip_series_name(chip)) +
+                                 "/" + std::to_string(size.bytes()) + "@" +
+                                 std::to_string(stream);
+        client->reset_counters();
+        const Status st = client->write_file(
+            path, std::span<const std::uint8_t>{probe.data(),
+                                                static_cast<std::size_t>(probe_bytes)});
+        if (!st.is_ok()) {
+          series.status = st;
+          result.series.push_back(std::move(series));
+          ++stream;
+          continue;
+        }
+        series.retry = io::retry_profile_from_stats(
+            client->retry_stats(), Bytes{probe_bytes}, size);
+      }
+
+      const auto workload =
+          cfg.fault.enabled
+              ? io::transit_workload(platform.spec(), size, cfg.transit,
+                                     series.retry)
+              : io::transit_workload(platform.spec(), size, cfg.transit);
       series.sweep = frequency_sweep(platform, workload, cfg.repeats);
       result.series.push_back(std::move(series));
       ++stream;

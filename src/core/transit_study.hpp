@@ -3,15 +3,35 @@
 // NFS over the DVFS range of both chips with repeats. No calibration phase
 // is needed — the transit model is parameterized directly by size and chip
 // (only size matters for transmission, per Section III-C).
+//
+// With a FaultPlan enabled the study runs a real (byte-moving) probe
+// transfer per point through the retrying NfsClient, extrapolates the
+// measured retransmit/idle overhead to the full size, and sweeps the
+// degraded workload. A point whose probe exhausts its retries is recorded
+// with its typed Status instead of crashing the study.
 
 #include <vector>
 
 #include "core/platform.hpp"
 #include "core/sweep.hpp"
+#include "io/fault.hpp"
 #include "io/transit_model.hpp"
 #include "power/noise_model.hpp"
 
 namespace lcp::core {
+
+/// Fault-injection knobs of the study; disabled by default (and when
+/// disabled the study is byte-identical to the fault-free code path).
+struct TransitFaultConfig {
+  bool enabled = false;
+  io::FaultPlan plan;
+  io::RetryPolicy retry;
+  /// Probe transfers use this wsize so even small loss rates are exercised
+  /// with a meaningful chunk count.
+  std::size_t probe_chunk_bytes = 64 * 1024;
+  /// Probe transfer size = min(point size, probe_chunks * probe_chunk_bytes).
+  std::uint64_t probe_chunks = 64;
+};
 
 struct TransitStudyConfig {
   std::vector<Bytes> sizes;  ///< empty => the paper's 1..16 GB ladder
@@ -20,16 +40,31 @@ struct TransitStudyConfig {
   power::NoiseModel noise;
   std::vector<power::ChipId> chips;  ///< empty => both
   io::TransitModelConfig transit;
+  TransitFaultConfig fault;
 };
 
 struct TransitSeries {
   power::ChipId chip;
   Bytes size;
-  std::vector<SweepPoint> sweep;
+  std::vector<SweepPoint> sweep;  ///< empty when the point failed
+  /// Non-OK when the probe transfer exhausted its retries: the point is
+  /// recorded as failed, the study keeps going.
+  Status status = Status::ok();
+  /// Measured retry overhead applied to this point's workload (zero when
+  /// faults are disabled or none fired).
+  io::TransitRetryProfile retry;
 };
 
 struct TransitStudyResult {
   std::vector<TransitSeries> series;
+
+  [[nodiscard]] std::size_t failed_points() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : series) {
+      n += s.status.is_ok() ? 0 : 1;
+    }
+    return n;
+  }
 };
 
 [[nodiscard]] Expected<TransitStudyResult> run_transit_study(

@@ -1,0 +1,123 @@
+#include "io/fault.hpp"
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace lcp::io {
+namespace {
+
+// Distinct multipliers decorrelate the (seed, rpc, attempt) triple before
+// it reaches the Rng, whose splitmix64 seeding finishes the mixing. The
+// salt separates the fault-fate stream from the backoff-jitter stream.
+std::uint64_t stream_key(std::uint64_t seed, std::uint64_t rpc_index,
+                         std::uint32_t attempt, std::uint64_t salt) noexcept {
+  std::uint64_t key = seed ^ salt;
+  key ^= (rpc_index + 1) * 0x9E3779B97F4A7C15ULL;
+  key ^= (static_cast<std::uint64_t>(attempt) + 1) * 0xBF58476D1CE4E5B9ULL;
+  return key;
+}
+
+constexpr std::uint64_t kFateSalt = 0xFA17ED00D5ULL;
+constexpr std::uint64_t kJitterSalt = 0xBACC0FFULL;
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kReject:
+      return "reject";
+    case FaultKind::kDiskFull:
+      return "disk-full";
+    case FaultKind::kServerUnavailable:
+      return "server-unavailable";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  const double total = plan_.drop_rate + plan_.corrupt_rate +
+                       plan_.delay_rate + plan_.reject_rate;
+  LCP_REQUIRE(plan_.drop_rate >= 0.0 && plan_.corrupt_rate >= 0.0 &&
+                  plan_.delay_rate >= 0.0 && plan_.reject_rate >= 0.0,
+              "fault rates must be non-negative");
+  LCP_REQUIRE(total <= 1.0 + 1e-12, "fault rates must sum to <= 1");
+  for (const auto& p : plan_.periodic) {
+    LCP_REQUIRE(p.period >= 1, "periodic fault period must be >= 1");
+  }
+}
+
+FaultDecision FaultInjector::decide(std::uint64_t rpc_index,
+                                    std::uint32_t attempt,
+                                    std::size_t chunk_bytes) const {
+  FaultDecision decision;
+  FaultKind kind = FaultKind::kNone;
+
+  // Deterministic rules take precedence over random draws: targeted, then
+  // periodic, then episodes.
+  for (const auto& t : plan_.targeted) {
+    if (t.rpc_index == rpc_index && attempt < t.persist_attempts) {
+      kind = t.kind;
+      break;
+    }
+  }
+  if (kind == FaultKind::kNone) {
+    for (const auto& p : plan_.periodic) {
+      if (rpc_index % p.period == p.phase && attempt < p.persist_attempts) {
+        kind = p.kind;
+        break;
+      }
+    }
+  }
+  if (kind == FaultKind::kNone) {
+    for (const auto& e : plan_.episodes) {
+      if (rpc_index >= e.first_rpc && rpc_index < e.first_rpc + e.rpc_count &&
+          attempt < e.persist_attempts) {
+        kind = e.kind;
+        break;
+      }
+    }
+  }
+
+  Rng rng{stream_key(plan_.seed, rpc_index, attempt, kFateSalt)};
+  if (kind == FaultKind::kNone) {
+    const double u = rng.uniform();
+    double edge = plan_.drop_rate;
+    if (u < edge) {
+      kind = FaultKind::kDrop;
+    } else if (u < (edge += plan_.corrupt_rate)) {
+      kind = FaultKind::kCorrupt;
+    } else if (u < (edge += plan_.delay_rate)) {
+      kind = FaultKind::kDelay;
+    } else if (u < (edge += plan_.reject_rate)) {
+      kind = FaultKind::kReject;
+    }
+  }
+
+  decision.kind = kind;
+  if (kind == FaultKind::kDelay) {
+    decision.delay = plan_.delay_seconds;
+  }
+  if (kind == FaultKind::kCorrupt && chunk_bytes > 0) {
+    decision.corrupt_offset =
+        static_cast<std::size_t>(rng.uniform_index(chunk_bytes));
+    decision.corrupt_mask =
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+  }
+  return decision;
+}
+
+double FaultInjector::backoff_jitter(std::uint64_t rpc_index,
+                                     std::uint32_t attempt) const {
+  Rng rng{stream_key(plan_.seed, rpc_index, attempt, kJitterSalt)};
+  return rng.uniform(-1.0, 1.0);
+}
+
+}  // namespace lcp::io

@@ -1,0 +1,130 @@
+#pragma once
+// Deterministic fault injection for the NFS write path.
+//
+// A FaultPlan describes *what* can go wrong (random rates, targeted chunks,
+// periodic patterns, and server episodes such as disk-full windows); a
+// FaultInjector turns the plan into per-RPC decisions. Every decision is a
+// pure function of (plan.seed, rpc index, attempt) — no injector state, no
+// call-order dependence — so a single seed reproduces an exact failure
+// sequence, and a retried RPC re-rolls its fate instead of being doomed
+// forever. This determinism contract is what the fault-matrix and soak
+// tests build on (see docs/fault_injection.md).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace lcp::io {
+
+/// What happens to one RPC attempt on the client→server path.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,            ///< delivered intact
+  kDrop,                ///< lost in flight: client waits out its RPC timeout
+  kCorrupt,             ///< delivered with a flipped bit; caught by CRC32C
+  kDelay,               ///< delivered after an injected latency
+  kReject,              ///< server receives it but refuses (EAGAIN-style)
+  kDiskFull,            ///< server refuses: backing store out of space
+  kServerUnavailable,   ///< server refuses: not accepting requests
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// Attempt count meaning "the fault never clears".
+inline constexpr std::uint32_t kFaultPersistsForever = 0xFFFFFFFFu;
+
+/// A deterministic fault pinned to one chunk index (test matrices).
+struct TargetedFault {
+  std::uint64_t rpc_index = 0;
+  FaultKind kind = FaultKind::kDrop;
+  /// Fires on attempts [0, persist_attempts); later retries succeed.
+  std::uint32_t persist_attempts = 1;
+};
+
+/// A deterministic fault hitting every `period`-th chunk.
+struct PeriodicFault {
+  std::uint64_t period = 1;   ///< must be >= 1
+  std::uint64_t phase = 0;    ///< fires when rpc_index % period == phase
+  FaultKind kind = FaultKind::kDrop;
+  std::uint32_t persist_attempts = 1;
+};
+
+/// A server-side episode covering a contiguous chunk-index window, e.g.
+/// "the disk is full for chunks 40..80". With persist_attempts set, the
+/// episode clears for an RPC after that many failed attempts (a transient
+/// outage the backoff can ride out); kFaultPersistsForever turns it into a
+/// hard failure that surfaces as a typed Status after retry exhaustion.
+struct FaultEpisode {
+  FaultKind kind = FaultKind::kServerUnavailable;
+  std::uint64_t first_rpc = 0;
+  std::uint64_t rpc_count = 0;
+  std::uint32_t persist_attempts = kFaultPersistsForever;
+};
+
+/// Full description of a faulty link/server.
+struct FaultPlan {
+  std::uint64_t seed = 0x10C0FFEEu;
+
+  /// Independent per-attempt probabilities, checked in this order; their
+  /// sum must be <= 1.
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double delay_rate = 0.0;
+  double reject_rate = 0.0;
+
+  /// Injected latency when kDelay fires. At or above the client's RPC
+  /// timeout this behaves like a drop (the reply arrives too late).
+  Seconds delay_seconds{20e-3};
+
+  std::vector<TargetedFault> targeted;
+  std::vector<PeriodicFault> periodic;
+  std::vector<FaultEpisode> episodes;
+
+  /// Convenience: a pure packet-loss plan at `rate`.
+  [[nodiscard]] static FaultPlan loss(std::uint64_t seed, double rate) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = rate;
+    return plan;
+  }
+
+  /// True when the plan can never produce a fault.
+  [[nodiscard]] bool trivially_clean() const noexcept {
+    return drop_rate == 0.0 && corrupt_rate == 0.0 && delay_rate == 0.0 &&
+           reject_rate == 0.0 && targeted.empty() && periodic.empty() &&
+           episodes.empty();
+  }
+};
+
+/// The injector's verdict for one (rpc, attempt) pair.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  Seconds delay{0.0};            ///< injected latency for kDelay
+  std::size_t corrupt_offset = 0;  ///< byte to damage for kCorrupt
+  std::uint8_t corrupt_mask = 1;   ///< non-zero XOR mask for kCorrupt
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Fate of attempt `attempt` of chunk `rpc_index` carrying `chunk_bytes`
+  /// bytes. Deterministic and stateless: the same triple always yields the
+  /// same decision regardless of call order or history.
+  [[nodiscard]] FaultDecision decide(std::uint64_t rpc_index,
+                                     std::uint32_t attempt,
+                                     std::size_t chunk_bytes) const;
+
+  /// Deterministic backoff jitter in [-1, 1] for the same keying, salted
+  /// away from the fault stream so fate and jitter are independent draws.
+  [[nodiscard]] double backoff_jitter(std::uint64_t rpc_index,
+                                      std::uint32_t attempt) const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace lcp::io

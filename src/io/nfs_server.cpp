@@ -1,5 +1,9 @@
 #include "io/nfs_server.hpp"
 
+#include <algorithm>
+
+#include "support/checksum.hpp"
+
 namespace lcp::io {
 
 Status NfsServer::handle_write(const std::string& path,
@@ -12,6 +16,26 @@ Status NfsServer::handle_write(const std::string& path,
   bytes_stored_ += chunk.size();
   ++rpcs_;
   return Status::ok();
+}
+
+Expected<std::uint32_t> NfsServer::handle_write_at(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::uint8_t> chunk) {
+  if (path.empty()) {
+    return Status::invalid_argument("nfs: empty path");
+  }
+  auto& file = files_[path];
+  const std::uint64_t end = offset + chunk.size();
+  if (end > file.size()) {
+    // bytes_stored_ tracks the sum of file sizes, so only growth counts:
+    // an idempotent retransmit over an already-written range is free.
+    bytes_stored_ += end - file.size();
+    file.resize(end, 0);
+  }
+  std::copy(chunk.begin(), chunk.end(),
+            file.begin() + static_cast<std::ptrdiff_t>(offset));
+  ++rpcs_;
+  return crc32c(chunk);
 }
 
 Expected<std::span<const std::uint8_t>> NfsServer::read_file(

@@ -33,6 +33,21 @@ class NfsServer {
   Status handle_write(const std::string& path,
                       std::span<const std::uint8_t> chunk);
 
+  /// Writes a chunk at an explicit offset (NFSv3 WRITE semantics: offsets
+  /// make retransmission idempotent — a duplicate or late retry overwrites
+  /// the same range instead of appending twice). The file is extended with
+  /// zeros if `offset` lies past its current end. Returns the CRC32C of
+  /// the chunk as stored, the write verifier the client checks to detect
+  /// in-flight corruption.
+  Expected<std::uint32_t> handle_write_at(const std::string& path,
+                                          std::uint64_t offset,
+                                          std::span<const std::uint8_t> chunk);
+
+  /// Accounts for an RPC the server received but refused (injected
+  /// reject/disk-full/unavailable episodes): it consumed a server request
+  /// slot, so it must show up in rpc_count() for conservation checks.
+  void note_refused_rpc() noexcept { ++rpcs_; }
+
   /// Full contents of a stored file.
   [[nodiscard]] Expected<std::span<const std::uint8_t>> read_file(
       const std::string& path) const;
@@ -50,6 +65,7 @@ class NfsServer {
   void remove_all() noexcept {
     files_.clear();
     bytes_stored_ = 0;
+    rpcs_ = 0;
   }
 
  private:

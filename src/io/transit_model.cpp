@@ -17,6 +17,59 @@ Seconds transit_floor(Bytes n, const TransitModelConfig& config) {
   return std::max(wire, disk);
 }
 
+TransitRetryProfile retry_profile_from_stats(const RetryStats& stats,
+                                             Bytes probe_bytes,
+                                             Bytes full_bytes) {
+  TransitRetryProfile profile;
+  if (probe_bytes.bytes() == 0) {
+    return profile;
+  }
+  const double scale = static_cast<double>(full_bytes.bytes()) /
+                       static_cast<double>(probe_bytes.bytes());
+  profile.retransmit_fraction =
+      static_cast<double>(stats.bytes_retransmitted) /
+      static_cast<double>(probe_bytes.bytes());
+  profile.idle_seconds = stats.idle_seconds() * scale;
+  return profile;
+}
+
+power::Workload transit_workload(const power::ChipSpec& spec, Bytes n,
+                                 const TransitModelConfig& config,
+                                 const TransitRetryProfile& retry) {
+  if (retry.clean()) {
+    // Bit-identical to the fault-free model by construction.
+    return transit_workload(spec, n, config);
+  }
+  const double inflate = 1.0 + retry.retransmit_fraction;
+  const double cpu_seconds_total = static_cast<double>(n.bytes()) * inflate *
+                                   spec.transit_cycles_per_byte / 1e9;
+
+  power::Workload w;
+  w.cpu_ghz_seconds = cpu_seconds_total * config.cpu_bound_fraction;
+  w.stall_seconds =
+      Seconds{cpu_seconds_total * (1.0 - config.cpu_bound_fraction) /
+                  (spec.f_max.ghz() * spec.perf_factor) +
+              config.setup_seconds.seconds()} +
+      retry.idle_seconds;
+  // Retransmits re-serialize on the wire but never reach the disk twice
+  // (refused, lost, or overwritten in place), so only the wire floor grows.
+  const Seconds wire = config.link.wire_time(n) * inflate;
+  const Seconds disk = config.disk.write_time(n);
+  w.floor_seconds = std::max(wire, disk);
+  w.activity = config.activity;
+  return w;
+}
+
+Joules transit_retry_energy_overhead(const power::ChipSpec& spec, Bytes n,
+                                     const TransitModelConfig& config,
+                                     const TransitRetryProfile& retry,
+                                     GigaHertz f) {
+  const auto degraded = transit_workload(spec, n, config, retry);
+  const auto clean = transit_workload(spec, n, config);
+  return power::workload_energy(degraded, spec, f) -
+         power::workload_energy(clean, spec, f);
+}
+
 power::Workload transit_workload(const power::ChipSpec& spec, Bytes n,
                                  const TransitModelConfig& config) {
   const double cpu_seconds_total =

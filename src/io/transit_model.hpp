@@ -5,6 +5,7 @@
 // disk into the pipeline model of Section IV-B.
 
 #include "io/link.hpp"
+#include "io/nfs_client.hpp"
 #include "io/nfs_server.hpp"
 #include "power/chip_model.hpp"
 #include "power/workload.hpp"
@@ -35,5 +36,44 @@ struct TransitModelConfig {
 
 /// Wall-time floor (wire vs disk) for `n` bytes — exposed for analysis.
 [[nodiscard]] Seconds transit_floor(Bytes n, const TransitModelConfig& config);
+
+/// Scale-free summary of retry behavior on a lossy link, extending the
+/// paper's Table V transit model: every retransmitted byte re-pays the
+/// per-byte CPU and wire cost, and every backoff/timeout second is added
+/// idle time. Zero-valued profile == the fault-free model, exactly.
+struct TransitRetryProfile {
+  /// Retransmitted payload bytes as a fraction of the logical transfer
+  /// (0.05 = 5% of the data crossed the wire twice).
+  double retransmit_fraction = 0.0;
+  /// Modeled client idle time (timeouts + backoff + absorbed delays) for
+  /// the full transfer size.
+  Seconds idle_seconds{0.0};
+
+  [[nodiscard]] bool clean() const noexcept {
+    return retransmit_fraction == 0.0 && idle_seconds.seconds() == 0.0;
+  }
+};
+
+/// Derives a profile from retry stats measured on a probe transfer of
+/// `probe_bytes`, extrapolated to a transfer of `full_bytes` (the
+/// retransmit fraction is scale-free; idle time scales linearly).
+[[nodiscard]] TransitRetryProfile retry_profile_from_stats(
+    const RetryStats& stats, Bytes probe_bytes, Bytes full_bytes);
+
+/// Retry-aware transit workload: inflates the CPU and wire terms by the
+/// retransmit fraction (retransmitted bytes are processed and serialized
+/// again, but never re-hit the disk — the server refused or discarded
+/// them) and adds the fault idle time to the stall term. With a clean
+/// profile this returns exactly transit_workload(spec, n, config).
+[[nodiscard]] power::Workload transit_workload(
+    const power::ChipSpec& spec, Bytes n, const TransitModelConfig& config,
+    const TransitRetryProfile& retry);
+
+/// Package-energy cost of the faults alone at frequency `f`:
+/// E(degraded) - E(clean). This is the quantity a loss-rate sweep charges
+/// to an EnergyCounter to report "energy cost of an X% loss rate".
+[[nodiscard]] Joules transit_retry_energy_overhead(
+    const power::ChipSpec& spec, Bytes n, const TransitModelConfig& config,
+    const TransitRetryProfile& retry, GigaHertz f);
 
 }  // namespace lcp::io

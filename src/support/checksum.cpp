@@ -1,0 +1,68 @@
+#include "support/checksum.hpp"
+
+#include <array>
+
+namespace lcp {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-4 tables: table[0] is the classic byte-at-a-time table, tables
+// 1..3 advance a byte by 1..3 extra zero bytes, letting the hot loop fold
+// a 32-bit word per iteration.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+};
+
+constexpr Tables build_tables() {
+  Tables tables;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (std::size_t k = 1; k < 4; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = state;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = kTables.t[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept {
+  return crc32c_finish(crc32c_update(kCrc32cInit, data));
+}
+
+}  // namespace lcp

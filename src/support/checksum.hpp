@@ -1,0 +1,28 @@
+#pragma once
+// CRC32C (Castagnoli polynomial, as used by iSCSI, ext4 and the NFS/RDMA
+// stack) for end-to-end chunk integrity on the modeled I/O path. The
+// injected-fault tests rely on CRC32C's guaranteed detection of any
+// single-bit corruption within an RPC-sized chunk.
+
+#include <cstdint>
+#include <span>
+
+namespace lcp {
+
+/// Incremental update: feeds `data` into a running CRC32C. Start from
+/// `kCrc32cInit` (or a previous update's return value) and finish with
+/// crc32c_finish. Chains so that update(a)+update(b) == update(a||b).
+inline constexpr std::uint32_t kCrc32cInit = 0xFFFFFFFFu;
+
+[[nodiscard]] std::uint32_t crc32c_update(
+    std::uint32_t state, std::span<const std::uint8_t> data) noexcept;
+
+[[nodiscard]] constexpr std::uint32_t crc32c_finish(
+    std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC32C of `data` ("123456789" -> 0xE3069283).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace lcp

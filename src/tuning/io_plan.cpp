@@ -52,4 +52,16 @@ PlanComparison plan_compressed_dump(const power::ChipSpec& spec,
   return cmp;
 }
 
+DegradedDumpPlan plan_compressed_dump_under_faults(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& clean_write_workload,
+    const power::Workload& degraded_write_workload, const TuningRule& rule) {
+  DegradedDumpPlan plan;
+  plan.clean =
+      plan_compressed_dump(spec, compress_workload, clean_write_workload, rule);
+  plan.degraded = plan_compressed_dump(spec, compress_workload,
+                                       degraded_write_workload, rule);
+  return plan;
+}
+
 }  // namespace lcp::tuning

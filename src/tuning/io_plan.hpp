@@ -62,4 +62,27 @@ struct PlanComparison {
     const power::ChipSpec& spec, const power::Workload& compress_workload,
     const power::Workload& write_workload, const TuningRule& rule);
 
+/// The same tuned dump evaluated on a clean and on a faulty link: the
+/// write stage is swapped for its retry-degraded workload (see
+/// io::transit_workload's TransitRetryProfile overload). Quantifies how
+/// much package energy the retries/backoff burn and whether the paper's
+/// tuning rule still pays off once the link is lossy.
+struct DegradedDumpPlan {
+  PlanComparison clean;
+  PlanComparison degraded;
+
+  /// Extra energy the faults cost the tuned plan.
+  [[nodiscard]] Joules fault_energy_overhead() const noexcept {
+    return degraded.energy_tuned - clean.energy_tuned;
+  }
+  [[nodiscard]] Seconds fault_runtime_overhead() const noexcept {
+    return degraded.runtime_tuned - clean.runtime_tuned;
+  }
+};
+
+[[nodiscard]] DegradedDumpPlan plan_compressed_dump_under_faults(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& clean_write_workload,
+    const power::Workload& degraded_write_workload, const TuningRule& rule);
+
 }  // namespace lcp::tuning

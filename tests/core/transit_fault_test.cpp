@@ -1,0 +1,119 @@
+// End-to-end degradation: a transit study over a faulty link completes,
+// marks failed points with their typed Status, prices the retries into
+// the energy model, and leaves fault-free points bit-identical to the
+// fault-free study.
+
+#include <gtest/gtest.h>
+
+#include "core/transit_study.hpp"
+
+namespace lcp::core {
+namespace {
+
+TransitStudyConfig base_config() {
+  TransitStudyConfig cfg;
+  cfg.sizes = {Bytes{64 * 1024}, Bytes{128 * 1024}};
+  cfg.repeats = 2;
+  cfg.chips = {power::ChipId::kBroadwellD1548};
+  cfg.fault.probe_chunk_bytes = 16 * 1024;  // 4-chunk and 8-chunk probes
+  return cfg;
+}
+
+void expect_sweeps_bit_identical(const std::vector<SweepPoint>& a,
+                                 const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frequency.ghz(), b[i].frequency.ghz());
+    EXPECT_EQ(a[i].power_w.mean, b[i].power_w.mean);
+    EXPECT_EQ(a[i].runtime_s.mean, b[i].runtime_s.mean);
+    EXPECT_EQ(a[i].energy_j.mean, b[i].energy_j.mean);
+    EXPECT_EQ(a[i].energy_j.ci95_half, b[i].energy_j.ci95_half);
+  }
+}
+
+TEST(TransitFaultStudyTest, CleanPlanIsBitIdenticalToDisabledFaults) {
+  const auto baseline = run_transit_study(base_config());
+  ASSERT_TRUE(baseline.has_value());
+
+  TransitStudyConfig cfg = base_config();
+  cfg.fault.enabled = true;  // machinery on, but the plan cannot fire
+  const auto clean = run_transit_study(cfg);
+  ASSERT_TRUE(clean.has_value());
+
+  ASSERT_EQ(clean->series.size(), baseline->series.size());
+  for (std::size_t i = 0; i < clean->series.size(); ++i) {
+    EXPECT_TRUE(clean->series[i].status.is_ok());
+    EXPECT_TRUE(clean->series[i].retry.clean());
+    expect_sweeps_bit_identical(clean->series[i].sweep,
+                                baseline->series[i].sweep);
+  }
+  EXPECT_EQ(clean->failed_points(), 0u);
+}
+
+TEST(TransitFaultStudyTest, FailedPointIsRecordedAndStudyContinues) {
+  TransitStudyConfig cfg = base_config();
+  cfg.fault.enabled = true;
+  // The study's chunk-index stream is global: the 64 KiB point consumes
+  // chunks 0-3, the 128 KiB point chunks 4-11. A permanent outage over
+  // the second window must kill exactly that point.
+  cfg.fault.plan.episodes.push_back({io::FaultKind::kServerUnavailable,
+                                     /*first_rpc=*/4, /*rpc_count=*/8,
+                                     io::kFaultPersistsForever});
+  const auto result = run_transit_study(cfg);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  ASSERT_EQ(result->series.size(), 2u);
+
+  const auto& healthy = result->series[0];
+  const auto& failed = result->series[1];
+  EXPECT_TRUE(healthy.status.is_ok());
+  EXPECT_FALSE(healthy.sweep.empty());
+
+  EXPECT_FALSE(failed.status.is_ok());
+  EXPECT_EQ(failed.status.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(failed.status.message().find("failed after"), std::string::npos);
+  EXPECT_TRUE(failed.sweep.empty());
+  EXPECT_EQ(result->failed_points(), 1u);
+
+  // The surviving point is untouched by its neighbor's failure.
+  const auto baseline = run_transit_study(base_config());
+  ASSERT_TRUE(baseline.has_value());
+  expect_sweeps_bit_identical(healthy.sweep, baseline->series[0].sweep);
+}
+
+TEST(TransitFaultStudyTest, LossRateRaisesModeledEnergy) {
+  TransitStudyConfig cfg = base_config();
+  cfg.sizes = {Bytes{1024 * 1024}};
+  cfg.fault.enabled = true;
+  cfg.fault.plan = io::FaultPlan::loss(/*seed=*/11, /*rate=*/0.2);
+  const auto lossy = run_transit_study(cfg);
+  ASSERT_TRUE(lossy.has_value());
+  ASSERT_EQ(lossy->series.size(), 1u);
+  ASSERT_TRUE(lossy->series[0].status.is_ok())
+      << lossy->series[0].status.to_string();
+  EXPECT_GT(lossy->series[0].retry.retransmit_fraction, 0.0);
+  EXPECT_GT(lossy->series[0].retry.idle_seconds.seconds(), 0.0);
+
+  TransitStudyConfig clean_cfg = cfg;
+  clean_cfg.fault = TransitFaultConfig{};
+  const auto clean = run_transit_study(clean_cfg);
+  ASSERT_TRUE(clean.has_value());
+
+  const auto& lossy_sweep = lossy->series[0].sweep;
+  const auto& clean_sweep = clean->series[0].sweep;
+  ASSERT_EQ(lossy_sweep.size(), clean_sweep.size());
+  for (std::size_t i = 0; i < lossy_sweep.size(); ++i) {
+    EXPECT_GT(lossy_sweep[i].energy_j.mean, clean_sweep[i].energy_j.mean)
+        << "at " << lossy_sweep[i].frequency.ghz() << " GHz";
+    EXPECT_GT(lossy_sweep[i].runtime_s.mean, clean_sweep[i].runtime_s.mean);
+  }
+}
+
+TEST(TransitFaultStudyTest, RejectsZeroProbeChunk) {
+  TransitStudyConfig cfg = base_config();
+  cfg.fault.enabled = true;
+  cfg.fault.probe_chunk_bytes = 0;
+  EXPECT_FALSE(run_transit_study(cfg).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::core

@@ -47,6 +47,64 @@ TEST(NfsServerTest, RemoveAllClearsState) {
   server.remove_all();
   EXPECT_EQ(server.file_count(), 0u);
   EXPECT_EQ(server.total_bytes_stored().bytes(), 0u);
+  // rpcs_ used to survive remove_all(), leaving the counters inconsistent
+  // with the (now empty) store.
+  EXPECT_EQ(server.rpc_count(), 0u);
+}
+
+TEST(NfsServerTest, OffsetWriteIsIdempotentAndReturnsVerifier) {
+  NfsServer server;
+  const auto data = pattern(64);
+  const auto first = server.handle_write_at("f", 0, data);
+  ASSERT_TRUE(first.has_value());
+  // Retransmitting the same chunk at the same offset is a no-op for the
+  // stored bytes and the byte accounting (only growth counts).
+  const auto again = server.handle_write_at("f", 0, data);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*first, *again);
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 64u);
+  EXPECT_EQ(server.rpc_count(), 2u);
+  const auto read = server.read_file("f");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(read->begin(), read->end()), data);
+}
+
+TEST(NfsServerTest, OffsetWritePastEndZeroFillsTheGap) {
+  NfsServer server;
+  ASSERT_TRUE(server.handle_write_at("f", 10, pattern(5)).has_value());
+  const auto read = server.read_file("f");
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 15u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*read)[i], 0u);
+  }
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 15u);
+}
+
+TEST(NfsCountersTest, ResetAndRewriteCycleReconciles) {
+  NfsServer server;
+  NfsClientConfig config;
+  config.rpc_chunk_bytes = 128;
+  NfsClient client{server, config};
+  ASSERT_TRUE(client.write_file("a", pattern(1000)).is_ok());
+  ASSERT_TRUE(client.write_file("b", pattern(300)).is_ok());
+  EXPECT_EQ(client.bytes_sent().bytes(), server.total_bytes_stored().bytes());
+  EXPECT_EQ(client.rpcs_issued(), server.rpc_count());
+
+  // Reset both sides and rewrite: every counter pair must reconcile again
+  // from zero (the stale-rpcs_ bug made server.rpc_count() run ahead).
+  server.remove_all();
+  client.reset_counters();
+  EXPECT_EQ(client.bytes_sent().bytes(), 0u);
+  EXPECT_EQ(client.rpcs_issued(), 0u);
+  EXPECT_EQ(server.rpc_count(), 0u);
+
+  ASSERT_TRUE(client.write_file("a", pattern(513)).is_ok());
+  EXPECT_EQ(client.bytes_sent().bytes(), 513u);
+  EXPECT_EQ(server.total_bytes_stored().bytes(), 513u);
+  EXPECT_EQ(client.bytes_sent().bytes(), server.total_bytes_stored().bytes());
+  EXPECT_EQ(client.rpcs_issued(), 5u);  // ceil(513/128)
+  EXPECT_EQ(client.rpcs_issued(), server.rpc_count());
 }
 
 TEST(NfsClientTest, ChunkedWritePreservesBytes) {

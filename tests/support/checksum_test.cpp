@@ -1,0 +1,59 @@
+#include "support/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace lcp {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  std::vector<std::uint8_t> out(std::strlen(s));
+  std::memcpy(out.data(), s, out.size());
+  return out;
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / iSCSI check value.
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+  // 32 bytes of zeros (iSCSI test pattern).
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  // 32 bytes of 0xFF.
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(crc32c({}), 0u); }
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1029);
+  std::iota(data.begin(), data.end(), 0);
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{512}, data.size()}) {
+    std::uint32_t state = kCrc32cInit;
+    state = crc32c_update(state, std::span{data.data(), split});
+    state = crc32c_update(
+        state, std::span{data.data() + split, data.size() - split});
+    EXPECT_EQ(crc32c_finish(state), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlipInAChunk) {
+  std::vector<std::uint8_t> data(64);
+  std::iota(data.begin(), data.end(), 100);
+  const std::uint32_t clean = crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto damaged = data;
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32c(damaged), clean) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcp
