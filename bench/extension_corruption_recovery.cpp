@@ -1,0 +1,235 @@
+// Extension — resilient checkpoint containers under corruption. The
+// paper's dump model assumes the 512 GB checkpoint either lands intact or
+// is rewritten wholesale; chunked framing (framing.hpp / checkpoint.hpp)
+// turns storage-side damage into per-slab loss instead. This bench
+// corrupts a checkpoint at a ladder of rates with *nested* victim sets
+// (the damage at 5% is a strict subset of the damage at 10%), recovers
+// each copy, and reports the recovered fraction plus the energy cost of
+// re-shipping only the lost region vs re-shipping the whole dump. A
+// second ladder prices the framing overhead across chunk sizes against
+// the tuning::recommended_chunk_bytes closed form. Exit code enforces
+// monotonicity and seed-reproducibility.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "compress/common/checkpoint.hpp"
+#include "compress/common/framing.hpp"
+#include "data/generators.hpp"
+#include "io/transit_model.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "tuning/io_plan.hpp"
+
+namespace {
+
+using namespace lcp;
+
+// Byte offset of frame chunk `index`'s payload (walks the chunk headers;
+// the length field sits 8 bytes into each 16-byte chunk header).
+std::size_t chunk_payload_offset(const std::vector<std::uint8_t>& bytes,
+                                 std::size_t index) {
+  std::size_t pos = compress::kFrameHeaderBytes;
+  for (std::size_t i = 0; i < index; ++i) {
+    const std::size_t len = static_cast<std::size_t>(bytes[pos + 8]) |
+                            static_cast<std::size_t>(bytes[pos + 9]) << 8 |
+                            static_cast<std::size_t>(bytes[pos + 10]) << 16 |
+                            static_cast<std::size_t>(bytes[pos + 11]) << 24;
+    pos += compress::kChunkHeaderBytes + len;
+  }
+  return pos + compress::kChunkHeaderBytes;
+}
+
+// Seeded permutation of the slab indices. Corrupting the first k entries
+// for growing k yields nested victim sets, which is what makes the
+// recovered-fraction ladder provably monotone rather than statistically
+// monotone.
+std::vector<std::size_t> victim_order(std::size_t slab_count,
+                                      std::uint64_t seed) {
+  std::vector<std::size_t> order(slab_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng{seed};
+  for (std::size_t i = slab_count; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  }
+  return order;
+}
+
+struct LadderRow {
+  double rate = 0.0;
+  std::size_t slabs_hit = 0;
+  double recovered_fraction = 0.0;
+  std::size_t lost_elements = 0;
+  double rework_j = 0.0;  // energy to re-ship only the lost region
+};
+
+// Corrupts the first `slabs_hit` victims (one flipped byte mid-payload
+// each; slab i rides frame chunk i+1 behind the manifest) and recovers.
+Expected<compress::RecoveryReport> recover_damaged(
+    const std::vector<std::uint8_t>& clean,
+    const std::vector<std::size_t>& order, std::size_t slabs_hit) {
+  std::vector<std::uint8_t> damaged = clean;
+  for (std::size_t v = 0; v < slabs_hit; ++v) {
+    const std::size_t off = chunk_payload_offset(damaged, order[v] + 1);
+    damaged[off + 5] ^= 0xA5;
+  }
+  compress::RecoveryPolicy policy;
+  policy.fill = compress::RecoveryFill::kZero;
+  return compress::recover_checkpoint(damaged, policy);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "X3", "Extension — checkpoint recovery vs corruption rate",
+      "chunked framing caps the blast radius of storage corruption at one "
+      "slab; recovered fraction degrades monotonically and the rework "
+      "energy scales with the lost region, not the dump");
+
+  // ~40 slabs: enough resolution for a 2% ladder step to hit >= 1 slab.
+  const data::Field field = data::generate_nyx(34, /*seed=*/42);
+  compress::CheckpointOptions opts;
+  opts.codec = "sz";
+  opts.bound = compress::ErrorBound::absolute(1e-3);
+  opts.chunk_elements = 1024;
+  const auto checkpoint = compress::write_checkpoint(field, opts);
+  LCP_REQUIRE(checkpoint.has_value(), "checkpoint write failed");
+
+  const auto info = compress::probe_frame(*checkpoint);
+  LCP_REQUIRE(info.has_value(), "fresh checkpoint failed its own probe");
+  const std::size_t slab_count = info->chunk_count - 2;  // manifest x2
+  std::printf("  checkpoint: %zu elements -> %zu slabs, %zu framed bytes\n\n",
+              field.values().size(), slab_count, checkpoint->size());
+
+  const auto& spec = power::chip(power::ChipId::kBroadwellD1548);
+  const io::TransitModelConfig transit;
+  const auto transit_joules = [&](std::uint64_t bytes) {
+    if (bytes == 0) return 0.0;
+    const auto w = io::transit_workload(spec, Bytes{bytes}, transit);
+    return power::workload_energy(w, spec, spec.f_max).joules();
+  };
+  const double full_redump_j =
+      transit_joules(field.values().size() * sizeof(float));
+
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10, 0.20, 0.40};
+  const std::vector<std::size_t> order =
+      victim_order(slab_count, /*seed=*/20240601);
+
+  CsvWriter csv{{"corruption_rate", "slabs_hit", "recovered_fraction",
+                 "lost_elements", "rework_j", "full_redump_j"}};
+  std::vector<LadderRow> ladder;
+  bool monotone = true;
+  for (double rate : rates) {
+    LadderRow row;
+    row.rate = rate;
+    row.slabs_hit = static_cast<std::size_t>(
+        rate * static_cast<double>(slab_count) + 0.5);
+    const auto report = recover_damaged(*checkpoint, order, row.slabs_hit);
+    LCP_REQUIRE(report.has_value(), "recovery must not fail wholesale");
+    row.recovered_fraction = report->recovered_fraction();
+    row.lost_elements = report->lost_elements;
+    row.rework_j = transit_joules(row.lost_elements * sizeof(float));
+
+    if (!ladder.empty()) {
+      const LadderRow& prev = ladder.back();
+      if (row.recovered_fraction > prev.recovered_fraction ||
+          row.rework_j < prev.rework_j) {
+        monotone = false;
+      }
+    }
+    csv.add_row({format_double(rate, 2), std::to_string(row.slabs_hit),
+                 format_double(row.recovered_fraction, 4),
+                 std::to_string(row.lost_elements),
+                 format_double(row.rework_j, 4),
+                 format_double(full_redump_j, 4)});
+    std::printf(
+        "  rate %4.0f%%: %2zu slabs hit, recovered %6.2f%%, rework %8.4f J "
+        "(full re-dump %.4f J)\n",
+        rate * 100.0, row.slabs_hit, row.recovered_fraction * 100.0,
+        row.rework_j, full_redump_j);
+    ladder.push_back(row);
+  }
+
+  PlotSeries recovered;
+  recovered.name = "recovered %";
+  recovered.glyph = 'R';
+  for (const LadderRow& row : ladder) {
+    recovered.x.push_back(row.rate * 100.0);
+    recovered.y.push_back(row.recovered_fraction * 100.0);
+  }
+  PlotOptions plot;
+  plot.title = "Recovered fraction vs corrupted slab fraction (sz, 1 Ki "
+               "elements/slab)";
+  plot.x_label = "corrupted %";
+  plot.y_label = "recovered %";
+  std::printf("\n%s\n", render_plot({recovered}, plot).c_str());
+
+  // Chunk-size ladder: the framing tax that buys the recovery above,
+  // priced through the same transit model, against the closed-form
+  // expectation from tuning::evaluate_chunk_size.
+  CsvWriter size_csv{{"chunk_bytes", "overhead_fraction",
+                      "overhead_j_per_gb", "expected_recovered_fraction"}};
+  std::printf("  framing tax per chunk size (1 GB stream, loss 1e-6/byte):\n");
+  const std::uint64_t gb = Bytes::from_gb(1).bytes();
+  for (const std::size_t chunk_bytes :
+       {std::size_t{1} << 10, std::size_t{4} << 10, std::size_t{64} << 10,
+        std::size_t{1} << 20}) {
+    const std::uint64_t overhead = compress::frame_overhead_bytes(
+        static_cast<std::size_t>(gb), chunk_bytes);
+    const auto trade = tuning::evaluate_chunk_size(
+        chunk_bytes, /*byte_loss_rate=*/1e-6, compress::kChunkHeaderBytes);
+    size_csv.add_row({std::to_string(chunk_bytes),
+                      format_double(trade.overhead_fraction, 6),
+                      format_double(transit_joules(overhead), 3),
+                      format_double(trade.expected_recovered_fraction, 4)});
+    std::printf("    %8zu B chunks: +%.4f%% bytes, +%.3f J/GB, expected "
+                "survival %.4f\n",
+                chunk_bytes, trade.overhead_fraction * 100.0,
+                transit_joules(overhead),
+                trade.expected_recovered_fraction);
+  }
+  std::printf("  recommended chunk at loss 1e-6/byte: %zu B\n\n",
+              tuning::recommended_chunk_bytes(1e-6));
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  (void)csv.write_file("bench_out/extension_corruption_recovery.csv");
+  (void)size_csv.write_file(
+      "bench_out/extension_corruption_framing_tax.csv");
+  std::printf("  [csv] bench_out/extension_corruption_recovery.csv\n");
+  std::printf("  [csv] bench_out/extension_corruption_framing_tax.csv\n\n");
+
+  bench::print_comparison(
+      "recovered fraction monotone non-increasing, rework J non-decreasing",
+      "yes", monotone ? "yes" : "NO");
+
+  // Determinism contract: the same seed corrupts the same slabs and the
+  // recovery emits the identical verdicts and the identical filled field.
+  const auto a = recover_damaged(*checkpoint, order, slab_count / 4);
+  const auto b = recover_damaged(*checkpoint, order, slab_count / 4);
+  bool reproducible = a.has_value() && b.has_value() &&
+                      a->lost_elements == b->lost_elements &&
+                      a->slabs.size() == b->slabs.size() &&
+                      std::ranges::equal(a->field.values(),
+                                         b->field.values());
+  if (reproducible) {
+    for (std::size_t i = 0; i < a->slabs.size(); ++i) {
+      if (a->slabs[i].recovered != b->slabs[i].recovered ||
+          a->slabs[i].frame_state != b->slabs[i].frame_state) {
+        reproducible = false;
+      }
+    }
+  }
+  bench::print_comparison("seeded damage replays to identical recovery",
+                          "yes", reproducible ? "yes" : "NO");
+  return (monotone && reproducible) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#pragma once
+// Resilient checkpoint containers: a field is split into element slabs,
+// each slab compressed independently with a registered codec and framed
+// as one CRC-protected chunk (framing.hpp). A manifest chunk describing
+// codec/bound/dims travels as chunk 0 with an identical replica as the
+// last chunk, so either end of the stream can be lost without losing the
+// layout. One flipped bit or truncated tail then costs one slab, not the
+// whole 512 GB dump — recover() decodes every intact slab and fills the
+// lost regions per a RecoveryPolicy instead of failing wholesale.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/common/codec.hpp"
+#include "compress/common/framing.hpp"
+#include "data/field.hpp"
+#include "support/status.hpp"
+
+namespace lcp::compress {
+
+struct CheckpointOptions {
+  /// Any name make_compressor(name) accepts ("sz", "sz2", "zfp",
+  /// "lossless").
+  std::string codec = "sz";
+  ErrorBound bound = ErrorBound::absolute(1e-3);
+  /// Elements per slab. Smaller slabs bound the blast radius of a
+  /// corruption at the cost of per-chunk overhead and lower ratios (each
+  /// slab compresses independently); see tuning::recommended_chunk_bytes
+  /// for the trade-off model.
+  std::size_t chunk_elements = 1 << 15;
+};
+
+/// Compresses `field` slab-by-slab into a framed checkpoint stream.
+[[nodiscard]] Expected<std::vector<std::uint8_t>> write_checkpoint(
+    const data::Field& field, const CheckpointOptions& options);
+
+/// How recover() reconstructs regions whose slab was lost.
+enum class RecoveryFill : std::uint8_t {
+  kZero = 0,         ///< lost elements read as 0.0f
+  kInterpolate = 1,  ///< linear ramp between the surviving neighbors
+};
+
+struct RecoveryPolicy {
+  RecoveryFill fill = RecoveryFill::kZero;
+  /// When set, any data loss turns the recovery into a typed error
+  /// (strict-restart semantics) instead of a degraded field.
+  bool fail_on_any_loss = false;
+};
+
+/// Verdict for one slab of a recovered checkpoint.
+struct SlabVerdict {
+  std::uint32_t chunk_seq = 0;  ///< frame chunk carrying this slab
+  std::size_t element_offset = 0;
+  std::size_t element_count = 0;
+  ChunkState frame_state = ChunkState::kMissing;
+  Status status;  ///< OK when decoded; else why the slab was lost
+  bool recovered = false;
+};
+
+/// Outcome of walking a (possibly damaged) checkpoint stream.
+struct RecoveryReport {
+  data::Field field;  ///< intact slabs decoded, lost regions filled
+  std::vector<SlabVerdict> slabs;
+  std::size_t total_elements = 0;
+  std::size_t lost_elements = 0;
+  bool manifest_from_replica = false;
+  bool header_from_replica = false;
+
+  [[nodiscard]] std::size_t recovered_slabs() const noexcept;
+  [[nodiscard]] double recovered_fraction() const noexcept;
+  [[nodiscard]] bool complete() const noexcept { return lost_elements == 0; }
+  /// "recovered 14/16 slabs (93.8% of elements)" one-liner.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Graceful-degradation decode of a checkpoint stream. Fails only when
+/// the frame layout or both manifest copies are unrecoverable (or when
+/// policy.fail_on_any_loss is set and anything was lost); all other
+/// damage degrades to per-slab verdicts.
+[[nodiscard]] Expected<RecoveryReport> recover_checkpoint(
+    std::span<const std::uint8_t> bytes, const RecoveryPolicy& policy = {});
+
+/// Strict decode: every chunk and every slab must verify and decode;
+/// equivalent to recover_checkpoint with zero tolerance, but cheaper in
+/// the happy path and with whole-payload CRC confirmation.
+[[nodiscard]] Expected<data::Field> read_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace lcp::compress

@@ -1,0 +1,171 @@
+#pragma once
+// Resilient chunked frame format for checkpoint containers. A monolithic
+// compressed dump dies wholesale on one flipped bit; a framed dump splits
+// the payload into CRC32C-protected chunks so corruption is detected and
+// contained, and a damaged stream can still surrender its intact chunks.
+//
+// Layout (all integers little-endian):
+//
+//   FramedStream := FrameHeader Chunk* FrameTrailer
+//   FrameHeader  := magic "LCPF" | version u8 | flags u8 | reserved u16 |
+//                   chunk_count u32 | nominal chunk_bytes u64 (0 = variable) |
+//                   payload_bytes u64 | payload_crc u32 | header_crc u32
+//   Chunk        := magic "LCFK" | seq u32 | length u32 | crc u32 |
+//                   bytes[length]
+//   FrameTrailer := magic "LCPT" | <same body and header_crc as FrameHeader>
+//
+// Each chunk's CRC32C covers its seq and length fields as well as its
+// payload, so header tampering trips the same check as payload corruption.
+// The trailer is a redundant replica of the header: a reader whose head
+// bytes are damaged can still learn the chunk layout from the tail.
+//
+// Two read paths:
+//   read_framed     — strict: every chunk in order, every CRC verified,
+//                     totals reconciled; any violation is a typed error.
+//   recover_framed  — graceful degradation: walks a damaged or truncated
+//                     stream, resynchronizes on chunk magics, and returns
+//                     every chunk whose CRC still verifies, plus a
+//                     per-chunk damage report.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "support/checksum.hpp"
+#include "support/status.hpp"
+
+namespace lcp::compress {
+
+inline constexpr std::size_t kFrameHeaderBytes = 36;
+inline constexpr std::size_t kFrameTrailerBytes = 36;
+inline constexpr std::size_t kChunkHeaderBytes = 16;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// flags bit 0: chunk payloads are self-contained codec containers
+/// (checkpoint mode, see checkpoint.hpp) rather than an arbitrary byte
+/// stream split at nominal chunk boundaries.
+inline constexpr std::uint8_t kFrameFlagCheckpoint = 0x01;
+
+/// Upper bound on chunk_count accepted from a (possibly hostile) header,
+/// checked before any allocation. 2^20 chunks of 1 MiB covers a 1 TB dump.
+inline constexpr std::uint32_t kMaxFrameChunks = 1u << 20;
+
+struct FrameParams {
+  std::size_t chunk_bytes = 64 * 1024;  ///< byte-mode split size
+  std::uint8_t flags = 0;
+};
+
+/// Parsed frame header (or trailer replica) fields.
+struct FrameInfo {
+  std::uint8_t version = kFrameVersion;
+  std::uint8_t flags = 0;
+  std::uint32_t chunk_count = 0;
+  std::uint64_t chunk_bytes = 0;  ///< nominal; 0 = variable-length chunks
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Streaming frame builder. Either feed bytes with append() (byte mode:
+/// the writer cuts nominal chunk_bytes chunks) or emit explicit chunks
+/// with append_chunk() (variable mode; the header's nominal size is 0).
+/// The two modes must not be mixed on one writer.
+class FramedWriter {
+ public:
+  explicit FramedWriter(FrameParams params);
+
+  /// Byte-mode streaming: buffers and emits nominal-size chunks.
+  void append(std::span<const std::uint8_t> data);
+
+  /// Emits `data` as one explicit chunk (variable-length mode).
+  void append_chunk(std::span<const std::uint8_t> data);
+
+  /// Flushes any pending bytes, writes header and trailer, and returns
+  /// the framed stream. The writer is spent afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::uint32_t chunks_emitted() const noexcept {
+    return chunks_;
+  }
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    return payload_;
+  }
+
+ private:
+  enum class Mode : std::uint8_t { kUnset, kBytes, kChunks };
+
+  void emit_chunk(std::span<const std::uint8_t> data);
+
+  FrameParams params_;
+  Mode mode_ = Mode::kUnset;
+  std::vector<std::uint8_t> body_;
+  std::vector<std::uint8_t> pending_;
+  std::uint32_t chunks_ = 0;
+  std::uint64_t payload_ = 0;
+  std::uint32_t payload_crc_state_ = kCrc32cInit;
+};
+
+/// One-shot byte-mode framing of `payload`.
+[[nodiscard]] std::vector<std::uint8_t> frame_payload(
+    std::span<const std::uint8_t> payload, const FrameParams& params = {});
+
+/// Bytes the frame adds on top of `payload_bytes` at the given chunk size
+/// (header + trailer + per-chunk headers). This is the wire/storage cost
+/// the tuning layer prices into the energy model.
+[[nodiscard]] std::size_t frame_overhead_bytes(std::size_t payload_bytes,
+                                               std::size_t chunk_bytes);
+
+/// Parses the frame header; falls back to the trailer replica when the
+/// head is damaged. Fails only when both copies are unreadable.
+[[nodiscard]] Expected<FrameInfo> probe_frame(
+    std::span<const std::uint8_t> bytes);
+
+/// Strict decode: header valid, trailer replica identical, every chunk in
+/// sequence with a verified CRC, concatenated length and whole-payload
+/// CRC matching the header. Returns the reassembled payload.
+[[nodiscard]] Expected<std::vector<std::uint8_t>> read_framed(
+    std::span<const std::uint8_t> bytes);
+
+enum class ChunkState : std::uint8_t {
+  kIntact = 0,   ///< located, CRC verified, length consistent
+  kCorrupt = 1,  ///< located but failed CRC or length validation
+  kMissing = 2,  ///< never located (lost to truncation/splice/overwrite)
+};
+
+[[nodiscard]] std::string_view chunk_state_name(ChunkState state) noexcept;
+
+/// Verdict for one expected chunk of a damaged stream.
+struct ChunkReport {
+  std::uint32_t seq = 0;
+  ChunkState state = ChunkState::kMissing;
+  /// Borrows from the recovered stream's bytes; empty unless intact.
+  std::span<const std::uint8_t> payload;
+  Status status;  ///< why the chunk is not intact (OK when intact)
+};
+
+/// Result of walking a damaged frame stream. `chunks` always has
+/// info.chunk_count entries, one per expected chunk.
+struct FrameRecovery {
+  FrameInfo info;
+  bool header_from_replica = false;
+  std::vector<ChunkReport> chunks;
+
+  [[nodiscard]] std::size_t intact_chunks() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_recovered() const noexcept;
+  /// Fraction of expected chunks recovered intact (1.0 when empty).
+  [[nodiscard]] double chunk_recovered_fraction() const noexcept;
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Byte-mode only (info.chunk_bytes > 0): the payload with every lost
+  /// chunk's byte range zero-filled — the RecoveryPolicy fill for opaque
+  /// payloads.
+  [[nodiscard]] std::vector<std::uint8_t> assemble_zero_filled() const;
+};
+
+/// Graceful-degradation decode. Fails only when neither header copy is
+/// readable (the chunk layout is unknowable); any other damage degrades
+/// to per-chunk verdicts. The returned payload spans borrow from `bytes`.
+[[nodiscard]] Expected<FrameRecovery> recover_framed(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace lcp::compress

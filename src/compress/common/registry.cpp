@@ -55,15 +55,21 @@ Expected<std::unique_ptr<Compressor>> make_compressor(const std::string& name) {
   return Status::invalid_argument("unknown codec: " + name);
 }
 
+const std::vector<std::string>& registered_codec_names() {
+  static const std::vector<std::string> names = {"sz", "sz2", "zfp",
+                                                 "lossless"};
+  return names;
+}
+
 Expected<DecompressResult> decompress_any(
     std::span<const std::uint8_t> container) {
   auto view = parse_container(container);
   if (!view) {
-    return view.status();
+    return view.status().with_context("decompress_any");
   }
   auto codec = make_compressor(view->codec);
   if (!codec) {
-    return codec.status();
+    return codec.status().with_context("decompress_any");
   }
   return (*codec)->decompress(container);
 }

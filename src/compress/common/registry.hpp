@@ -25,6 +25,10 @@ enum class CodecId : std::uint8_t { kSz = 0, kZfp = 1 };
 [[nodiscard]] Expected<std::unique_ptr<Compressor>> make_compressor(
     const std::string& name);
 
+/// Every name make_compressor(name) accepts, for exhaustive sweeps
+/// (fuzzing, round-trip matrices): {"sz", "sz2", "zfp", "lossless"}.
+[[nodiscard]] const std::vector<std::string>& registered_codec_names();
+
 /// Decompresses any valid container by routing on its codec field.
 [[nodiscard]] Expected<DecompressResult> decompress_any(
     std::span<const std::uint8_t> container);

@@ -67,7 +67,7 @@ Expected<compress::DecompressResult> ShuffleCodec::decompress(
   Timer timer;
   auto view = compress::parse_container(container);
   if (!view) {
-    return view.status();
+    return view.status().with_context("lossless container");
   }
   if (view->codec != "lossless") {
     return Status::invalid_argument("container codec is not lossless");
@@ -79,16 +79,16 @@ Expected<compress::DecompressResult> ShuffleCodec::decompress(
   }
   auto packed_size = r.read_u64();
   if (!packed_size) {
-    return packed_size.status();
+    return packed_size.status().with_context("lossless packed size");
   }
   auto packed = r.read_bytes(static_cast<std::size_t>(*packed_size));
   if (!packed) {
-    return packed.status();
+    return packed.status().with_context("lossless packed blob");
   }
   const std::size_t n = view->dims.element_count();
   auto shuffled = sz::zlite_decompress(*packed, n * sizeof(float));
   if (!shuffled) {
-    return shuffled.status();
+    return shuffled.status().with_context("lossless payload");
   }
   if (shuffled->size() != n * sizeof(float)) {
     return Status::corrupt_data("lossless: shuffled size mismatch");

@@ -143,7 +143,7 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   Timer timer;
   auto view = compress::parse_container(container);
   if (!view) {
-    return view.status();
+    return view.status().with_context("sz container");
   }
   if (view->codec != "sz") {
     return Status::invalid_argument("container codec is not sz");
@@ -156,7 +156,7 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   }
   auto lossless = r.read_u8();
   if (!lossless) {
-    return lossless.status();
+    return lossless.status().with_context("sz header");
   }
   auto predictor_raw = r.read_u8();
   if (!predictor_raw || *predictor_raw > 1) {
@@ -185,11 +185,11 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   }
   auto entropy_size = r.read_u64();
   if (!entropy_size) {
-    return entropy_size.status();
+    return entropy_size.status().with_context("sz entropy size");
   }
   auto entropy_blob = r.read_bytes(static_cast<std::size_t>(*entropy_size));
   if (!entropy_blob) {
-    return entropy_blob.status();
+    return entropy_blob.status().with_context("sz entropy blob");
   }
 
   const std::size_t n = view->dims.element_count();
@@ -198,17 +198,17 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
     // Cap the inflated size: huffman blob is bounded by table + payload.
     auto huffman = zlite_decompress(*entropy_blob, 64 + 8 * n + (n + 1) * 16);
     if (!huffman) {
-      return huffman.status();
+      return huffman.status().with_context("sz entropy payload");
     }
     auto decoded_codes = huffman_decode(*huffman, n);
     if (!decoded_codes) {
-      return decoded_codes.status();
+      return decoded_codes.status().with_context("sz entropy payload");
     }
     codes = std::move(*decoded_codes);
   } else {
     auto decoded_codes = huffman_decode(*entropy_blob, n);
     if (!decoded_codes) {
-      return decoded_codes.status();
+      return decoded_codes.status().with_context("sz entropy payload");
     }
     codes = std::move(*decoded_codes);
   }
@@ -218,7 +218,7 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
 
   auto exact_count = r.read_u64();
   if (!exact_count) {
-    return exact_count.status();
+    return exact_count.status().with_context("sz unpredictables");
   }
   if (*exact_count > n) {
     return Status::corrupt_data("sz: more unpredictables than elements");
@@ -228,7 +228,7 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   for (std::uint64_t i = 0; i < *exact_count; ++i) {
     auto bits = r.read_u32();
     if (!bits) {
-      return bits.status();
+      return bits.status().with_context("sz unpredictables");
     }
     exact.push_back(std::bit_cast<float>(*bits));
   }

@@ -109,7 +109,9 @@ Expected<std::vector<std::uint8_t>> zlite_decompress(
     if (!read_varint(input, pos, literal_len)) {
       return Status::corrupt_data("zlite: truncated literal length");
     }
-    if (pos + literal_len > input.size() || out.size() + literal_len > total) {
+    // Subtraction form: `pos + literal_len` could wrap for a hostile
+    // 64-bit varint and sail past both checks.
+    if (literal_len > input.size() - pos || literal_len > total - out.size()) {
       return Status::corrupt_data("zlite: literal run out of bounds");
     }
     out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -127,7 +129,7 @@ Expected<std::vector<std::uint8_t>> zlite_decompress(
     if (!read_varint(input, pos, dist)) {
       return Status::corrupt_data("zlite: truncated match distance");
     }
-    if (dist == 0 || dist > out.size() || out.size() + match_len > total) {
+    if (dist == 0 || dist > out.size() || match_len > total - out.size()) {
       return Status::corrupt_data("zlite: match out of bounds");
     }
     // Byte-by-byte copy: overlapping matches (dist < len) are legal.

@@ -384,7 +384,7 @@ Expected<compress::DecompressResult> ZfpCompressor::decompress(
   Timer timer;
   auto view = compress::parse_container(container);
   if (!view) {
-    return view.status();
+    return view.status().with_context("zfp container");
   }
   if (view->codec != "zfp") {
     return Status::invalid_argument("container codec is not zfp");
@@ -402,11 +402,11 @@ Expected<compress::DecompressResult> ZfpCompressor::decompress(
   }
   auto bit_size = r.read_u64();
   if (!bit_size) {
-    return bit_size.status();
+    return bit_size.status().with_context("zfp bit stream size");
   }
   auto bits = r.read_bytes(static_cast<std::size_t>(*bit_size));
   if (!bits) {
-    return bits.status();
+    return bits.status().with_context("zfp bit stream");
   }
 
   const BlockGrid grid{effective_extents(view->dims)};

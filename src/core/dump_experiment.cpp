@@ -1,5 +1,7 @@
 #include "core/dump_experiment.hpp"
 
+#include "compress/common/framing.hpp"
+
 namespace lcp::core {
 
 Joules DumpResult::mean_energy_saved() const noexcept {
@@ -54,13 +56,22 @@ Expected<DumpResult> run_dump_experiment(const DumpConfig& config) {
     const Bytes compressed_bytes{static_cast<std::uint64_t>(
         static_cast<double>(cfg.total_bytes.bytes()) /
         cal->compression_ratio)};
+    Bytes wire_bytes = compressed_bytes;
+    if (cfg.frame_chunk_bytes > 0) {
+      wire_bytes =
+          Bytes{compressed_bytes.bytes() +
+                compress::frame_overhead_bytes(
+                    static_cast<std::size_t>(compressed_bytes.bytes()),
+                    cfg.frame_chunk_bytes)};
+    }
     const auto write_workload =
-        io::transit_workload(spec, compressed_bytes, cfg.transit);
+        io::transit_workload(spec, wire_bytes, cfg.transit);
 
     DumpOutcome outcome;
     outcome.error_bound = eb;
     outcome.compression_ratio = cal->compression_ratio;
     outcome.compressed_bytes = compressed_bytes;
+    outcome.framed_bytes = wire_bytes;
     outcome.plan = tuning::plan_compressed_dump(spec, compress_workload,
                                                 write_workload, cfg.rule);
     result.outcomes.push_back(outcome);

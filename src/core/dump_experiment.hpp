@@ -23,6 +23,11 @@ struct DumpConfig {
   tuning::TuningRule rule = tuning::paper_rule();
   io::TransitModelConfig transit;
   std::uint64_t seed = 20220530;
+  /// When > 0 the dump is written as a resilient framed stream
+  /// (compress/common/framing.hpp) cut at this chunk size, and the frame
+  /// overhead is priced into the write transit energy. 0 keeps the
+  /// original unframed path bit-for-bit.
+  std::size_t frame_chunk_bytes = 0;
 };
 
 /// One error bound's base-vs-tuned outcome.
@@ -30,6 +35,9 @@ struct DumpOutcome {
   double error_bound = 0.0;
   double compression_ratio = 0.0;
   Bytes compressed_bytes;
+  /// Bytes actually put on the wire: compressed payload plus frame
+  /// overhead; equals compressed_bytes when framing is off.
+  Bytes framed_bytes;
   tuning::PlanComparison plan;
 };
 

@@ -1,5 +1,7 @@
 #include "core/fetch_experiment.hpp"
 
+#include "compress/common/framing.hpp"
+
 namespace lcp::core {
 
 Joules FetchResult::mean_energy_saved() const noexcept {
@@ -62,8 +64,16 @@ Expected<FetchResult> run_fetch_experiment(const FetchConfig& config) {
     const Bytes compressed_bytes{static_cast<std::uint64_t>(
         static_cast<double>(cfg.total_bytes.bytes()) /
         cal->compression_ratio)};
+    Bytes wire_bytes = compressed_bytes;
+    if (cfg.frame_chunk_bytes > 0) {
+      wire_bytes =
+          Bytes{compressed_bytes.bytes() +
+                compress::frame_overhead_bytes(
+                    static_cast<std::size_t>(compressed_bytes.bytes()),
+                    cfg.frame_chunk_bytes)};
+    }
     const auto read_workload =
-        io::transit_workload(spec, compressed_bytes, cfg.transit);
+        io::transit_workload(spec, wire_bytes, cfg.transit);
     const auto decompress_workload =
         decompress_workload_from_calibration(full, spec);
 
@@ -86,6 +96,7 @@ Expected<FetchResult> run_fetch_experiment(const FetchConfig& config) {
     outcome.error_bound = eb;
     outcome.compression_ratio = cal->compression_ratio;
     outcome.compressed_bytes = compressed_bytes;
+    outcome.framed_bytes = wire_bytes;
     outcome.plan = std::move(cmp);
     result.outcomes.push_back(std::move(outcome));
   }

@@ -89,18 +89,21 @@ std::uint64_t BitReader::read_bits(unsigned bits) noexcept {
     return 0;
   }
   const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+  // pos_ never exceeds total (reads and skips saturate there), so
+  // pos_ + bits cannot wrap for bits <= 64.
   if (pos_ + bits <= total) {
     const std::uint64_t out = extract(pos_, bits);
     pos_ += bits;
     return out;
   }
   // Crossing the end: available bits, zero-padded, and overflow marked —
-  // byte-granular like the hardware-free reference reader.
-  const unsigned avail =
-      pos_ < total ? static_cast<unsigned>(total - pos_) : 0;
+  // byte-granular like the hardware-free reference reader. The cursor
+  // saturates at the end so no later read can compute an in-bounds-looking
+  // position from a wrapped cursor.
+  const unsigned avail = static_cast<unsigned>(total - pos_);
   const std::uint64_t out = extract(pos_, std::min(avail, bits));
   overflow_ = true;
-  pos_ += bits;
+  pos_ = total;
   return out;
 }
 
@@ -112,15 +115,18 @@ std::uint64_t BitReader::peek_bits(unsigned bits) const noexcept {
   if (pos_ + bits <= total) {
     return extract(pos_, bits);
   }
-  const unsigned avail =
-      pos_ < total ? static_cast<unsigned>(total - pos_) : 0;
+  const unsigned avail = static_cast<unsigned>(total - pos_);
   return extract(pos_, std::min(avail, bits));
 }
 
 void BitReader::skip_bits(std::uint64_t bits) noexcept {
   const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
-  if (pos_ + bits > total) {
+  // Overflow-safe form of `pos_ + bits > total`: a hostile length field
+  // near 2^64 must not wrap the cursor back into bounds.
+  if (bits > total - pos_) {
     overflow_ = true;
+    pos_ = total;
+    return;
   }
   pos_ += bits;
 }

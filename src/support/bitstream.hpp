@@ -58,7 +58,9 @@ class BitReader {
   [[nodiscard]] std::uint64_t peek_bits(unsigned bits) const noexcept;
 
   /// Advances the cursor by `bits` without extracting them. Skipping past
-  /// the end marks overflow, exactly as reading those bits would.
+  /// the end marks overflow, exactly as reading those bits would; the
+  /// cursor saturates at the end of the buffer, so arbitrarily large
+  /// (hostile) skip counts cannot wrap it back into bounds.
   void skip_bits(std::uint64_t bits) noexcept;
 
   /// Reads a unary code written by BitWriter::write_unary.

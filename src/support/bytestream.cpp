@@ -116,6 +116,14 @@ Expected<std::span<const std::uint8_t>> ByteReader::read_blob() noexcept {
   return read_bytes(*len);
 }
 
+Status ByteReader::skip(std::size_t n) noexcept {
+  if (remaining() < n) {
+    return Status::corrupt_data("byte stream truncated skipping bytes");
+  }
+  pos_ += n;
+  return Status::ok();
+}
+
 Expected<std::string> ByteReader::read_string() noexcept {
   auto blob = read_blob();
   if (!blob) {

@@ -54,6 +54,11 @@ class ByteReader {
   [[nodiscard]] Expected<std::span<const std::uint8_t>> read_blob() noexcept;
   [[nodiscard]] Expected<std::string> read_string() noexcept;
 
+  /// Advances the cursor by `n` bytes; fails (cursor unmoved) if fewer
+  /// than `n` bytes remain, so hostile length fields cannot push the
+  /// cursor out of bounds.
+  [[nodiscard]] Status skip(std::size_t n) noexcept;
+
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
     return bytes_.size() - pos_;

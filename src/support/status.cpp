@@ -22,12 +22,25 @@ std::string_view error_code_name(ErrorCode code) noexcept {
   return "UNKNOWN";
 }
 
+Status Status::with_context(std::string site) const {
+  if (is_ok()) {
+    return *this;
+  }
+  Status out = *this;
+  out.context_.push_back(std::move(site));
+  return out;
+}
+
 std::string Status::to_string() const {
   if (is_ok()) {
     return "OK";
   }
   std::string out{error_code_name(code_)};
   out += ": ";
+  for (auto it = context_.rbegin(); it != context_.rend(); ++it) {
+    out += *it;
+    out += ": ";
+  }
   out += message_;
   return out;
 }

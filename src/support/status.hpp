@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace lcp {
 
@@ -60,12 +61,25 @@ class [[nodiscard]] Status {
   [[nodiscard]] ErrorCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return message_; }
 
-  /// "OK" or "<code>: <message>".
+  /// Returns a copy with `site` pushed onto the error-site context chain,
+  /// so a status that bubbled through several layers can say *where* it
+  /// happened: corrupt_data("crc mismatch").with_context("chunk 17")
+  /// .with_context("recover") renders as
+  /// "CORRUPT_DATA: recover: chunk 17: crc mismatch". No-op on OK.
+  [[nodiscard]] Status with_context(std::string site) const;
+
+  /// Error-site chain, innermost (first added) first. Empty for OK.
+  [[nodiscard]] const std::vector<std::string>& context() const noexcept {
+    return context_;
+  }
+
+  /// "OK" or "<code>: <outer ctx>: ...: <inner ctx>: <message>".
   [[nodiscard]] std::string to_string() const;
 
  private:
   ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
+  std::vector<std::string> context_;
 };
 
 /// Result of a fallible operation that produces a T on success.

@@ -1,5 +1,8 @@
 #include "tuning/io_plan.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace lcp::tuning {
 
 Seconds IoPlan::total_runtime(const power::ChipSpec& spec) const {
@@ -62,6 +65,53 @@ DegradedDumpPlan plan_compressed_dump_under_faults(
   plan.degraded = plan_compressed_dump(spec, compress_workload,
                                        degraded_write_workload, rule);
   return plan;
+}
+
+double frame_survival_fraction(std::size_t chunk_bytes, double byte_loss_rate,
+                               std::size_t per_chunk_overhead_bytes) {
+  if (byte_loss_rate <= 0.0) {
+    return 1.0;
+  }
+  if (byte_loss_rate >= 1.0) {
+    return 0.0;
+  }
+  const double exposed =
+      static_cast<double>(chunk_bytes + per_chunk_overhead_bytes);
+  return std::pow(1.0 - byte_loss_rate, exposed);
+}
+
+FramingTradeoff evaluate_chunk_size(std::size_t chunk_bytes,
+                                    double byte_loss_rate,
+                                    std::size_t per_chunk_overhead_bytes) {
+  LCP_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
+  FramingTradeoff t;
+  t.chunk_bytes = chunk_bytes;
+  t.overhead_fraction = static_cast<double>(per_chunk_overhead_bytes) /
+                        static_cast<double>(chunk_bytes);
+  t.expected_recovered_fraction = frame_survival_fraction(
+      chunk_bytes, byte_loss_rate, per_chunk_overhead_bytes);
+  return t;
+}
+
+std::size_t recommended_chunk_bytes(double byte_loss_rate,
+                                    std::size_t per_chunk_overhead_bytes) {
+  constexpr std::size_t kMinChunk = 256;
+  constexpr std::size_t kMaxChunk = std::size_t{256} << 20;
+  if (byte_loss_rate <= 0.0) {
+    return kMaxChunk;  // clean link: amortize the headers away
+  }
+  if (byte_loss_rate >= 1.0) {
+    return kMinChunk;  // everything dies anyway; bound the blast radius
+  }
+  // Cost per payload byte ~ h/c (overhead) + c * -ln(1-p) (expected loss);
+  // d/dc = 0 at c* = sqrt(h / -ln(1-p)).
+  const double per_byte_loss = -std::log1p(-byte_loss_rate);
+  const double optimum =
+      std::sqrt(static_cast<double>(per_chunk_overhead_bytes) / per_byte_loss);
+  const double clamped =
+      std::clamp(optimum, static_cast<double>(kMinChunk),
+                 static_cast<double>(kMaxChunk));
+  return static_cast<std::size_t>(clamped);
 }
 
 }  // namespace lcp::tuning

@@ -85,4 +85,39 @@ struct DegradedDumpPlan {
     const power::Workload& clean_write_workload,
     const power::Workload& degraded_write_workload, const TuningRule& rule);
 
+// --- Resilient-framing chunk-size trade-off --------------------------------
+//
+// A framed dump (compress/common/framing.hpp) splits the stream into
+// c-byte chunks with h bytes of per-chunk header. Under an independent
+// per-byte corruption rate p, a chunk survives with probability
+// (1-p)^(c+h): small chunks lose less data per hit but pay h/c overhead
+// on every stored/moved byte. These helpers price that trade-off so the
+// tuning layer can pick a chunk size the same way it picks a frequency.
+
+/// Probability that one whole chunk (payload + header) survives an
+/// independent per-byte corruption rate `byte_loss_rate`. Clamped to
+/// [0, 1]; rate <= 0 yields 1, rate >= 1 yields 0.
+[[nodiscard]] double frame_survival_fraction(std::size_t chunk_bytes,
+                                             double byte_loss_rate,
+                                             std::size_t per_chunk_overhead_bytes);
+
+/// One evaluated chunk size of the trade-off curve.
+struct FramingTradeoff {
+  std::size_t chunk_bytes = 0;
+  /// Frame bytes per payload byte (h/c): the extra storage/transit energy.
+  double overhead_fraction = 0.0;
+  /// Expected fraction of payload bytes recoverable after corruption.
+  double expected_recovered_fraction = 0.0;
+};
+
+[[nodiscard]] FramingTradeoff evaluate_chunk_size(
+    std::size_t chunk_bytes, double byte_loss_rate,
+    std::size_t per_chunk_overhead_bytes);
+
+/// Chunk size minimizing expected loss + overhead cost per payload byte:
+/// c* = sqrt(h / -ln(1 - p)), clamped to [256 B, 256 MiB]. Rate <= 0 (a
+/// clean link) returns the max clamp, rate >= 1 the min.
+[[nodiscard]] std::size_t recommended_chunk_bytes(
+    double byte_loss_rate, std::size_t per_chunk_overhead_bytes = 16);
+
 }  // namespace lcp::tuning

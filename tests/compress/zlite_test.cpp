@@ -104,5 +104,24 @@ TEST(ZliteTest, DecompressRejectsBadDistance) {
   EXPECT_FALSE(zlite_decompress(bad).has_value());
 }
 
+TEST(ZliteTest, HostileVarintLengthsCannotWrapBoundsChecks) {
+  // Regression: literal_len near 2^64 used to wrap `pos + literal_len`
+  // and `out.size() + match_len` past both bounds checks, producing an
+  // out-of-bounds insert. All-0xFF varints decode to huge values.
+  const std::uint8_t huge[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                               0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  // size=5, literal_len=huge.
+  std::vector<std::uint8_t> bad = {5};
+  bad.insert(bad.end(), std::begin(huge), std::end(huge));
+  bad.insert(bad.end(), {1, 2, 3, 4, 5});
+  EXPECT_FALSE(zlite_decompress(bad).has_value());
+
+  // size=5, 5 literals, then match_len=huge with dist=1.
+  std::vector<std::uint8_t> bad2 = {5, 5, 1, 2, 3, 4, 5};
+  bad2.insert(bad2.end(), std::begin(huge), std::end(huge));
+  bad2.push_back(1);
+  EXPECT_FALSE(zlite_decompress(bad2).has_value());
+}
+
 }  // namespace
 }  // namespace lcp::sz

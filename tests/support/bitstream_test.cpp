@@ -184,5 +184,30 @@ TEST(BitStreamTest, PeekMatchesReadAcrossWordBoundaries) {
   EXPECT_FALSE(r.overflowed());
 }
 
+TEST(BitStreamTest, HugeSkipSaturatesInsteadOfWrapping) {
+  // Regression: skip_bits(huge) used to wrap the cursor past 2^64, making
+  // a past-end position look in-bounds for the next read.
+  const std::vector<std::uint8_t> bytes(8, 0xFF);
+  BitReader r{bytes};
+  r.skip_bits(UINT64_MAX);
+  EXPECT_TRUE(r.overflowed());
+  EXPECT_EQ(r.read_bits(32), 0u);  // saturated: reads yield zeros
+  EXPECT_TRUE(r.overflowed());
+
+  BitReader r2{bytes};
+  r2.skip_bits(UINT64_MAX - 7);  // near-max skip: same saturation
+  EXPECT_TRUE(r2.overflowed());
+  EXPECT_EQ(r2.read_bits(8), 0u);
+}
+
+TEST(BitStreamTest, OverflowingReadSaturatesCursor) {
+  const std::vector<std::uint8_t> bytes(2, 0xFF);
+  BitReader r{bytes};
+  (void)r.read_bits(12);
+  (void)r.read_bits(12);  // only 4 bits remain
+  EXPECT_TRUE(r.overflowed());
+  EXPECT_EQ(r.read_bits(16), 0u);  // cursor pinned at the end
+}
+
 }  // namespace
 }  // namespace lcp

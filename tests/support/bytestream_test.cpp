@@ -98,5 +98,26 @@ TEST(ByteStreamTest, PositionTracksConsumption) {
   EXPECT_EQ(r.remaining(), 8u);
 }
 
+TEST(ByteStreamTest, SkipAdvancesWithinBounds) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5};
+  ByteReader r{bytes};
+  EXPECT_TRUE(r.skip(3).is_ok());
+  EXPECT_EQ(r.position(), 3u);
+  auto v = r.read_u8();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 4u);
+}
+
+TEST(ByteStreamTest, OversizedSkipFailsWithoutMovingCursor) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3};
+  ByteReader r{bytes};
+  EXPECT_TRUE(r.skip(1).is_ok());
+  const Status st = r.skip(100);  // hostile length field
+  EXPECT_EQ(st.code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(r.position(), 1u);  // cursor unmoved
+  EXPECT_EQ(r.skip(SIZE_MAX).code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(r.position(), 1u);
+}
+
 }  // namespace
 }  // namespace lcp

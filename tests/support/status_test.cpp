@@ -66,5 +66,24 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(propagates().code(), ErrorCode::kOutOfRange);
 }
 
+TEST(StatusTest, WithContextBuildsErrorSiteChain) {
+  const Status st = Status::corrupt_data("crc mismatch")
+                        .with_context("chunk 17")
+                        .with_context("recover");
+  EXPECT_EQ(st.code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(st.message(), "crc mismatch");
+  ASSERT_EQ(st.context().size(), 2u);
+  EXPECT_EQ(st.context()[0], "chunk 17");  // innermost first
+  EXPECT_EQ(st.context()[1], "recover");
+  EXPECT_EQ(st.to_string(), "CORRUPT_DATA: recover: chunk 17: crc mismatch");
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  const Status st = Status::ok().with_context("somewhere");
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_TRUE(st.context().empty());
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
 }  // namespace
 }  // namespace lcp

@@ -105,5 +105,44 @@ TEST(IoPlanTest, TransitionOverheadIsNegligibleForEqn3Plans) {
             1e-5);
 }
 
+TEST(FramingTradeoffTest, SurvivalFractionIsAProbability) {
+  for (const double p : {0.0, 1e-9, 1e-6, 1e-3, 0.5, 1.0, 2.0}) {
+    for (const std::size_t c : {std::size_t{256}, std::size_t{65536}}) {
+      const double s = frame_survival_fraction(c, p, 16);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+  EXPECT_EQ(frame_survival_fraction(1024, 0.0, 16), 1.0);
+  EXPECT_EQ(frame_survival_fraction(1024, 1.0, 16), 0.0);
+  // Bigger chunks expose more bytes: survival decreases with chunk size.
+  EXPECT_GT(frame_survival_fraction(256, 1e-5, 16),
+            frame_survival_fraction(65536, 1e-5, 16));
+}
+
+TEST(FramingTradeoffTest, RecommendedChunkShrinksAsLossRises) {
+  const std::size_t clean = recommended_chunk_bytes(0.0);
+  const std::size_t low = recommended_chunk_bytes(1e-9);
+  const std::size_t mid = recommended_chunk_bytes(1e-6);
+  const std::size_t high = recommended_chunk_bytes(1e-3);
+  const std::size_t dead = recommended_chunk_bytes(1.0);
+  EXPECT_GE(clean, low);
+  EXPECT_GE(low, mid);
+  EXPECT_GE(mid, high);
+  EXPECT_GE(high, dead);
+  EXPECT_EQ(clean, std::size_t{256} << 20);  // max clamp
+  EXPECT_EQ(dead, 256u);                     // min clamp
+  // Closed form at p = 1e-6, h = 16: sqrt(16/1e-6) = 4000.
+  EXPECT_NEAR(static_cast<double>(mid), 4000.0, 10.0);
+}
+
+TEST(FramingTradeoffTest, EvaluateChunkSizeExposesBothCosts) {
+  const auto t = evaluate_chunk_size(4096, 1e-6, 16);
+  EXPECT_EQ(t.chunk_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(t.overhead_fraction, 16.0 / 4096.0);
+  EXPECT_GT(t.expected_recovered_fraction, 0.99);
+  EXPECT_LT(t.expected_recovered_fraction, 1.0);
+}
+
 }  // namespace
 }  // namespace lcp::tuning
