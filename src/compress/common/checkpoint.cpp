@@ -183,7 +183,16 @@ void decode_slabs(const FrameRecovery& rec, const Manifest& manifest,
 
 }  // namespace
 
-Expected<std::vector<std::uint8_t>> write_checkpoint(
+std::size_t checkpoint_slab_count(const data::Field& field,
+                                  const CheckpointOptions& options) noexcept {
+  if (options.chunk_elements == 0) {
+    return 0;
+  }
+  return (field.element_count() + options.chunk_elements - 1) /
+         options.chunk_elements;
+}
+
+Expected<std::vector<std::uint8_t>> checkpoint_manifest(
     const data::Field& field, const CheckpointOptions& options) {
   if (field.element_count() == 0) {
     return Status::invalid_argument("checkpoint needs a non-empty field");
@@ -191,45 +200,66 @@ Expected<std::vector<std::uint8_t>> write_checkpoint(
   if (options.chunk_elements == 0) {
     return Status::invalid_argument("checkpoint chunk_elements must be > 0");
   }
-  auto codec = make_compressor(options.codec);
-  if (!codec) {
-    return codec.status().with_context("write_checkpoint");
-  }
-
-  const std::size_t n = field.element_count();
   Manifest manifest;
   manifest.codec = options.codec;
   manifest.bound = options.bound;
   manifest.dims = field.dims();
   manifest.field_name = field.name();
   manifest.chunk_elements = options.chunk_elements;
-  manifest.slab_count = static_cast<std::uint32_t>(
-      (n + options.chunk_elements - 1) / options.chunk_elements);
-  const auto manifest_bytes = build_manifest(manifest);
+  manifest.slab_count =
+      static_cast<std::uint32_t>(checkpoint_slab_count(field, options));
+  return build_manifest(manifest);
+}
+
+Expected<std::vector<std::uint8_t>> compress_checkpoint_slab(
+    const data::Field& field, const CheckpointOptions& options,
+    std::size_t slab_index, const Compressor& codec) {
+  const std::size_t n = field.element_count();
+  const std::size_t offset = slab_index * options.chunk_elements;
+  if (options.chunk_elements == 0 || offset >= n) {
+    return Status::invalid_argument("checkpoint slab index out of range");
+  }
+  const std::size_t count =
+      std::min<std::size_t>(options.chunk_elements, n - offset);
+  const auto values = field.values();
+  data::Field slab{
+      field.name(), data::Dims::d1(count),
+      std::vector<float>(values.begin() + static_cast<std::ptrdiff_t>(offset),
+                         values.begin() +
+                             static_cast<std::ptrdiff_t>(offset + count))};
+  auto compressed = codec.compress(slab, options.bound);
+  if (!compressed) {
+    return compressed.status().with_context("slab " +
+                                            std::to_string(slab_index));
+  }
+  return std::move(compressed->container);
+}
+
+Expected<std::vector<std::uint8_t>> write_checkpoint(
+    const data::Field& field, const CheckpointOptions& options) {
+  auto manifest_bytes = checkpoint_manifest(field, options);
+  if (!manifest_bytes) {
+    return manifest_bytes.status().with_context("write_checkpoint");
+  }
+  auto codec = make_compressor(options.codec);
+  if (!codec) {
+    return codec.status().with_context("write_checkpoint");
+  }
 
   FrameParams params;
   params.flags = kFrameFlagCheckpoint;
   FramedWriter writer{params};
-  writer.append_chunk(manifest_bytes);
+  writer.append_chunk(*manifest_bytes);
 
-  const auto values = field.values();
-  for (std::uint32_t s = 0; s < manifest.slab_count; ++s) {
-    const std::size_t offset =
-        static_cast<std::size_t>(s) * options.chunk_elements;
-    const std::size_t count =
-        std::min<std::size_t>(options.chunk_elements, n - offset);
-    data::Field slab{
-        field.name(), data::Dims::d1(count),
-        std::vector<float>(values.begin() + static_cast<std::ptrdiff_t>(offset),
-                           values.begin() +
-                               static_cast<std::ptrdiff_t>(offset + count))};
-    auto compressed = (*codec)->compress(slab, options.bound);
+  const std::size_t slab_count = checkpoint_slab_count(field, options);
+  for (std::size_t s = 0; s < slab_count; ++s) {
+    auto compressed = compress_checkpoint_slab(field, options, s, **codec);
     if (!compressed) {
-      return compressed.status().with_context("slab " + std::to_string(s));
+      return compressed.status();
     }
-    writer.append_chunk(compressed->container);
+    writer.append_chunk(*compressed);
   }
-  writer.append_chunk(manifest_bytes);  // replica guards against head loss
+  writer.append_chunk(*manifest_bytes);  // replica guards against head loss
   return writer.finish();
 }
 

@@ -36,6 +36,27 @@ struct CheckpointOptions {
 [[nodiscard]] Expected<std::vector<std::uint8_t>> write_checkpoint(
     const data::Field& field, const CheckpointOptions& options);
 
+// Incremental building blocks, exposed so the streaming dump engine
+// (core/streaming_dump.hpp) can compress slabs out of order on a pool and
+// still emit a stream byte-identical to write_checkpoint: manifest as
+// chunk 0, compressed slabs as chunks 1..N in order, the manifest replica
+// last, all under a kFrameFlagCheckpoint frame.
+
+/// Number of element slabs `field` splits into (0 elements -> 0 slabs).
+[[nodiscard]] std::size_t checkpoint_slab_count(
+    const data::Field& field, const CheckpointOptions& options) noexcept;
+
+/// Serialized manifest chunk for `field` under `options`.
+[[nodiscard]] Expected<std::vector<std::uint8_t>> checkpoint_manifest(
+    const data::Field& field, const CheckpointOptions& options);
+
+/// Compresses slab `slab_index` exactly as write_checkpoint does. `codec`
+/// must be an instance of options.codec (passed in so parallel callers
+/// construct it once per thread, not once per slab).
+[[nodiscard]] Expected<std::vector<std::uint8_t>> compress_checkpoint_slab(
+    const data::Field& field, const CheckpointOptions& options,
+    std::size_t slab_index, const Compressor& codec);
+
 /// How recover() reconstructs regions whose slab was lost.
 enum class RecoveryFill : std::uint8_t {
   kZero = 0,         ///< lost elements read as 0.0f

@@ -151,7 +151,13 @@ void FramedWriter::emit_chunk(std::span<const std::uint8_t> data) {
   ++chunks_;
 }
 
-std::vector<std::uint8_t> FramedWriter::finish() {
+std::vector<std::uint8_t> FramedWriter::take_emitted() {
+  std::vector<std::uint8_t> out = std::move(body_);
+  body_.clear();
+  return out;
+}
+
+FramedWriter::FrameTail FramedWriter::finish_streaming() {
   if (!pending_.empty()) {
     emit_chunk(pending_);
     pending_.clear();
@@ -166,22 +172,36 @@ std::vector<std::uint8_t> FramedWriter::finish() {
 
   const auto body = header_body(info);
   const std::uint32_t crc = crc32c(body);
-
-  std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderBytes + body_.size() + kFrameTrailerBytes);
-  const auto put_u32 = [&out](std::uint32_t v) {
-    out.push_back(static_cast<std::uint8_t>(v));
-    out.push_back(static_cast<std::uint8_t>(v >> 8));
-    out.push_back(static_cast<std::uint8_t>(v >> 16));
-    out.push_back(static_cast<std::uint8_t>(v >> 24));
+  const auto record = [&body, crc](std::uint32_t magic) {
+    std::vector<std::uint8_t> r;
+    r.reserve(kFrameHeaderBytes);
+    const auto put_u32 = [&r](std::uint32_t v) {
+      r.push_back(static_cast<std::uint8_t>(v));
+      r.push_back(static_cast<std::uint8_t>(v >> 8));
+      r.push_back(static_cast<std::uint8_t>(v >> 16));
+      r.push_back(static_cast<std::uint8_t>(v >> 24));
+    };
+    put_u32(magic);
+    r.insert(r.end(), body.begin(), body.end());
+    put_u32(crc);
+    return r;
   };
-  put_u32(kFrameMagic);
-  out.insert(out.end(), body.begin(), body.end());
-  put_u32(crc);
-  out.insert(out.end(), body_.begin(), body_.end());
-  put_u32(kTrailerMagic);
-  out.insert(out.end(), body.begin(), body.end());
-  put_u32(crc);
+
+  FrameTail tail;
+  tail.body = std::move(body_);
+  body_.clear();
+  tail.header = record(kFrameMagic);
+  tail.trailer = record(kTrailerMagic);
+  return tail;
+}
+
+std::vector<std::uint8_t> FramedWriter::finish() {
+  FrameTail tail = finish_streaming();
+  std::vector<std::uint8_t> out;
+  out.reserve(tail.header.size() + tail.body.size() + tail.trailer.size());
+  out.insert(out.end(), tail.header.begin(), tail.header.end());
+  out.insert(out.end(), tail.body.begin(), tail.body.end());
+  out.insert(out.end(), tail.trailer.begin(), tail.trailer.end());
   return out;
 }
 

@@ -84,6 +84,31 @@ class FramedWriter {
   /// the framed stream. The writer is spent afterwards.
   [[nodiscard]] std::vector<std::uint8_t> finish();
 
+  // --- Producer API (streaming writers) ---------------------------------
+  //
+  // A streaming writer ships frame bytes while later payload is still
+  // being produced: it drains whole emitted chunks with take_emitted(),
+  // writes them at the running wire offset (the first chunk lands at
+  // offset kFrameHeaderBytes), and at the end back-patches the header —
+  // whose chunk count and payload CRC are only known then — at offset 0.
+  // header + drained bodies + tail.body + trailer concatenate to exactly
+  // the bytes finish() would have produced (asserted in framing tests).
+
+  /// Moves out the chunk bytes emitted since the last drain. Pending
+  /// partial byte-mode chunks stay buffered until they fill or finish.
+  [[nodiscard]] std::vector<std::uint8_t> take_emitted();
+
+  /// Terminal records of a streamed frame.
+  struct FrameTail {
+    std::vector<std::uint8_t> body;     ///< chunks not yet drained
+    std::vector<std::uint8_t> header;   ///< kFrameHeaderBytes record
+    std::vector<std::uint8_t> trailer;  ///< kFrameTrailerBytes replica
+  };
+
+  /// Flushes any pending bytes and seals the frame. The writer is spent
+  /// afterwards; the caller owns placing the three parts on the wire.
+  [[nodiscard]] FrameTail finish_streaming();
+
   [[nodiscard]] std::uint32_t chunks_emitted() const noexcept {
     return chunks_;
   }

@@ -59,6 +59,7 @@ Expected<CompressResult> parallel_compress(const Compressor& codec,
   struct ChunkJob {
     std::size_t row_begin = 0;
     std::size_t row_count = 0;
+    Seconds seconds{0.0};
     Expected<CompressResult> result{Status::internal("not run")};
   };
   std::vector<ChunkJob> jobs(rows.size());
@@ -71,14 +72,25 @@ Expected<CompressResult> parallel_compress(const Compressor& codec,
     }
   }
 
-  pool.parallel_for(0, jobs.size(), [&](std::size_t c) {
-    ChunkJob& job = jobs[c];
-    const auto values = field.values().subspan(job.row_begin * plane,
-                                               job.row_count * plane);
-    data::Field chunk{field.name(), chunk_dims(field.dims(), job.row_count),
-                      std::vector<float>(values.begin(), values.end())};
-    job.result = codec.compress(chunk, bound);
-  });
+  Timer parallel_timer;
+  // Grain 1: chunks are few and heavy, so every dispatch should be
+  // stealable — a coarser grain serializes whole chunk runs behind one
+  // worker, which is exactly the collapse the scaling bench guards.
+  pool.parallel_for(
+      0, jobs.size(),
+      [&](std::size_t c) {
+        ChunkJob& job = jobs[c];
+        Timer chunk_timer;
+        const auto values = field.values().subspan(job.row_begin * plane,
+                                                   job.row_count * plane);
+        data::Field chunk{field.name(),
+                          chunk_dims(field.dims(), job.row_count),
+                          std::vector<float>(values.begin(), values.end())};
+        job.result = codec.compress(chunk, bound);
+        job.seconds = chunk_timer.elapsed();
+      },
+      /*grain=*/1);
+  const Seconds parallel_seconds = parallel_timer.elapsed();
 
   ByteWriter frame;
   frame.write_u32(kFrameMagic);
@@ -104,6 +116,19 @@ Expected<CompressResult> parallel_compress(const Compressor& codec,
   result.input_bytes = field.size_bytes();
   result.output_bytes = Bytes{result.container.size()};
   result.native_wall_time = timer.elapsed();
+  if (options.stats != nullptr) {
+    ParallelStats& stats = *options.stats;
+    stats.chunk_seconds.clear();
+    stats.chunk_seconds.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      stats.chunk_seconds.push_back(job.seconds);
+    }
+    stats.parallel_seconds = parallel_seconds;
+    stats.total_seconds = result.native_wall_time;
+    stats.serial_seconds =
+        Seconds{std::max(0.0, stats.total_seconds.seconds() -
+                                  parallel_seconds.seconds())};
+  }
   return result;
 }
 

@@ -18,10 +18,24 @@
 
 namespace lcp::compress {
 
+/// Timing breakdown of one parallel_compress call, for the scaling bench
+/// and the streaming dump's overlap accounting. Chunk durations are
+/// measured inside the worker, so on an oversubscribed host they include
+/// contention; the serial share (chunk setup + frame assembly) is what
+/// Amdahl charges against worker scaling.
+struct ParallelStats {
+  std::vector<Seconds> chunk_seconds;  ///< per-chunk compress wall time
+  Seconds parallel_seconds{0.0};       ///< wall time of the pooled region
+  Seconds serial_seconds{0.0};         ///< setup + frame assembly wall time
+  Seconds total_seconds{0.0};
+};
+
 struct ParallelOptions {
   /// Target elements per chunk; the slowest-axis split is rounded to whole
   /// hyperplanes. Chunks never get smaller than one hyperplane.
   std::size_t target_chunk_elements = 1 << 20;
+  /// When non-null, filled with the call's timing breakdown.
+  ParallelStats* stats = nullptr;
 };
 
 /// Compresses `field` with `codec` across `pool`. The returned container

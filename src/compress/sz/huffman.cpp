@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "support/buffer_pool.hpp"
 #include "support/bytestream.hpp"
 
 namespace lcp::sz {
@@ -124,7 +125,9 @@ std::vector<std::uint8_t> huffman_code_lengths(
   // Cap excessive depths by flattening frequencies and rebuilding. With a
   // 2^16-ish alphabet and 64-bit weights, a single pass virtually always
   // fits in 32 bits, but skewed adversarial inputs are handled by halving.
-  std::vector<std::uint64_t> work(freq.begin(), freq.end());
+  ScratchLease<std::uint64_t> work_lease{freq.size()};
+  auto& work = work_lease.get();
+  work.assign(freq.begin(), freq.end());
   for (int attempt = 0; attempt < 8; ++attempt) {
     auto lengths = build_lengths(work);
     const auto deepest =
@@ -155,7 +158,11 @@ std::vector<std::uint8_t> huffman_code_lengths(
 std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
                                          std::uint32_t alphabet_size) {
   LCP_REQUIRE(alphabet_size > 0, "alphabet must be non-empty");
-  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  // The frequency table is half a MiB at SZ's 2^16 alphabet; pooled so the
+  // chunk-parallel path does not hammer the allocator once per chunk.
+  ScratchLease<std::uint64_t> freq_lease{alphabet_size};
+  auto& freq = freq_lease.get();
+  freq.assign(alphabet_size, 0);
   for (std::uint32_t s : symbols) {
     LCP_REQUIRE(s < alphabet_size, "symbol out of alphabet range");
     ++freq[s];
@@ -186,13 +193,18 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
   // Canonical codes are MSB-first by construction and the decoder consumes
   // them MSB-first; BitWriter emits the low bit of a value first, so each
   // code is emitted pre-reversed as a single write_bits call.
-  std::vector<std::uint64_t> stream_codes(alphabet_size, 0);
+  ScratchLease<std::uint64_t> stream_codes_lease{alphabet_size};
+  auto& stream_codes = stream_codes_lease.get();
+  stream_codes.assign(alphabet_size, 0);
+  std::uint64_t payload_bits = 0;
   for (std::uint32_t s = 0; s < alphabet_size; ++s) {
     if (lengths[s] > 0) {
       stream_codes[s] = reverse_bits(codes[s], lengths[s]);
+      payload_bits += freq[s] * lengths[s];
     }
   }
   BitWriter bits;
+  bits.reserve(static_cast<std::size_t>((payload_bits + 7) / 8) + 8);
   for (std::uint32_t s : symbols) {
     bits.write_bits(stream_codes[s], lengths[s]);
   }
@@ -200,6 +212,7 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
 
   ByteWriter out;
   auto header_bytes = header.finish();
+  out.reserve(header_bytes.size() + 8 + payload.size());
   out.write_bytes(header_bytes);
   out.write_u64(payload.size());
   out.write_bytes(payload);

@@ -9,6 +9,7 @@
 #include "compress/sz/pipeline.hpp"
 #include "compress/sz/quantizer.hpp"
 #include "compress/sz/zlite.hpp"
+#include "support/buffer_pool.hpp"
 #include "support/bytestream.hpp"
 #include "support/timer.hpp"
 
@@ -97,9 +98,17 @@ Expected<compress::CompressResult> SzCompressor::compress(
 
   const LinearQuantizer quantizer{eb_abs, options_.quantizer_radius};
 
-  std::vector<std::uint32_t> codes;
-  std::vector<std::uint32_t> exact;
-  std::vector<float> decoded;
+  // Pooled scratch: chunk-parallel compression runs this function once per
+  // slab per worker, and fresh multi-MB vectors each time serialize the
+  // workers on the allocator (mmap churn). The leases return the buffers
+  // to the calling thread's pool on scope exit.
+  const std::size_t n_elements = field.element_count();
+  ScratchLease<std::uint32_t> codes_lease{n_elements};
+  ScratchLease<std::uint32_t> exact_lease;
+  ScratchLease<float> decoded_lease{n_elements};
+  auto& codes = codes_lease.get();
+  auto& exact = exact_lease.get();
+  auto& decoded = decoded_lease.get();
   predict_quantize_fused(work, ext, options_.predictor, quantizer, codes,
                          exact, decoded);
 
@@ -112,6 +121,8 @@ Expected<compress::CompressResult> SzCompressor::compress(
   }
 
   ByteWriter payload;
+  payload.reserve(entropy_blob.size() + exact.size() * sizeof(std::uint32_t) +
+                  sign_bytes.size() + zero_bytes.size() + 64);
   payload.write_u8(kPayloadVersion);
   payload.write_u8(options_.use_lossless_backend ? 1 : 0);
   payload.write_u8(static_cast<std::uint8_t>(options_.predictor));

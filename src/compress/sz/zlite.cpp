@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "support/buffer_pool.hpp"
+
 namespace lcp::sz {
 namespace {
 
@@ -45,7 +47,12 @@ std::vector<std::uint8_t> zlite_compress(std::span<const std::uint8_t> input) {
   out.reserve(input.size() / 2 + 16);
   write_varint(out, input.size());
 
-  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, UINT32_MAX);
+  // 256 KiB hash table, pooled: recycled across calls on the same thread
+  // so the parallel compression path does not pay an mmap round-trip per
+  // chunk just to look up matches.
+  ScratchLease<std::uint32_t> head_lease{std::size_t{1} << kHashBits};
+  auto& head = head_lease.get();
+  head.assign(std::size_t{1} << kHashBits, UINT32_MAX);
 
   std::size_t pos = 0;
   std::size_t literal_start = 0;

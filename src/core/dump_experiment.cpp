@@ -74,6 +74,12 @@ Expected<DumpResult> run_dump_experiment(const DumpConfig& config) {
     outcome.framed_bytes = wire_bytes;
     outcome.plan = tuning::plan_compressed_dump(spec, compress_workload,
                                                 write_workload, cfg.rule);
+    if (cfg.overlap) {
+      outcome.overlap =
+          tuning::plan_overlapped_dump(spec, compress_workload, write_workload,
+                                       cfg.rule, cfg.overlap_depth);
+      outcome.overlapped = true;
+    }
     result.outcomes.push_back(outcome);
   }
   return result;

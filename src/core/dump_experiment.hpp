@@ -28,6 +28,13 @@ struct DumpConfig {
   /// overhead is priced into the write transit energy. 0 keeps the
   /// original unframed path bit-for-bit.
   std::size_t frame_chunk_bytes = 0;
+  /// When true each outcome additionally carries the streaming engine's
+  /// overlapped schedule (tuning::plan_overlapped_dump over overlap_depth
+  /// slabs: compression of slab i+1 hidden behind the framed write of
+  /// slab i). Off leaves every outcome bit-identical to the serial
+  /// experiment — the serial plan is computed either way.
+  bool overlap = false;
+  std::size_t overlap_depth = 8;
 };
 
 /// One error bound's base-vs-tuned outcome.
@@ -39,6 +46,10 @@ struct DumpOutcome {
   /// overhead; equals compressed_bytes when framing is off.
   Bytes framed_bytes;
   tuning::PlanComparison plan;
+  /// Streaming schedule for the same workloads; default-constructed (and
+  /// `overlapped` false) unless DumpConfig.overlap was set.
+  tuning::OverlapPlan overlap;
+  bool overlapped = false;
 };
 
 struct DumpResult {

@@ -1,0 +1,174 @@
+#include "core/streaming_dump.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "compress/common/framing.hpp"
+#include "compress/common/registry.hpp"
+#include "support/bounded_queue.hpp"
+#include "support/timer.hpp"
+
+namespace lcp::core {
+namespace {
+
+/// One compressed slab in flight between the compress stage and the
+/// writer. Slabs finish out of order on the pool; `index` lets the writer
+/// restore slab order before framing (the payload CRC is order-sensitive).
+struct CompressedSlab {
+  std::size_t index = 0;
+  std::vector<std::uint8_t> container;
+};
+
+}  // namespace
+
+Expected<StreamingDumpStats> streaming_dump(const data::Field& field,
+                                            ThreadPool& pool,
+                                            io::NfsClient& client,
+                                            const std::string& path,
+                                            const StreamingDumpConfig& config) {
+  Timer wall_timer;
+  auto manifest_bytes = checkpoint_manifest(field, config.checkpoint);
+  if (!manifest_bytes) {
+    return manifest_bytes.status().with_context("streaming_dump");
+  }
+  if (config.queue_capacity == 0) {
+    return Status::invalid_argument("streaming dump: zero queue capacity");
+  }
+  auto codec = compress::make_compressor(config.checkpoint.codec);
+  if (!codec) {
+    return codec.status().with_context("streaming_dump");
+  }
+  const std::size_t slab_count =
+      compress::checkpoint_slab_count(field, config.checkpoint);
+
+  StreamingDumpStats stats;
+  stats.slabs = slab_count;
+  stats.input_bytes = field.size_bytes();
+  stats.slab_seconds.assign(slab_count, Seconds{0.0});
+
+  BoundedQueue<CompressedSlab> queue{config.queue_capacity};
+  Status producer_status = Status::ok();
+  std::mutex producer_mutex;
+  Status writer_status = Status::ok();
+  std::size_t slabs_shipped = 0;
+
+  std::thread writer([&] {
+    compress::FrameParams params;
+    params.flags = compress::kFrameFlagCheckpoint;
+    compress::FramedWriter framed{params};
+    auto stream = client.begin_file_stream(path);
+
+    Seconds write_seconds{0.0};
+    const auto ship = [&](std::span<const std::uint8_t> bytes) -> Status {
+      Timer t;
+      const Status st = stream.append(bytes);
+      write_seconds = write_seconds + t.elapsed();
+      return st;
+    };
+
+    // Placeholder header: its chunk count and payload CRC are only known
+    // after the last chunk, so real bytes are back-patched at the end.
+    const std::vector<std::uint8_t> zeros(compress::kFrameHeaderBytes, 0);
+    Status st = ship(zeros);
+    if (st.is_ok()) {
+      framed.append_chunk(*manifest_bytes);
+      st = ship(framed.take_emitted());
+    }
+
+    // Restore slab order: the pool delivers slabs as they finish, the
+    // frame (and its order-sensitive payload CRC) needs them sequential.
+    std::map<std::size_t, CompressedSlab> reorder;
+    std::size_t next = 0;
+    while (st.is_ok()) {
+      auto item = queue.pop();
+      if (!item) {
+        break;  // closed and drained
+      }
+      reorder.emplace(item->index, std::move(*item));
+      for (auto it = reorder.find(next);
+           st.is_ok() && it != reorder.end();
+           it = reorder.find(next)) {
+        framed.append_chunk(it->second.container);
+        reorder.erase(it);
+        ++next;
+        st = ship(framed.take_emitted());
+      }
+    }
+
+    if (st.is_ok() && next == slab_count) {
+      framed.append_chunk(*manifest_bytes);  // trailing replica
+      auto tail = framed.finish_streaming();
+      st = ship(tail.body);
+      if (st.is_ok()) {
+        st = ship(tail.trailer);
+      }
+      if (st.is_ok()) {
+        Timer t;
+        st = stream.write_at(0, tail.header);
+        write_seconds = write_seconds + t.elapsed();
+      }
+      if (st.is_ok()) {
+        st = stream.finish();
+      }
+      stats.frame_chunks = framed.chunks_emitted();
+      stats.payload_bytes = Bytes{framed.payload_bytes()};
+      stats.wire_bytes = Bytes{stream.bytes_written()};
+      slabs_shipped = next;
+    } else if (st.is_ok()) {
+      // Queue closed before every slab arrived: a producer failed and its
+      // status carries the real error.
+      st = Status::internal("streaming dump: pipeline aborted upstream");
+    }
+    stats.write_seconds = write_seconds;
+    writer_status = st;
+    if (!st.is_ok()) {
+      queue.close();  // unblock producers stuck on a full queue
+    }
+  });
+
+  pool.parallel_for(
+      0, slab_count,
+      [&](std::size_t s) {
+        if (queue.closed()) {
+          return;  // pipeline already aborted; skip the remaining work
+        }
+        Timer t;
+        auto container =
+            compress::compress_checkpoint_slab(field, config.checkpoint, s,
+                                               **codec);
+        const Seconds elapsed = t.elapsed();
+        if (!container) {
+          const std::scoped_lock lock{producer_mutex};
+          if (producer_status.is_ok()) {
+            producer_status = container.status();
+          }
+          queue.close();
+          return;
+        }
+        stats.slab_seconds[s] = elapsed;
+        (void)queue.push({s, std::move(*container)});
+      },
+      /*grain=*/1);
+  queue.close();
+  writer.join();
+
+  if (!producer_status.is_ok()) {
+    return producer_status.with_context("streaming_dump");
+  }
+  if (!writer_status.is_ok()) {
+    return writer_status.with_context("streaming_dump");
+  }
+  (void)slabs_shipped;
+
+  for (const Seconds s : stats.slab_seconds) {
+    stats.compress_seconds = stats.compress_seconds + s;
+  }
+  stats.queue_pushes = queue.total_pushed();
+  stats.wall_seconds = wall_timer.elapsed();
+  return stats;
+}
+
+}  // namespace lcp::core

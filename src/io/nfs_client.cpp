@@ -71,6 +71,61 @@ Status NfsClient::write_file_framed(const std::string& path,
   return Status::ok();
 }
 
+Status NfsClient::FileStream::append(std::span<const std::uint8_t> data) {
+  const Status st = write_at(offset_, data);
+  if (st.is_ok()) {
+    offset_ += data.size();
+  }
+  return st;
+}
+
+Status NfsClient::FileStream::write_at(std::uint64_t offset,
+                                       std::span<const std::uint8_t> data) {
+  NfsClient& c = *client_;
+  if (c.config_.rpc_chunk_bytes == 0) {
+    return Status::invalid_argument("nfs client: zero chunk size");
+  }
+  const std::size_t chunk = c.config_.rpc_chunk_bytes;
+  std::size_t done = 0;
+  // An empty write still creates the file with one RPC, mirroring
+  // write_file's empty-file behavior.
+  const std::size_t rpc_count =
+      data.empty() ? 1 : (data.size() + chunk - 1) / chunk;
+  for (std::size_t i = 0; i < rpc_count; ++i) {
+    const std::size_t n = std::min(chunk, data.size() - done);
+    const auto piece = data.subspan(done, n);
+    const std::uint64_t at = offset + done;
+    if (c.fault_ == nullptr) {
+      auto reply = c.server_.handle_write_at(path_, at, piece);
+      if (!reply.has_value()) {
+        return reply.status();
+      }
+      c.sent_ += n;
+      ++c.rpcs_;
+    } else {
+      LCP_RETURN_IF_ERROR(c.write_chunk_with_retries(path_, at, piece));
+    }
+    done += n;
+    written_ += n;
+    high_water_ = std::max(high_water_, at + n);
+  }
+  return Status::ok();
+}
+
+Status NfsClient::FileStream::finish() {
+  auto stored = client_->server_.read_file(path_);
+  if (!stored.has_value()) {
+    return stored.status();
+  }
+  if (stored->size() != high_water_) {
+    return Status::corrupt_data(
+        "nfs client: stream for '" + path_ + "' stored " +
+        std::to_string(stored->size()) + " bytes, expected " +
+        std::to_string(high_water_));
+  }
+  return Status::ok();
+}
+
 Status NfsClient::write_chunk_with_retries(const std::string& path,
                                            std::uint64_t offset,
                                            std::span<const std::uint8_t> chunk) {

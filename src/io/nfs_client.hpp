@@ -100,6 +100,50 @@ class NfsClient {
                                          std::span<const std::uint8_t> data,
                                          std::size_t frame_chunk_bytes = 0);
 
+  /// Incremental writer over explicit-offset RPCs (NFSv3 WRITE semantics).
+  /// This is the streaming dump engine's entry point: frame chunks go on
+  /// the wire with append() while later slabs are still compressing, and
+  /// the frame header — only known once the last slab is sealed — is
+  /// back-patched at offset 0 with write_at(). All byte/RPC accounting
+  /// lands on the owning client; under fault injection every RPC takes
+  /// the same retry/backoff path as write_file.
+  class FileStream {
+   public:
+    /// Writes `data` at the running offset and advances it.
+    [[nodiscard]] Status append(std::span<const std::uint8_t> data);
+
+    /// Writes `data` at an absolute offset; the running offset and the
+    /// high-water mark still cover it (holes are zero-extended by the
+    /// server until patched).
+    [[nodiscard]] Status write_at(std::uint64_t offset,
+                                  std::span<const std::uint8_t> data);
+
+    /// Verifies the server holds exactly the high-water mark of bytes.
+    [[nodiscard]] Status finish();
+
+    [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+    [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+      return written_;
+    }
+
+   private:
+    friend class NfsClient;
+    FileStream(NfsClient& client, std::string path)
+        : client_(&client), path_(std::move(path)) {}
+
+    NfsClient* client_;
+    std::string path_;
+    std::uint64_t offset_ = 0;     ///< next append position
+    std::uint64_t high_water_ = 0; ///< furthest byte ever written
+    std::uint64_t written_ = 0;    ///< payload bytes put on the wire
+  };
+
+  /// Opens a streaming writer for `path` (the file is created on the
+  /// first RPC). The stream borrows the client; one stream at a time.
+  [[nodiscard]] FileStream begin_file_stream(const std::string& path) {
+    return FileStream{*this, path};
+  }
+
   [[nodiscard]] Bytes bytes_sent() const noexcept { return Bytes{sent_}; }
   /// Cumulative frame bytes added on top of raw payloads by
   /// write_file_framed (headers, trailers, per-chunk headers).

@@ -26,6 +26,10 @@ class BitWriter {
   /// Unary code: `n` zeros followed by a one.
   void write_unary(unsigned n);
 
+  /// Pre-sizes the byte buffer (hot paths: a Huffman encoder that knows
+  /// the payload size avoids every growth reallocation).
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
   /// Flushes any partial byte (zero padding) and returns the buffer.
   [[nodiscard]] std::vector<std::uint8_t> finish();
 

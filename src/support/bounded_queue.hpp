@@ -1,0 +1,133 @@
+#pragma once
+// Bounded blocking queue: the backpressure primitive of the streaming dump
+// pipeline (compress -> frame -> write). Producers block when the queue is
+// full — a slow wire throttles compression instead of buffering the whole
+// dump in memory — and the consumer blocks when it is empty, so the writer
+// thread sleeps whenever compression is the bottleneck.
+//
+// Supports multiple producers and multiple consumers (plain mutex + two
+// condition variables; the pipeline uses it SPSC but the stress tests and
+// future sharded writers run it MPMC). close() initiates shutdown: pushes
+// are refused, pops drain what remains and then report exhaustion.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/status.hpp"
+
+namespace lcp {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    LCP_REQUIRE(capacity > 0, "bounded queue needs positive capacity");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room, then enqueues. Returns false (and drops
+  /// `item`) when the queue was closed before room appeared.
+  bool push(T item) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues only if room is available right now; never blocks.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock{mutex_};
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// nullopt means no item will ever arrive again.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Dequeues only if an item is available right now; never blocks.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard lock{mutex_};
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Refuses further pushes and wakes every waiter. Items already queued
+  /// remain poppable; idempotent.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Items ever accepted by push/try_push (conservation checks).
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    std::lock_guard lock{mutex_};
+    return total_pushed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace lcp

@@ -1,0 +1,52 @@
+#include "support/buffer_pool.hpp"
+
+namespace lcp {
+
+std::vector<std::uint8_t> SlabPool::acquire(std::size_t reserve_hint) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::lock_guard lock{mutex_};
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+  buf.clear();
+  if (reserve_hint > 0) {
+    buf.reserve(reserve_hint);
+  }
+  return buf;
+}
+
+void SlabPool::release(std::vector<std::uint8_t>&& buf) {
+  detail::poison_buffer(buf);
+  buf.clear();
+  if (buf.capacity() == 0) {
+    return;
+  }
+  std::lock_guard lock{mutex_};
+  if (max_retained_ > 0 && free_.size() >= max_retained_) {
+    return;
+  }
+  free_.push_back(std::move(buf));
+}
+
+std::size_t SlabPool::retained() const {
+  std::lock_guard lock{mutex_};
+  return free_.size();
+}
+
+std::uint64_t SlabPool::hits() const {
+  std::lock_guard lock{mutex_};
+  return hits_;
+}
+
+std::uint64_t SlabPool::misses() const {
+  std::lock_guard lock{mutex_};
+  return misses_;
+}
+
+}  // namespace lcp

@@ -27,6 +27,9 @@ class ByteWriter {
   /// Length-prefixed (u32) UTF-8 string.
   void write_string(std::string_view s);
 
+  /// Pre-sizes the buffer (hot paths: avoids growth reallocations).
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
   [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
   [[nodiscard]] std::vector<std::uint8_t> finish() { return std::move(bytes_); }
 

@@ -67,6 +67,52 @@ DegradedDumpPlan plan_compressed_dump_under_faults(
   return plan;
 }
 
+OverlapOutcome overlapped_dump_outcome(const power::ChipSpec& spec,
+                                       const power::Workload& compress_workload,
+                                       const power::Workload& write_workload,
+                                       GigaHertz frequency,
+                                       std::size_t pipeline_depth) {
+  const double depth =
+      static_cast<double>(std::max<std::size_t>(1, pipeline_depth));
+  const double tc =
+      power::workload_runtime(compress_workload, spec, frequency).seconds();
+  const double tt =
+      power::workload_runtime(write_workload, spec, frequency).seconds();
+
+  OverlapOutcome o;
+  o.frequency = frequency;
+  o.pipeline_depth = std::max<std::size_t>(1, pipeline_depth);
+  o.serial_runtime = Seconds{tc + tt};
+  o.runtime = Seconds{std::max(tc, tt) + std::min(tc, tt) / depth};
+  o.serial_energy =
+      power::workload_energy(compress_workload, spec, frequency) +
+      power::workload_energy(write_workload, spec, frequency);
+  o.energy = Joules{o.serial_energy.joules() -
+                    spec.static_power.watts() * o.overlap_saved().seconds()};
+  return o;
+}
+
+OverlapPlan plan_overlapped_dump(const power::ChipSpec& spec,
+                                 const power::Workload& compress_workload,
+                                 const power::Workload& write_workload,
+                                 const TuningRule& rule,
+                                 std::size_t pipeline_depth) {
+  OverlapPlan plan;
+  plan.pipeline_depth = std::max<std::size_t>(1, pipeline_depth);
+  plan.serial =
+      plan_compressed_dump(spec, compress_workload, write_workload, rule);
+  plan.base = overlapped_dump_outcome(spec, compress_workload, write_workload,
+                                      spec.f_max, plan.pipeline_depth);
+  const OverlapOutcome at_fc = overlapped_dump_outcome(
+      spec, compress_workload, write_workload,
+      rule.compression_frequency(spec.f_max), plan.pipeline_depth);
+  const OverlapOutcome at_ft = overlapped_dump_outcome(
+      spec, compress_workload, write_workload,
+      rule.transit_frequency(spec.f_max), plan.pipeline_depth);
+  plan.tuned = at_fc.energy.joules() <= at_ft.energy.joules() ? at_fc : at_ft;
+  return plan;
+}
+
 double frame_survival_fraction(std::size_t chunk_bytes, double byte_loss_rate,
                                std::size_t per_chunk_overhead_bytes) {
   if (byte_loss_rate <= 0.0) {

@@ -85,6 +85,70 @@ struct DegradedDumpPlan {
     const power::Workload& clean_write_workload,
     const power::Workload& degraded_write_workload, const TuningRule& rule);
 
+// --- Overlapped (streaming) dump -------------------------------------------
+//
+// The serial two-stage plan compresses everything, then writes everything:
+// t = tc + tt. The streaming dump engine (core/streaming_dump.hpp)
+// pipelines the stages over S slabs — slab i's framed bytes are on the
+// wire while slab i+1 is still compressing — so the makespan contracts to
+//
+//   t_overlap = max(tc, tt) + min(tc, tt) / S
+//
+// (the min/S term is the exposed pipeline fill/drain: the wire idles while
+// the first slab compresses, and the last slab's write has nothing left to
+// hide behind). Energy credits the overlap through the static-power term
+// only: each stage's dynamic work is unchanged, but the package is powered
+// for time_saved fewer seconds:
+//
+//   E_overlap = Ec + Et - P_static * (tc + tt - t_overlap).
+//
+// Depth 1 degenerates to the serial plan exactly (no overlap credited) —
+// the identity the dump experiment asserts when streaming is off.
+
+/// The overlapped pipeline evaluated at one clock and depth.
+struct OverlapOutcome {
+  GigaHertz frequency;
+  std::size_t pipeline_depth = 1;
+  Seconds runtime{0.0};         ///< overlapped makespan
+  Seconds serial_runtime{0.0};  ///< tc + tt at the same clock
+  Joules energy{0.0};
+  Joules serial_energy{0.0};    ///< Ec + Et at the same clock
+
+  /// Runtime the overlap hides relative to the serial schedule.
+  [[nodiscard]] Seconds overlap_saved() const noexcept {
+    return serial_runtime - runtime;
+  }
+};
+
+[[nodiscard]] OverlapOutcome overlapped_dump_outcome(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& write_workload, GigaHertz frequency,
+    std::size_t pipeline_depth);
+
+/// Streaming counterpart of plan_compressed_dump. The fused pipeline runs
+/// one clock (both stages are live at once, and a core has one frequency),
+/// so `tuned` picks whichever of the rule's two stage frequencies costs
+/// less energy at this depth; `base` is the pipeline at f_max. `serial`
+/// carries the classic two-stage comparison for reference.
+struct OverlapPlan {
+  std::size_t pipeline_depth = 1;
+  OverlapOutcome base;    ///< overlapped at f_max
+  OverlapOutcome tuned;   ///< overlapped at the chosen rule frequency
+  PlanComparison serial;  ///< the non-streaming plan, same workloads
+
+  [[nodiscard]] Joules energy_saved() const noexcept {
+    return base.energy - tuned.energy;
+  }
+  [[nodiscard]] double energy_savings() const noexcept {
+    return 1.0 - tuned.energy / base.energy;
+  }
+};
+
+[[nodiscard]] OverlapPlan plan_overlapped_dump(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& write_workload, const TuningRule& rule,
+    std::size_t pipeline_depth);
+
 // --- Resilient-framing chunk-size trade-off --------------------------------
 //
 // A framed dump (compress/common/framing.hpp) splits the stream into

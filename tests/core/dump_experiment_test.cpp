@@ -116,5 +116,57 @@ TEST(DumpExperimentTest, FramedDumpPaysMeasurableOverhead) {
             0.001 * static_cast<double>(f.compressed_bytes.bytes()));
 }
 
+TEST(DumpExperimentTest, OverlapIsOffByDefault) {
+  DumpConfig cfg = tiny_config();
+  cfg.error_bounds = {1e-3};
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->outcomes[0].overlapped);
+}
+
+TEST(DumpExperimentTest, OverlapRidesAlongWithoutTouchingTheSerialPlan) {
+  // overlap=on adds the streaming schedule NEXT TO the classic plan: the
+  // overlap plan's embedded serial comparison must equal the outcome's
+  // own plan exactly (same run, same calibration, bit-for-bit joules).
+  DumpConfig cfg = tiny_config();
+  cfg.error_bounds = {1e-3};
+  cfg.overlap = true;
+  cfg.overlap_depth = 16;
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  const auto& o = result->outcomes[0];
+  ASSERT_TRUE(o.overlapped);
+  EXPECT_EQ(o.overlap.serial.energy_tuned.joules(),
+            o.plan.energy_tuned.joules());
+  EXPECT_EQ(o.overlap.serial.runtime_tuned.seconds(),
+            o.plan.runtime_tuned.seconds());
+  EXPECT_EQ(o.overlap.pipeline_depth, 16u);
+}
+
+TEST(DumpExperimentTest, OverlapHidesTimeAndStaticEnergyAtDepth) {
+  DumpConfig cfg = tiny_config();
+  cfg.error_bounds = {1e-3};
+  cfg.overlap = true;
+  cfg.overlap_depth = 8;
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  const auto& t = result->outcomes[0].overlap.tuned;
+  EXPECT_LT(t.runtime.seconds(), t.serial_runtime.seconds());
+  EXPECT_LT(t.energy.joules(), t.serial_energy.joules());
+  EXPECT_GT(t.overlap_saved().seconds(), 0.0);
+}
+
+TEST(DumpExperimentTest, OverlapDepthOneDegeneratesToSerial) {
+  DumpConfig cfg = tiny_config();
+  cfg.error_bounds = {1e-3};
+  cfg.overlap = true;
+  cfg.overlap_depth = 1;
+  const auto result = run_dump_experiment(cfg);
+  ASSERT_TRUE(result.has_value());
+  const auto& t = result->outcomes[0].overlap.tuned;
+  EXPECT_EQ(t.runtime.seconds(), t.serial_runtime.seconds());
+  EXPECT_EQ(t.energy.joules(), t.serial_energy.joules());
+}
+
 }  // namespace
 }  // namespace lcp::core

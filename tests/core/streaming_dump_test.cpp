@@ -1,0 +1,193 @@
+// Streaming dump engine: the wire contract is byte-identity with
+// compress::write_checkpoint, so every existing checkpoint reader keeps
+// working on streamed dumps. These tests pin that contract plus the
+// pipeline mechanics (stats accounting, backpressure, error paths).
+
+#include "core/streaming_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "compress/common/checkpoint.hpp"
+#include "compress/common/framing.hpp"
+#include "data/generators.hpp"
+#include "io/nfs_client.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lcp::core {
+namespace {
+
+data::Field make_field(std::size_t side = 24) {
+  return data::generate_nyx(side, 42);
+}
+
+StreamingDumpConfig small_slabs(std::size_t chunk_elements = 2048) {
+  StreamingDumpConfig cfg;
+  cfg.checkpoint.codec = "sz";
+  cfg.checkpoint.bound = compress::ErrorBound::absolute(1e-3);
+  cfg.checkpoint.chunk_elements = chunk_elements;
+  return cfg;
+}
+
+TEST(StreamingDumpTest, ServerBytesMatchWriteCheckpointExactly) {
+  const auto field = make_field();
+  const auto cfg = small_slabs();
+  auto serial = compress::write_checkpoint(field, cfg.checkpoint);
+  ASSERT_TRUE(serial.has_value()) << serial.status().to_string();
+
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{4};
+  auto stats = streaming_dump(field, pool, client, "/ckpt/nyx", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+
+  auto stored = server.read_file("/ckpt/nyx");
+  ASSERT_TRUE(stored.has_value()) << stored.status().to_string();
+  ASSERT_EQ(stored->size(), serial->size());
+  // bit-for-bit, header back-patch included
+  EXPECT_TRUE(std::equal(stored->begin(), stored->end(), serial->begin()));
+}
+
+TEST(StreamingDumpTest, StreamedDumpDecodesThroughReadCheckpoint) {
+  const auto field = make_field();
+  const auto cfg = small_slabs();
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{4};
+  auto stats = streaming_dump(field, pool, client, "/ckpt/rt", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+
+  auto stored = server.read_file("/ckpt/rt");
+  ASSERT_TRUE(stored.has_value());
+  auto back = compress::read_checkpoint(*stored);
+  ASSERT_TRUE(back.has_value()) << back.status().to_string();
+  EXPECT_EQ(back->name(), field.name());
+  EXPECT_EQ(back->dims(), field.dims());
+  const auto a = field.values();
+  const auto b = back->values();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-3) << i;
+  }
+}
+
+TEST(StreamingDumpTest, StatsAccountForEverySlabAndByte) {
+  const auto field = make_field();
+  const auto cfg = small_slabs();
+  const std::size_t slabs =
+      compress::checkpoint_slab_count(field, cfg.checkpoint);
+  ASSERT_GT(slabs, 1u);
+
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{2};
+  auto stats = streaming_dump(field, pool, client, "/ckpt/stats", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+
+  EXPECT_EQ(stats->slabs, slabs);
+  EXPECT_EQ(stats->queue_pushes, slabs);
+  // manifest + slabs + trailing manifest replica
+  EXPECT_EQ(stats->frame_chunks, slabs + 2);
+  EXPECT_EQ(stats->input_bytes.bytes(), field.size_bytes().bytes());
+  // The placeholder header is the only wire overhead beyond the frame:
+  // stored size + the kFrameHeaderBytes zeros overwritten at the end.
+  auto stored = server.read_file("/ckpt/stats");
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stats->wire_bytes.bytes(),
+            stored->size() + compress::kFrameHeaderBytes);
+  EXPECT_LT(stats->payload_bytes.bytes(), stats->wire_bytes.bytes());
+
+  ASSERT_EQ(stats->slab_seconds.size(), slabs);
+  double sum = 0.0;
+  for (const Seconds s : stats->slab_seconds) {
+    EXPECT_GT(s.seconds(), 0.0);
+    sum += s.seconds();
+  }
+  EXPECT_DOUBLE_EQ(stats->compress_seconds.seconds(), sum);
+  EXPECT_GT(stats->wall_seconds.seconds(), 0.0);
+  EXPECT_GE(stats->write_seconds.seconds(), 0.0);
+}
+
+TEST(StreamingDumpTest, TinyQueueBackpressureStillProducesIdenticalBytes) {
+  const auto field = make_field();
+  auto cfg = small_slabs(1024);  // more slabs than queue slots
+  cfg.queue_capacity = 1;
+  auto serial = compress::write_checkpoint(field, cfg.checkpoint);
+  ASSERT_TRUE(serial.has_value());
+
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{4};
+  auto stats = streaming_dump(field, pool, client, "/ckpt/bp", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+  auto stored = server.read_file("/ckpt/bp");
+  ASSERT_TRUE(stored.has_value());
+  ASSERT_EQ(stored->size(), serial->size());
+  EXPECT_TRUE(std::equal(stored->begin(), stored->end(), serial->begin()));
+}
+
+TEST(StreamingDumpTest, SingleSlabFieldStreams) {
+  auto cfg = small_slabs();
+  cfg.checkpoint.chunk_elements = 1 << 20;  // whole field in one slab
+  const auto field = make_field(12);
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{1};
+  auto stats = streaming_dump(field, pool, client, "/ckpt/one", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+  EXPECT_EQ(stats->slabs, 1u);
+  EXPECT_EQ(stats->frame_chunks, 3u);
+
+  auto serial = compress::write_checkpoint(field, cfg.checkpoint);
+  ASSERT_TRUE(serial.has_value());
+  auto stored = server.read_file("/ckpt/one");
+  ASSERT_TRUE(stored.has_value());
+  ASSERT_EQ(stored->size(), serial->size());
+  EXPECT_TRUE(std::equal(stored->begin(), stored->end(), serial->begin()));
+}
+
+TEST(StreamingDumpTest, RejectsZeroQueueCapacity) {
+  auto cfg = small_slabs();
+  cfg.queue_capacity = 0;
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{1};
+  const auto stats =
+      streaming_dump(make_field(12), pool, client, "/ckpt/zq", cfg);
+  EXPECT_FALSE(stats.has_value());
+}
+
+TEST(StreamingDumpTest, RejectsUnknownCodec) {
+  auto cfg = small_slabs();
+  cfg.checkpoint.codec = "no-such-codec";
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{1};
+  const auto stats =
+      streaming_dump(make_field(12), pool, client, "/ckpt/uc", cfg);
+  EXPECT_FALSE(stats.has_value());
+}
+
+TEST(StreamingDumpTest, ProducerFailureAbortsPipelineWithRealError) {
+  // A NaN poisons one slab: its compressor rejects non-finite input, the
+  // producer closes the queue, the writer unwinds, and the caller sees
+  // the compressor's status (not a hang, not a generic internal error).
+  auto field = make_field();
+  field.mutable_values()[field.element_count() / 2] =
+      std::numeric_limits<float>::quiet_NaN();
+
+  io::NfsServer server;
+  io::NfsClient client{server};
+  ThreadPool pool{4};
+  const auto stats =
+      streaming_dump(field, pool, client, "/ckpt/nan", small_slabs());
+  ASSERT_FALSE(stats.has_value());
+  EXPECT_NE(stats.status().to_string().find("finite"), std::string::npos)
+      << stats.status().to_string();
+}
+
+}  // namespace
+}  // namespace lcp::core
