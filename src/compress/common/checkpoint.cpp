@@ -109,40 +109,15 @@ Expected<Manifest> parse_manifest(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
-/// Linear ramp across each run of lost slabs, anchored on the surviving
-/// neighbor values (held flat when only one side survived, zero when
-/// nothing did).
+/// Adapter from recover_checkpoint's verdicts to the shared region fill.
 void interpolate_lost(std::span<float> out,
                       const std::vector<SlabVerdict>& slabs) {
-  std::size_t i = 0;
-  while (i < slabs.size()) {
-    if (slabs[i].recovered) {
-      ++i;
-      continue;
-    }
-    std::size_t j = i;
-    while (j < slabs.size() && !slabs[j].recovered) {
-      ++j;
-    }
-    const std::size_t lo = slabs[i].element_offset;
-    const std::size_t hi =
-        slabs[j - 1].element_offset + slabs[j - 1].element_count;
-    const bool has_left = i > 0;
-    const bool has_right = j < slabs.size();
-    if (!has_left && !has_right) {
-      return;  // nothing survived: the zero fill stands
-    }
-    const float left = has_left ? out[lo - 1] : out[hi];
-    const float right = has_right ? out[hi] : left;
-    const std::size_t len = hi - lo;
-    for (std::size_t k = 0; k < len; ++k) {
-      const double t =
-          static_cast<double>(k + 1) / static_cast<double>(len + 1);
-      out[lo + k] = static_cast<float>((1.0 - t) * static_cast<double>(left) +
-                                       t * static_cast<double>(right));
-    }
-    i = j;
+  std::vector<SlabRegion> regions;
+  regions.reserve(slabs.size());
+  for (const auto& v : slabs) {
+    regions.push_back({v.element_offset, v.element_count, v.recovered});
   }
+  interpolate_lost_regions(out, regions);
 }
 
 /// Shared slab walk for both decode paths: decodes each slab chunk into
@@ -182,6 +157,43 @@ void decode_slabs(const FrameRecovery& rec, const Manifest& manifest,
 }
 
 }  // namespace
+
+void interpolate_lost_regions(std::span<float> out,
+                              std::span<const SlabRegion> regions) {
+  std::size_t i = 0;
+  while (i < regions.size()) {
+    if (regions[i].recovered) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < regions.size() && !regions[j].recovered) {
+      ++j;
+    }
+    const std::size_t lo = regions[i].element_offset;
+    const std::size_t hi =
+        regions[j - 1].element_offset + regions[j - 1].element_count;
+    const bool has_left = i > 0;
+    const bool has_right = j < regions.size();
+    if (!has_left && !has_right) {
+      return;  // nothing survived: the caller's zero fill stands
+    }
+    // Boundary clamp: a run at either end of the field has one surviving
+    // neighbor; both anchors collapse to it, so the ramp below degenerates
+    // to a flat nearest-neighbor fill instead of extrapolating past the
+    // field edge.
+    const float left = has_left ? out[lo - 1] : out[hi];
+    const float right = has_right ? out[hi] : left;
+    const std::size_t len = hi - lo;
+    for (std::size_t k = 0; k < len; ++k) {
+      const double t =
+          static_cast<double>(k + 1) / static_cast<double>(len + 1);
+      out[lo + k] = static_cast<float>((1.0 - t) * static_cast<double>(left) +
+                                       t * static_cast<double>(right));
+    }
+    i = j;
+  }
+}
 
 std::size_t checkpoint_slab_count(const data::Field& field,
                                   const CheckpointOptions& options) noexcept {

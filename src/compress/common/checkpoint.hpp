@@ -96,6 +96,24 @@ struct RecoveryReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// One contiguous element region of a sliced field and whether its slab
+/// survived — the minimal shape interpolate_lost_regions needs, shared by
+/// recover_checkpoint and the incremental checkpoint store's restore path.
+struct SlabRegion {
+  std::size_t element_offset = 0;
+  std::size_t element_count = 0;
+  bool recovered = false;
+};
+
+/// Fills each run of lost regions in `out` with a linear ramp anchored on
+/// the surviving neighbor elements. Boundary clamp: a run at either end of
+/// the field has only one surviving neighbor and is held flat at that
+/// nearest neighbor's value (no extrapolation); a field with no surviving
+/// regions at all is left untouched (the caller's zero fill stands).
+/// `regions` must be contiguous, in element order, and cover `out`.
+void interpolate_lost_regions(std::span<float> out,
+                              std::span<const SlabRegion> regions);
+
 /// Graceful-degradation decode of a checkpoint stream. Fails only when
 /// the frame layout or both manifest copies are unrecoverable (or when
 /// policy.fail_on_any_loss is set and anything was lost); all other

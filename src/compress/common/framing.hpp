@@ -46,6 +46,12 @@ inline constexpr std::uint8_t kFrameVersion = 1;
 /// (checkpoint mode, see checkpoint.hpp) rather than an arbitrary byte
 /// stream split at nominal chunk boundaries.
 inline constexpr std::uint8_t kFrameFlagCheckpoint = 0x01;
+/// flags bit 1: chunk payloads are manifest-journal entries, one framed
+/// generation record per chunk (core/incremental_checkpoint.hpp). The
+/// per-chunk CRC makes a tampered generation fail closed while the rest
+/// of the journal stays readable, and the trailer replica protects the
+/// entry layout exactly as it does for checkpoints.
+inline constexpr std::uint8_t kFrameFlagJournal = 0x02;
 
 /// Upper bound on chunk_count accepted from a (possibly hostile) header,
 /// checked before any allocation. 2^20 chunks of 1 MiB covers a 1 TB dump.

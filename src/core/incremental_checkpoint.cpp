@@ -1,0 +1,770 @@
+#include "core/incremental_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <set>
+#include <utility>
+
+#include "compress/common/container.hpp"
+#include "compress/common/framing.hpp"
+#include "compress/common/registry.hpp"
+#include "support/bytestream.hpp"
+#include "support/checksum.hpp"
+
+namespace lcp::core {
+namespace {
+
+// Journal stream layout: chunk 0 is a header record naming the journal
+// epoch and the live generation list; chunks 1..n are generation entries.
+// Entries are merged across replicas BY GENERATION NUMBER, never by chunk
+// position: a rewrite (append or drop) shifts positions, and a replica
+// that slept through it would otherwise present CRC-valid chunks that
+// "disagree" with fresh ones. The epoch makes freshness explicit — the
+// highest epoch among readable copies names the live generation set, and
+// any replica's intact copy of an immutable entry can serve it.
+constexpr std::uint32_t kJournalHeaderMagic = 0x484A434CU;  // "LCJH"
+constexpr std::uint32_t kJournalEntryMagic = 0x4A50434CU;   // "LCPJ"
+constexpr std::uint8_t kJournalVersion = 1;
+
+struct JournalHeader {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> generations;
+};
+
+std::vector<std::uint8_t> build_header(const JournalHeader& h) {
+  ByteWriter w;
+  w.write_u32(kJournalHeaderMagic);
+  w.write_u8(kJournalVersion);
+  w.write_u64(h.epoch);
+  w.write_u32(static_cast<std::uint32_t>(h.generations.size()));
+  for (std::uint64_t g : h.generations) {
+    w.write_u64(g);
+  }
+  return w.finish();
+}
+
+Expected<JournalHeader> parse_header(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto magic = r.read_u32();
+  if (!magic || *magic != kJournalHeaderMagic) {
+    return Status::corrupt_data("bad journal header magic");
+  }
+  auto version = r.read_u8();
+  if (!version || *version != kJournalVersion) {
+    return Status::unsupported("unknown journal version");
+  }
+  JournalHeader h;
+  auto epoch = r.read_u64();
+  if (!epoch) {
+    return epoch.status().with_context("journal epoch");
+  }
+  h.epoch = *epoch;
+  auto count = r.read_u32();
+  if (!count || *count > compress::kMaxFrameChunks) {
+    return Status::corrupt_data("journal generation count invalid");
+  }
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto g = r.read_u64();
+    if (!g || *g == 0 || *g <= prev) {
+      return Status::corrupt_data("journal generation list not increasing");
+    }
+    prev = *g;
+    h.generations.push_back(*g);
+  }
+  if (r.remaining() != 0) {
+    return Status::corrupt_data("journal header has trailing bytes");
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> build_entry(const GenerationEntry& e) {
+  ByteWriter w;
+  w.write_u32(kJournalEntryMagic);
+  w.write_u8(kJournalVersion);
+  w.write_u64(e.generation);
+  w.write_u64(e.parent);
+  w.write_string(e.codec);
+  w.write_u8(static_cast<std::uint8_t>(e.bound.mode));
+  w.write_f64(e.bound.value);
+  w.write_u8(static_cast<std::uint8_t>(e.dims.rank()));
+  for (std::size_t extent : e.dims.extents()) {
+    w.write_u64(extent);
+  }
+  w.write_string(e.field_name);
+  w.write_u64(e.chunk_elements);
+  w.write_u32(e.dirty_slabs);
+  w.write_u32(static_cast<std::uint32_t>(e.slabs.size()));
+  for (const SlabRecord& s : e.slabs) {
+    w.write_u64(s.raw_hash);
+    w.write_u64(s.stored_hash);
+    w.write_u64(s.stored_bytes);
+  }
+  return w.finish();
+}
+
+Expected<GenerationEntry> parse_entry(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto magic = r.read_u32();
+  if (!magic || *magic != kJournalEntryMagic) {
+    return Status::corrupt_data("bad journal entry magic");
+  }
+  auto version = r.read_u8();
+  if (!version || *version != kJournalVersion) {
+    return Status::unsupported("unknown journal entry version");
+  }
+  GenerationEntry e;
+  auto generation = r.read_u64();
+  if (!generation || *generation == 0) {
+    return Status::corrupt_data("journal entry generation invalid");
+  }
+  e.generation = *generation;
+  auto parent = r.read_u64();
+  if (!parent || *parent >= e.generation) {
+    return Status::corrupt_data("journal entry parent invalid");
+  }
+  e.parent = *parent;
+  auto codec = r.read_string();
+  if (!codec) {
+    return codec.status().with_context("journal entry codec");
+  }
+  e.codec = std::move(*codec);
+  auto mode = r.read_u8();
+  if (!mode || *mode > static_cast<std::uint8_t>(
+                           compress::BoundMode::kPointwiseRelative)) {
+    return Status::corrupt_data("journal entry bound mode invalid");
+  }
+  auto value = r.read_f64();
+  if (!value) {
+    return value.status().with_context("journal entry bound");
+  }
+  e.bound =
+      compress::ErrorBound{static_cast<compress::BoundMode>(*mode), *value};
+  auto rank = r.read_u8();
+  if (!rank || *rank == 0 || *rank > 4) {
+    return Status::corrupt_data("journal entry rank out of range");
+  }
+  std::vector<std::size_t> extents;
+  std::uint64_t elements = 1;
+  for (std::uint8_t i = 0; i < *rank; ++i) {
+    auto extent = r.read_u64();
+    if (!extent || *extent == 0) {
+      return Status::corrupt_data("journal entry extent invalid");
+    }
+    if (*extent > compress::kMaxContainerElements ||
+        elements > compress::kMaxContainerElements / *extent) {
+      return Status::corrupt_data("journal entry dims exceed element limit");
+    }
+    elements *= *extent;
+    extents.push_back(static_cast<std::size_t>(*extent));
+  }
+  e.dims = data::Dims{std::move(extents)};
+  auto name = r.read_string();
+  if (!name) {
+    return name.status().with_context("journal entry field name");
+  }
+  e.field_name = std::move(*name);
+  auto chunk_elements = r.read_u64();
+  if (!chunk_elements || *chunk_elements == 0) {
+    return Status::corrupt_data("journal entry chunk_elements invalid");
+  }
+  e.chunk_elements = *chunk_elements;
+  auto dirty = r.read_u32();
+  if (!dirty) {
+    return dirty.status().with_context("journal entry dirty count");
+  }
+  e.dirty_slabs = *dirty;
+  auto slab_count = r.read_u32();
+  if (!slab_count) {
+    return slab_count.status().with_context("journal entry slab count");
+  }
+  const std::uint64_t expected_slabs =
+      (elements + e.chunk_elements - 1) / e.chunk_elements;
+  if (*slab_count != expected_slabs || e.dirty_slabs > *slab_count) {
+    return Status::corrupt_data(
+        "journal entry slab count inconsistent with dims");
+  }
+  e.slabs.reserve(*slab_count);
+  for (std::uint32_t i = 0; i < *slab_count; ++i) {
+    SlabRecord s;
+    auto raw = r.read_u64();
+    auto stored = r.read_u64();
+    auto size = r.read_u64();
+    if (!raw || !stored || !size || *size == 0) {
+      return Status::corrupt_data("journal entry slab record invalid");
+    }
+    s.raw_hash = *raw;
+    s.stored_hash = *stored;
+    s.stored_bytes = *size;
+    e.slabs.push_back(s);
+  }
+  if (r.remaining() != 0) {
+    return Status::corrupt_data("journal entry has trailing bytes");
+  }
+  return e;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::span<const std::uint8_t> slab_raw_bytes(std::span<const float> values,
+                                             std::size_t offset,
+                                             std::size_t count) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data() + offset),
+          count * sizeof(float)};
+}
+
+bool same_layout(const GenerationEntry& e, const data::Field& field,
+                 const compress::CheckpointOptions& options) {
+  return e.codec == options.codec && e.bound.mode == options.bound.mode &&
+         e.bound.value == options.bound.value && e.dims == field.dims() &&
+         e.field_name == field.name() &&
+         e.chunk_elements == options.chunk_elements;
+}
+
+}  // namespace
+
+std::size_t RestoreReport::recovered_slabs() const noexcept {
+  std::size_t count = 0;
+  for (const auto& s : slabs) {
+    count += s.recovered ? 1 : 0;
+  }
+  return count;
+}
+
+IncrementalCheckpointStore::IncrementalCheckpointStore(
+    io::ReplicaSet& replicas, IncrementalStoreOptions options)
+    : replicas_(replicas), options_(std::move(options)) {}
+
+std::string IncrementalCheckpointStore::slab_path(
+    std::uint64_t stored_hash) const {
+  return options_.root + "/slabs/" + hex16(stored_hash);
+}
+
+std::string IncrementalCheckpointStore::journal_path() const {
+  return options_.root + "/journal";
+}
+
+std::vector<std::uint8_t>
+IncrementalCheckpointStore::build_journal_with_epoch(
+    const std::vector<GenerationEntry>& entries) const {
+  compress::FrameParams params;
+  params.flags = compress::kFrameFlagJournal;
+  compress::FramedWriter writer{params};
+  JournalHeader header;
+  header.epoch = epoch_ + 1;
+  for (const GenerationEntry& e : entries) {
+    header.generations.push_back(e.generation);
+  }
+  writer.append_chunk(build_header(header));
+  for (const GenerationEntry& e : entries) {
+    writer.append_chunk(build_entry(e));
+  }
+  return writer.finish();
+}
+
+Status IncrementalCheckpointStore::put_file(
+    const std::string& path, std::span<const std::uint8_t> data) {
+  // NfsClient::write_file appends on the fault-free path, so a stale file
+  // under the same name must be dropped first; remove_file skips missing
+  // and down-replica copies.
+  auto removed = replicas_.remove_file(path);
+  if (!removed.has_value()) {
+    return removed.status().with_context("replacing '" + path + "'");
+  }
+  return replicas_.write_file(path, data).status;
+}
+
+void IncrementalCheckpointStore::rebuild_index(
+    const std::vector<GenerationEntry>& entries) {
+  stored_objects_.clear();
+  for (const GenerationEntry& e : entries) {
+    for (const SlabRecord& s : e.slabs) {
+      stored_objects_.push_back(s.stored_hash);
+    }
+  }
+  std::sort(stored_objects_.begin(), stored_objects_.end());
+  stored_objects_.erase(
+      std::unique(stored_objects_.begin(), stored_objects_.end()),
+      stored_objects_.end());
+}
+
+Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
+    bool& degraded, std::uint64_t* epoch_out) const {
+  degraded = false;
+  if (epoch_out != nullptr) {
+    *epoch_out = 0;
+  }
+  const std::string path = journal_path();
+  const std::size_t n = replicas_.replica_count();
+
+  struct Copy {
+    compress::FrameRecovery frame;
+    std::span<const std::uint8_t> bytes;
+  };
+  std::vector<Copy> readable;
+  std::size_t absent = 0;
+  Status last_error = Status::ok();
+  for (std::size_t r = 0; r < n; ++r) {
+    if (replicas_.replica_down(r)) {
+      degraded = true;
+      continue;
+    }
+    auto bytes = replicas_.server(r).read_file(path);
+    if (!bytes.has_value()) {
+      ++absent;
+      continue;
+    }
+    auto frame = compress::recover_framed(*bytes);
+    if (!frame.has_value() ||
+        (frame->info.flags & compress::kFrameFlagJournal) == 0) {
+      last_error = frame.has_value()
+                       ? Status::corrupt_data("journal frame flag missing")
+                       : frame.status();
+      degraded = true;
+      continue;
+    }
+    readable.push_back({std::move(*frame), *bytes});
+  }
+
+  if (readable.empty()) {
+    if (last_error.is_ok() && absent > 0) {
+      // No replica holds a journal at all: a fresh store, not a failure.
+      return std::vector<GenerationEntry>{};
+    }
+    if (last_error.is_ok()) {
+      return Status::unavailable("journal unreachable on every replica");
+    }
+    return Status{last_error.code(),
+                  "journal unreadable on every replica: " +
+                      last_error.message()};
+  }
+  if (readable.size() < replicas_.write_quorum()) {
+    // Fail closed below quorum: with fewer copies than the write quorum
+    // we cannot rule out every readable copy being stale (R + W > N is
+    // what guarantees the freshest epoch is represented).
+    return Status::unavailable(
+        "journal readable on " + std::to_string(readable.size()) +
+        " replicas, need quorum " + std::to_string(replicas_.write_quorum()));
+  }
+  if (readable.size() < n) {
+    degraded = true;
+  }
+
+  // Freshness: the highest epoch among intact headers names the live
+  // generation list. Equal-epoch headers must agree byte-for-byte — two
+  // CRC-valid headers that disagree are a fork, not random damage.
+  bool have_header = false;
+  JournalHeader winner;
+  std::span<const std::uint8_t> winner_bytes;
+  for (const Copy& copy : readable) {
+    if (copy.frame.chunks.empty() ||
+        copy.frame.chunks.front().state != compress::ChunkState::kIntact) {
+      degraded = true;
+      continue;
+    }
+    auto header = parse_header(copy.frame.chunks.front().payload);
+    if (!header.has_value()) {
+      return header.status().with_context("journal header (crc-valid)");
+    }
+    if (!have_header || header->epoch > winner.epoch) {
+      have_header = true;
+      winner = std::move(*header);
+      winner_bytes = copy.frame.chunks.front().payload;
+    } else if (header->epoch == winner.epoch) {
+      const auto& b = copy.frame.chunks.front().payload;
+      if (b.size() != winner_bytes.size() ||
+          !std::equal(b.begin(), b.end(), winner_bytes.begin())) {
+        return Status::corrupt_data(
+            "journal fork: equal-epoch headers disagree");
+      }
+    }
+  }
+  if (!have_header) {
+    return Status::corrupt_data("journal header lost on every replica");
+  }
+  if (epoch_out != nullptr) {
+    *epoch_out = winner.epoch;
+  }
+
+  // Candidate entry bytes per generation, from every replica's intact
+  // chunks. Entries are immutable once written, so any intact copy of a
+  // generation may serve it — but all intact copies must agree.
+  std::map<std::uint64_t, std::span<const std::uint8_t>> candidates;
+  for (const Copy& copy : readable) {
+    for (std::size_t c = 1; c < copy.frame.chunks.size(); ++c) {
+      const auto& chunk = copy.frame.chunks[c];
+      if (chunk.state != compress::ChunkState::kIntact) {
+        degraded = true;
+        continue;
+      }
+      auto entry = parse_entry(chunk.payload);
+      if (!entry.has_value()) {
+        return entry.status().with_context("journal entry (crc-valid)");
+      }
+      auto [it, inserted] =
+          candidates.try_emplace(entry->generation, chunk.payload);
+      if (!inserted) {
+        const auto& prev = it->second;
+        if (prev.size() != chunk.payload.size() ||
+            !std::equal(prev.begin(), prev.end(), chunk.payload.begin())) {
+          return Status::corrupt_data(
+              "journal fork: generation " +
+              std::to_string(entry->generation) +
+              " has disagreeing crc-valid copies");
+        }
+      }
+    }
+  }
+
+  std::vector<GenerationEntry> entries;
+  for (std::uint64_t g : winner.generations) {
+    const auto it = candidates.find(g);
+    if (it == candidates.end()) {
+      // Every copy of this entry is damaged: the generation is lost, but
+      // the journal fails open to the surviving ones (restore of the lost
+      // generation reports "not in journal" instead of a silent wrong
+      // answer, because its slabs are unreachable without the entry).
+      degraded = true;
+      continue;
+    }
+    auto entry = parse_entry(it->second);
+    if (!entry.has_value()) {
+      return entry.status();
+    }
+    entries.push_back(std::move(*entry));
+  }
+  return entries;
+}
+
+Status IncrementalCheckpointStore::ensure_loaded_locked() {
+  if (loaded_) {
+    return Status::ok();
+  }
+  bool degraded = false;
+  std::uint64_t epoch = 0;
+  auto entries = load_journal(degraded, &epoch);
+  if (!entries.has_value()) {
+    return entries.status();
+  }
+  entries_ = std::move(*entries);
+  epoch_ = epoch;
+  rebuild_index(entries_);
+  loaded_ = true;
+  return Status::ok();
+}
+
+Status IncrementalCheckpointStore::open() {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  loaded_ = false;
+  const Status st = ensure_loaded_locked();
+  if (!st.is_ok()) {
+    return st.with_context("incremental store open");
+  }
+  return Status::ok();
+}
+
+Expected<DumpSummary> IncrementalCheckpointStore::dump(
+    const data::Field& field) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  LCP_RETURN_IF_ERROR(ensure_loaded_locked());
+  const compress::CheckpointOptions& opts = options_.checkpoint;
+  if (field.element_count() == 0) {
+    return Status::invalid_argument("incremental dump needs a non-empty field");
+  }
+  if (opts.chunk_elements == 0) {
+    return Status::invalid_argument(
+        "incremental dump chunk_elements must be > 0");
+  }
+  auto codec = compress::make_compressor(opts.codec);
+  if (!codec.has_value()) {
+    return codec.status().with_context("incremental dump");
+  }
+
+  const Bytes wire_before = replicas_.bytes_replicated();
+  const std::size_t n = field.element_count();
+  const std::size_t slab_count =
+      (n + opts.chunk_elements - 1) / opts.chunk_elements;
+  const auto values = field.values();
+
+  const GenerationEntry* parent =
+      entries_.empty() ? nullptr : &entries_.back();
+  const bool parent_comparable =
+      parent != nullptr && same_layout(*parent, field, opts) &&
+      parent->slabs.size() == slab_count;
+
+  GenerationEntry entry;
+  entry.generation = parent == nullptr ? 1 : parent->generation + 1;
+  entry.parent = parent == nullptr ? 0 : parent->generation;
+  entry.codec = opts.codec;
+  entry.bound = opts.bound;
+  entry.dims = field.dims();
+  entry.field_name = field.name();
+  entry.chunk_elements = opts.chunk_elements;
+  entry.slabs.reserve(slab_count);
+
+  DumpSummary summary;
+  summary.generation = entry.generation;
+  summary.slab_count = slab_count;
+
+  for (std::size_t s = 0; s < slab_count; ++s) {
+    const std::size_t offset = s * opts.chunk_elements;
+    const std::size_t count = std::min(opts.chunk_elements, n - offset);
+    const std::uint64_t raw_hash =
+        fnv1a64(slab_raw_bytes(values, offset, count));
+    if (parent_comparable && parent->slabs[s].raw_hash == raw_hash) {
+      entry.slabs.push_back(parent->slabs[s]);
+      continue;
+    }
+    ++summary.dirty_slabs;
+    auto compressed = compress::compress_checkpoint_slab(field, opts, s,
+                                                         **codec);
+    if (!compressed.has_value()) {
+      return compressed.status().with_context("incremental dump");
+    }
+    const std::uint64_t stored_hash = fnv1a64(*compressed);
+    const bool already_stored =
+        std::binary_search(stored_objects_.begin(), stored_objects_.end(),
+                           stored_hash);
+    if (!already_stored) {
+      const Status st = put_file(slab_path(stored_hash), *compressed);
+      if (!st.is_ok()) {
+        // Objects written before the failure are orphans until the next
+        // gc(); the generation itself is never published, so no reader
+        // can observe the partial dump.
+        return st.with_context("incremental dump: slab " + std::to_string(s));
+      }
+      stored_objects_.insert(
+          std::lower_bound(stored_objects_.begin(), stored_objects_.end(),
+                           stored_hash),
+          stored_hash);
+      ++summary.written_slabs;
+      summary.payload_bytes = summary.payload_bytes + Bytes{compressed->size()};
+    }
+    entry.slabs.push_back({raw_hash, stored_hash, compressed->size()});
+  }
+  entry.dirty_slabs = static_cast<std::uint32_t>(summary.dirty_slabs);
+
+  // Publish: the generation exists once the journal rewrite reaches
+  // quorum, and not before.
+  std::vector<GenerationEntry> next = entries_;
+  next.push_back(entry);
+  std::vector<std::uint8_t> journal = build_journal_with_epoch(next);
+  const Status st = put_file(journal_path(), journal);
+  if (!st.is_ok()) {
+    return st.with_context("incremental dump: journal");
+  }
+  ++epoch_;
+  entries_ = std::move(next);
+  summary.journal_bytes = Bytes{journal.size()};
+  summary.replicated_bytes =
+      Bytes{replicas_.bytes_replicated().bytes() - wire_before.bytes()};
+  return summary;
+}
+
+Expected<RestoreReport> IncrementalCheckpointStore::restore(
+    std::uint64_t generation, const compress::RecoveryPolicy& policy) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  bool degraded = false;
+  auto entries = load_journal(degraded);
+  if (!entries.has_value()) {
+    return entries.status().with_context("incremental restore");
+  }
+  const GenerationEntry* entry = nullptr;
+  for (const GenerationEntry& e : *entries) {
+    if (e.generation == generation) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return Status::invalid_argument(
+        "generation " + std::to_string(generation) + " not in journal");
+  }
+
+  const std::size_t n = entry->dims.element_count();
+  const std::size_t count = entry->slabs.size();
+  RestoreReport report;
+  report.generation = generation;
+  report.total_elements = n;
+  report.journal_degraded = degraded;
+  report.slabs.resize(count);
+  std::vector<float> out(n, 0.0F);
+
+  for (std::size_t s = 0; s < count; ++s) {
+    compress::SlabVerdict& v = report.slabs[s];
+    v.chunk_seq = static_cast<std::uint32_t>(s);
+    v.element_offset = s * entry->chunk_elements;
+    v.element_count =
+        std::min<std::size_t>(entry->chunk_elements, n - v.element_offset);
+    const std::uint64_t want = entry->slabs[s].stored_hash;
+    // Content addressing makes the object self-verifying: a copy whose
+    // hash does not match its name is rejected and the read fails over.
+    auto fetched = replicas_.read_file(
+        slab_path(want), s % replicas_.replica_count(),
+        [want](std::span<const std::uint8_t> bytes) {
+          if (fnv1a64(bytes) != want) {
+            return Status::corrupt_data("slab object hash mismatch");
+          }
+          return Status::ok();
+        });
+    if (!fetched.has_value()) {
+      v.frame_state = compress::ChunkState::kMissing;
+      v.status = fetched.status().with_context("slab " + std::to_string(s));
+      report.slab_failovers += replicas_.replica_count();
+      report.lost_elements += v.element_count;
+      continue;
+    }
+    report.slab_failovers += fetched->failovers;
+    auto decoded = compress::decompress_any(fetched->bytes);
+    if (!decoded.has_value()) {
+      // Hash-verified bytes that fail to decode mean the stored object
+      // was bad at write time; no other replica can do better.
+      v.frame_state = compress::ChunkState::kCorrupt;
+      v.status = decoded.status().with_context("slab " + std::to_string(s));
+      report.lost_elements += v.element_count;
+      continue;
+    }
+    if (decoded->field.element_count() != v.element_count) {
+      v.frame_state = compress::ChunkState::kCorrupt;
+      v.status = Status::corrupt_data("slab element count mismatch")
+                     .with_context("slab " + std::to_string(s));
+      report.lost_elements += v.element_count;
+      continue;
+    }
+    const auto slab_values = decoded->field.values();
+    std::copy(slab_values.begin(), slab_values.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(v.element_offset));
+    v.frame_state = compress::ChunkState::kIntact;
+    v.status = Status::ok();
+    v.recovered = true;
+  }
+
+  if (policy.fail_on_any_loss && report.lost_elements > 0) {
+    for (const auto& v : report.slabs) {
+      if (!v.recovered) {
+        return v.status.with_context("incremental restore (strict policy)");
+      }
+    }
+  }
+  if (policy.fill == compress::RecoveryFill::kInterpolate &&
+      report.lost_elements > 0) {
+    std::vector<compress::SlabRegion> regions;
+    regions.reserve(count);
+    for (const auto& v : report.slabs) {
+      regions.push_back({v.element_offset, v.element_count, v.recovered});
+    }
+    compress::interpolate_lost_regions(out, regions);
+  }
+  report.field = data::Field{entry->field_name, entry->dims, std::move(out)};
+  return report;
+}
+
+Expected<RestoreReport> IncrementalCheckpointStore::restore_latest(
+    const compress::RecoveryPolicy& policy) const {
+  std::uint64_t newest = 0;
+  {
+    // Find the newest generation under a shared lock, then release it
+    // before delegating (shared_mutex is not recursive).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    bool degraded = false;
+    auto entries = load_journal(degraded);
+    if (!entries.has_value()) {
+      return entries.status().with_context("incremental restore_latest");
+    }
+    if (entries->empty()) {
+      return Status::invalid_argument("journal holds no generations");
+    }
+    newest = entries->back().generation;
+  }
+  return restore(newest, policy);
+}
+
+Status IncrementalCheckpointStore::drop_generation(std::uint64_t generation) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  LCP_RETURN_IF_ERROR(ensure_loaded_locked());
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [generation](const GenerationEntry& e) {
+        return e.generation == generation;
+      });
+  if (it == entries_.end()) {
+    return Status::invalid_argument(
+        "generation " + std::to_string(generation) + " not in journal");
+  }
+  std::vector<GenerationEntry> next = entries_;
+  next.erase(next.begin() + (it - entries_.begin()));
+  const std::vector<std::uint8_t> journal = build_journal_with_epoch(next);
+  const Status st = put_file(journal_path(), journal);
+  if (!st.is_ok()) {
+    return st.with_context("drop_generation");
+  }
+  ++epoch_;
+  entries_ = std::move(next);
+  // The dropped generation's exclusive objects stay on disk until gc();
+  // the index must forget them NOW so a later dump re-writes rather than
+  // referencing a file gc() is about to delete.
+  rebuild_index(entries_);
+  return Status::ok();
+}
+
+Expected<GcReport> IncrementalCheckpointStore::gc() {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  LCP_RETURN_IF_ERROR(ensure_loaded_locked());
+  rebuild_index(entries_);
+  std::set<std::string> live;
+  for (std::uint64_t h : stored_objects_) {
+    live.insert(slab_path(h));
+  }
+
+  GcReport report;
+  report.objects_live = live.size();
+  const std::string prefix = options_.root + "/slabs/";
+  std::set<std::string> removed;
+  for (std::size_t r = 0; r < replicas_.replica_count(); ++r) {
+    if (replicas_.replica_down(r)) {
+      continue;  // stale objects on a down replica wait for the next gc
+    }
+    // GC is a storage-side administrative walk (REMOVE RPCs carry no
+    // payload), so it goes straight to the servers: no bytes land on the
+    // replica clients' transit counters.
+    io::NfsServer& server = replicas_.server(r);
+    for (const std::string& path : server.list_files(prefix)) {
+      if (live.contains(path)) {
+        continue;
+      }
+      auto freed = server.remove_file(path);
+      if (!freed.has_value()) {
+        return freed.status().with_context("gc: " + path);
+      }
+      report.bytes_freed = report.bytes_freed + Bytes{*freed};
+      removed.insert(path);
+    }
+  }
+  report.objects_removed = removed.size();
+  return report;
+}
+
+std::vector<std::uint64_t> IncrementalCheckpointStore::generations() const {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(entries_.size());
+  for (const GenerationEntry& e : entries_) {
+    out.push_back(e.generation);
+  }
+  return out;
+}
+
+std::uint64_t IncrementalCheckpointStore::latest_generation() const {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  return entries_.empty() ? 0 : entries_.back().generation;
+}
+
+}  // namespace lcp::core

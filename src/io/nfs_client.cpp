@@ -100,10 +100,25 @@ Status NfsClient::FileStream::write_at(std::uint64_t offset,
       if (!reply.has_value()) {
         return reply.status();
       }
+      // The offset path always returns the server's write verifier, so
+      // the streaming dump gets end-to-end CRC coverage even without an
+      // injector attached (a storage-side bit flip surfaces here, not as
+      // a silent mismatch at finish()).
+      if (*reply != crc32c(piece)) {
+        return Status::corrupt_data(
+            "nfs client: write verifier mismatch on stream '" + path_ + "'");
+      }
       c.sent_ += n;
       ++c.rpcs_;
     } else {
-      LCP_RETURN_IF_ERROR(c.write_chunk_with_retries(path_, at, piece));
+      const Status st = c.write_chunk_with_retries(path_, at, piece);
+      if (!st.is_ok()) {
+        // Mirror write_file's bookkeeping: a failed stream write still
+        // consumes the chunk indices of its remaining pieces, keeping the
+        // fault-window stream a pure function of the sizes written.
+        c.next_chunk_ += rpc_count - i - 1;
+        return st;
+      }
     }
     done += n;
     written_ += n;

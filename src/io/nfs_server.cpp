@@ -47,4 +47,27 @@ Expected<std::span<const std::uint8_t>> NfsServer::read_file(
   return std::span<const std::uint8_t>{it->second};
 }
 
+Expected<std::uint64_t> NfsServer::remove_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::invalid_argument("nfs: no such file: " + path);
+  }
+  const std::uint64_t freed = it->second.size();
+  bytes_stored_ -= freed;
+  files_.erase(it);
+  ++rpcs_;
+  return freed;
+}
+
+std::vector<std::string> NfsServer::list_files(
+    const std::string& prefix) const {
+  std::vector<std::string> paths;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    paths.push_back(it->first);
+  }
+  return paths;
+}
+
 }  // namespace lcp::io

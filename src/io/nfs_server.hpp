@@ -52,6 +52,16 @@ class NfsServer {
   [[nodiscard]] Expected<std::span<const std::uint8_t>> read_file(
       const std::string& path) const;
 
+  /// Removes one file (NFSv3 REMOVE). Returns the bytes freed; removing a
+  /// missing path is a typed error so garbage collectors can distinguish
+  /// "already gone" from "freed now".
+  Expected<std::uint64_t> remove_file(const std::string& path);
+
+  /// Paths currently stored under `prefix`, in lexicographic order (the
+  /// slab-store GC walk; std::map iteration makes it deterministic).
+  [[nodiscard]] std::vector<std::string> list_files(
+      const std::string& prefix) const;
+
   [[nodiscard]] bool has_file(const std::string& path) const noexcept {
     return files_.contains(path);
   }

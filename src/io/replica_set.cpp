@@ -1,0 +1,156 @@
+#include "io/replica_set.hpp"
+
+#include <utility>
+
+namespace lcp::io {
+
+ReplicaSet::ReplicaSet(std::vector<NfsServer*> servers,
+                       ReplicaSetConfig config)
+    : config_(config) {
+  replicas_.reserve(servers.size());
+  for (NfsServer* server : servers) {
+    LCP_REQUIRE(server != nullptr, "replica set: null server");
+    replicas_.push_back(std::make_unique<Replica>(*server, config_.client));
+  }
+  LCP_REQUIRE(!replicas_.empty(), "replica set: need at least one replica");
+  quorum_ = config_.write_quorum == 0 ? replicas_.size() / 2 + 1
+                                      : config_.write_quorum;
+  LCP_REQUIRE(quorum_ <= replicas_.size(),
+              "replica set: write quorum exceeds replica count");
+}
+
+void ReplicaSet::attach_fault_injector(std::size_t replica,
+                                       const FaultInjector* injector) {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  replicas_[replica]->client.attach_fault_injector(injector);
+}
+
+void ReplicaSet::set_replica_down(std::size_t replica, bool down) {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  replicas_[replica]->down = down;
+}
+
+bool ReplicaSet::replica_down(std::size_t replica) const {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  return replicas_[replica]->down;
+}
+
+ReplicaWriteOutcome ReplicaSet::write_file(
+    const std::string& path, std::span<const std::uint8_t> data) {
+  ReplicaWriteOutcome out;
+  out.per_replica.reserve(replicas_.size());
+  for (auto& r : replicas_) {
+    if (r->down) {
+      // No wire traffic: a down replica rejects before the first byte, so
+      // it costs nothing in the transit model but still misses the copy.
+      out.per_replica.push_back(
+          Status::unavailable("replica set: replica marked down"));
+      continue;
+    }
+    Status st = r->client.write_file(path, data);
+    if (st.is_ok()) {
+      ++out.acks;
+    }
+    out.per_replica.push_back(std::move(st));
+  }
+  if (out.acks >= quorum_) {
+    out.status = Status::ok();
+  } else {
+    std::string detail;
+    for (std::size_t i = 0; i < out.per_replica.size(); ++i) {
+      if (out.per_replica[i].is_ok()) {
+        continue;
+      }
+      if (!detail.empty()) {
+        detail += "; ";
+      }
+      detail += "replica " + std::to_string(i) + ": " +
+                out.per_replica[i].message();
+    }
+    out.status = Status::unavailable(
+        "replica set: write to '" + path + "' acked by " +
+        std::to_string(out.acks) + "/" + std::to_string(replicas_.size()) +
+        " replicas, quorum " + std::to_string(quorum_) + " (" + detail + ")");
+  }
+  return out;
+}
+
+Expected<std::uint64_t> ReplicaSet::remove_file(const std::string& path) {
+  std::uint64_t freed = 0;
+  for (auto& r : replicas_) {
+    if (r->down || !r->server->has_file(path)) {
+      continue;
+    }
+    auto got = r->server->remove_file(path);
+    LCP_RETURN_IF_ERROR(got.status());
+    freed += *got;
+  }
+  return freed;
+}
+
+Expected<ReplicaSet::ReadResult> ReplicaSet::read_file(
+    const std::string& path, std::size_t preferred,
+    const Verifier& verify) const {
+  const std::size_t n = replicas_.size();
+  Status last = Status::unavailable(
+      "replica set: no replica reachable for '" + path + "'");
+  std::size_t failovers = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t r = (preferred + step) % n;
+    const Replica& rep = *replicas_[r];
+    Status reject;
+    if (rep.down) {
+      reject = Status::unavailable("replica set: replica " +
+                                   std::to_string(r) + " marked down");
+    } else {
+      auto copy = rep.server->read_file(path);
+      if (!copy.has_value()) {
+        reject = copy.status();
+      } else {
+        // Fetching the copy puts its bytes on the wire whether or not it
+        // verifies: a rejected fetch is paid-for traffic, which is exactly
+        // why failover count matters to the energy ledger.
+        fetched_.fetch_add(copy->size(), std::memory_order_relaxed);
+        reject = verify ? verify(*copy) : Status::ok();
+        if (reject.is_ok()) {
+          ReadResult result;
+          result.bytes.assign(copy->begin(), copy->end());
+          result.replica = r;
+          result.failovers = failovers;
+          return result;
+        }
+      }
+    }
+    ++failovers;
+    read_failovers_.fetch_add(1, std::memory_order_relaxed);
+    last = std::move(reject);
+  }
+  return Status{last.code(), "replica set: all " + std::to_string(n) +
+                                 " replicas failed for '" + path +
+                                 "': " + last.message()};
+}
+
+NfsClient& ReplicaSet::client(std::size_t replica) {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  return replicas_[replica]->client;
+}
+
+NfsServer& ReplicaSet::server(std::size_t replica) {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  return *replicas_[replica]->server;
+}
+
+const NfsServer& ReplicaSet::server(std::size_t replica) const {
+  LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
+  return *replicas_[replica]->server;
+}
+
+Bytes ReplicaSet::bytes_replicated() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : replicas_) {
+    total += r->client.bytes_sent().bytes();
+  }
+  return Bytes{total};
+}
+
+}  // namespace lcp::io

@@ -1,0 +1,139 @@
+#pragma once
+// N-way replicated NFS storage: one client per backing NfsServer, writes
+// fanned out to every live replica, reads served by any replica whose copy
+// verifies. A single simulated NFS server is a single point of failure for
+// every joule already spent compressing a dump; the replica set makes the
+// stored bytes survive a server loss at the cost of R× write traffic —
+// the replication tax the transit energy model prices per byte.
+//
+// Semantics (deliberately NFS-simple, not a consensus protocol):
+//   - write_file fans out to every replica that is not administratively
+//     down; it succeeds when at least `write_quorum` replicas acked, and
+//     reports the per-replica statuses either way.
+//   - read_file walks the replicas in rotation from a caller-chosen start
+//     (so a slab restore spreads load), skips down replicas, applies the
+//     caller's verifier to each copy, and fails over to the next replica
+//     until a copy verifies. Content-addressed callers pass a hash check;
+//     the result records which replica served and how many failovers the
+//     read burned.
+//   - Each replica's client can carry its own FaultInjector, so a replica
+//     can be flaky (retry/backoff absorbs it) or hard-down (episodes with
+//     kFaultPersistsForever) independently of the others.
+//
+// Read-path counters are atomics: concurrent restores may share one
+// ReplicaSet as long as nothing is writing (the incremental checkpoint
+// store serializes its writers; see core/incremental_checkpoint.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/nfs_client.hpp"
+#include "io/nfs_server.hpp"
+#include "support/status.hpp"
+
+namespace lcp::io {
+
+struct ReplicaSetConfig {
+  /// Applied to every replica's client (link, RPC chunking, retry policy).
+  NfsClientConfig client;
+  /// Replicas that must ack a write before it counts as durable.
+  /// 0 = majority (N/2 + 1), the default quorum.
+  std::size_t write_quorum = 0;
+};
+
+/// Per-replica result of one fan-out write.
+struct ReplicaWriteOutcome {
+  std::size_t acks = 0;
+  std::vector<Status> per_replica;  ///< one entry per replica, in order
+  Status status;                    ///< OK iff acks >= write quorum
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+class ReplicaSet {
+ public:
+  /// Builds one client per server. Servers must outlive the set.
+  explicit ReplicaSet(std::vector<NfsServer*> servers,
+                      ReplicaSetConfig config = {});
+
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
+  /// Effective write quorum (config value, or majority when 0).
+  [[nodiscard]] std::size_t write_quorum() const noexcept { return quorum_; }
+
+  /// Attaches a fault injector to one replica's client (nullptr detaches).
+  void attach_fault_injector(std::size_t replica,
+                             const FaultInjector* injector);
+
+  /// Marks a replica administratively down: writes skip it (counted as a
+  /// failed ack), reads fail over past it without touching the wire.
+  void set_replica_down(std::size_t replica, bool down);
+  [[nodiscard]] bool replica_down(std::size_t replica) const;
+
+  /// Fans `data` out to every live replica. Keeps going after quorum is
+  /// reached (more durable copies never hurt) and after individual
+  /// failures (a failed replica must not mask the others' acks).
+  ReplicaWriteOutcome write_file(const std::string& path,
+                                 std::span<const std::uint8_t> data);
+
+  /// Removes `path` from every replica that holds it. Missing copies are
+  /// not errors (a replica that was down during the write never got one);
+  /// returns the total bytes freed across replicas.
+  Expected<std::uint64_t> remove_file(const std::string& path);
+
+  /// One verified read with failover.
+  struct ReadResult {
+    std::vector<std::uint8_t> bytes;
+    std::size_t replica = 0;    ///< replica that served the verified copy
+    std::size_t failovers = 0;  ///< replicas tried and rejected before it
+  };
+
+  /// Verifier contract: OK to accept a copy, any error to fail over.
+  using Verifier = std::function<Status(std::span<const std::uint8_t>)>;
+
+  /// Reads `path` from the first replica (rotating from `preferred`) whose
+  /// copy passes `verify` (no verifier = any present copy). Fails with the
+  /// last per-replica error once every replica has been tried.
+  [[nodiscard]] Expected<ReadResult> read_file(
+      const std::string& path, std::size_t preferred = 0,
+      const Verifier& verify = {}) const;
+
+  [[nodiscard]] NfsClient& client(std::size_t replica);
+  [[nodiscard]] NfsServer& server(std::size_t replica);
+  [[nodiscard]] const NfsServer& server(std::size_t replica) const;
+
+  /// Total payload bytes put on the wire across all replica clients: the
+  /// replication traffic the transit model prices (R× the logical bytes
+  /// when every replica is healthy).
+  [[nodiscard]] Bytes bytes_replicated() const noexcept;
+
+  /// Read-path accounting (atomic: restores run concurrently).
+  [[nodiscard]] std::uint64_t bytes_fetched() const noexcept {
+    return fetched_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t read_failovers() const noexcept {
+    return read_failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Replica {
+    Replica(NfsServer& s, const NfsClientConfig& cfg) : server(&s), client(s, cfg) {}
+    NfsServer* server;
+    NfsClient client;
+    bool down = false;
+  };
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  ReplicaSetConfig config_;
+  std::size_t quorum_ = 1;
+  mutable std::atomic<std::uint64_t> fetched_{0};
+  mutable std::atomic<std::uint64_t> read_failovers_{0};
+};
+
+}  // namespace lcp::io

@@ -65,4 +65,19 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept {
   return crc32c_finish(crc32c_update(kCrc32cInit, data));
 }
 
+std::uint64_t fnv1a64_update(std::uint64_t state,
+                             std::span<const std::uint8_t> data) noexcept {
+  constexpr std::uint64_t kPrime = 0x00000100000001B3ull;
+  std::uint64_t h = state;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
+  return fnv1a64_update(kFnv1a64Init, data);
+}
+
 }  // namespace lcp

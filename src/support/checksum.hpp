@@ -25,4 +25,24 @@ inline constexpr std::uint32_t kCrc32cInit = 0xFFFFFFFFu;
 /// One-shot CRC32C of `data` ("123456789" -> 0xE3069283).
 [[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept;
 
+// --- FNV-1a 64 --------------------------------------------------------------
+//
+// 64-bit content keys for the content-addressed slab store
+// (core/incremental_checkpoint.hpp). CRC32C stays the per-chunk wire/frame
+// check; slab identity needs the wider keyspace (a 512 GB dump at 128 KiB
+// slabs holds 2^22 slabs, where 32-bit keys would collide birthday-style
+// every few thousand generations while 2^64 keeps the expected collision
+// count negligible for the life of the store).
+
+inline constexpr std::uint64_t kFnv1a64Init = 0xCBF29CE484222325ull;
+
+/// Incremental update: chains like crc32c_update, starting from
+/// kFnv1a64Init (or a previous update's return value). No finalization
+/// step: the running state is the hash.
+[[nodiscard]] std::uint64_t fnv1a64_update(
+    std::uint64_t state, std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot FNV-1a 64 of `data` ("" -> kFnv1a64Init, "a" -> 0xAF63DC4C8601EC8C).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept;
+
 }  // namespace lcp

@@ -113,6 +113,82 @@ OverlapPlan plan_overlapped_dump(const power::ChipSpec& spec,
   return plan;
 }
 
+power::Workload scale_workload(const power::Workload& w,
+                               double factor) noexcept {
+  if (factor == 1.0) {
+    // Exact identity, not a multiply-by-one: the d = 1 incremental plan
+    // must reproduce plan_compressed_dump bit-for-bit.
+    return w;
+  }
+  power::Workload scaled = w;
+  scaled.cpu_ghz_seconds = w.cpu_ghz_seconds * factor;
+  scaled.stall_seconds = Seconds{w.stall_seconds.seconds() * factor};
+  scaled.floor_seconds = Seconds{w.floor_seconds.seconds() * factor};
+  return scaled;
+}
+
+double dirty_slab_fraction(double touched_fraction,
+                           std::size_t chunk_elements,
+                           std::size_t mean_run_elements) noexcept {
+  if (touched_fraction <= 0.0 || chunk_elements == 0 ||
+      mean_run_elements == 0) {
+    return touched_fraction <= 0.0 ? 0.0 : 1.0;
+  }
+  const double amplification = 1.0 + static_cast<double>(chunk_elements) /
+                                         static_cast<double>(mean_run_elements);
+  return std::min(1.0, touched_fraction * amplification);
+}
+
+namespace {
+
+bool is_zero_workload(const power::Workload& w) noexcept {
+  return w.cpu_ghz_seconds == 0.0 && w.stall_seconds.seconds() == 0.0 &&
+         w.floor_seconds.seconds() == 0.0;
+}
+
+}  // namespace
+
+IncrementalDumpPlan plan_incremental_dump(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& write_workload, const TuningRule& rule,
+    const IncrementalDumpSpec& inc) {
+  IncrementalDumpPlan plan;
+  plan.spec = inc;
+  plan.full_dump =
+      plan_compressed_dump(spec, compress_workload, write_workload, rule);
+
+  const double d = std::clamp(inc.dirty_fraction, 0.0, 1.0);
+  const double r = static_cast<double>(std::max<std::size_t>(1, inc.replicas));
+  const power::Workload inc_compress = scale_workload(compress_workload, d);
+  const power::Workload inc_write = scale_workload(write_workload, d * r);
+  // Overhead stages are appended only when non-zero, so the degenerate
+  // spec contributes exactly the two stages plan_compressed_dump builds.
+  const GigaHertz fc = rule.compression_frequency(spec.f_max);
+  const GigaHertz ft = rule.transit_frequency(spec.f_max);
+
+  PlanComparison& cmp = plan.plan;
+  if (!is_zero_workload(inc.hash_workload)) {
+    // Dirty detection hashes every raw slab, dirty or not: the cost of
+    // knowing d is paid on the whole field, every generation.
+    cmp.base.stages.push_back({"hash", inc.hash_workload, spec.f_max});
+    cmp.tuned.stages.push_back({"hash", inc.hash_workload, fc});
+  }
+  cmp.base.stages.push_back({"compress", inc_compress, spec.f_max});
+  cmp.base.stages.push_back({"write", inc_write, spec.f_max});
+  cmp.tuned.stages.push_back({"compress", inc_compress, fc});
+  cmp.tuned.stages.push_back({"write", inc_write, ft});
+  if (!is_zero_workload(inc.journal_workload)) {
+    const power::Workload journal = scale_workload(inc.journal_workload, r);
+    cmp.base.stages.push_back({"journal", journal, spec.f_max});
+    cmp.tuned.stages.push_back({"journal", journal, ft});
+  }
+  cmp.energy_base = cmp.base.total_energy(spec);
+  cmp.energy_tuned = cmp.tuned.total_energy(spec);
+  cmp.runtime_base = cmp.base.total_runtime(spec);
+  cmp.runtime_tuned = cmp.tuned.total_runtime(spec);
+  return plan;
+}
+
 double frame_survival_fraction(std::size_t chunk_bytes, double byte_loss_rate,
                                std::size_t per_chunk_overhead_bytes) {
   if (byte_loss_rate <= 0.0) {

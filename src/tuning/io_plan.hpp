@@ -149,6 +149,78 @@ struct OverlapPlan {
     const power::Workload& write_workload, const TuningRule& rule,
     std::size_t pipeline_depth);
 
+// --- Incremental (delta) dump ----------------------------------------------
+//
+// The replicated incremental checkpoint store (core/incremental_checkpoint)
+// compresses and ships only the slabs whose content hash changed since the
+// parent generation, then fans the written bytes out to R replicas. Both
+// effects are linear reweightings of the classic two-stage dump:
+//
+//   E_inc(d, R) = E_compress * d + E_write * d * R  (+ hash + journal)
+//
+// where d is the fraction of slabs dirty this generation. Scaling a
+// workload by k scales both its CPU term and its pipeline floor, so
+// max(k*t_cpu, k*floor) = k * max(t_cpu, floor): runtime and energy scale
+// exactly linearly and d = 1, R = 1 degenerates to plan_compressed_dump
+// bit-for-bit (the hash/journal overhead terms default to zero workloads,
+// which contribute no stage at all).
+
+/// Returns `w` with its CPU work, stall and pipeline-floor terms scaled by
+/// `factor` (the activity factor is a ratio and does not scale). A factor
+/// of exactly 1.0 returns `w` unchanged — the bit-for-bit degeneracy the
+/// incremental plan's d = 1 identity relies on.
+[[nodiscard]] power::Workload scale_workload(const power::Workload& w,
+                                             double factor) noexcept;
+
+/// Expected fraction of slabs dirtied when the application touches
+/// `touched_fraction` of the field's elements in contiguous runs of mean
+/// length `mean_run_elements`, and the store dirties whole slabs of
+/// `chunk_elements`. Each run of r elements straddles on average
+/// 1 + r/chunk slabs, so slab granularity amplifies the write set by
+/// (1 + chunk/run); the result is clamped to [0, 1].
+[[nodiscard]] double dirty_slab_fraction(double touched_fraction,
+                                         std::size_t chunk_elements,
+                                         std::size_t mean_run_elements) noexcept;
+
+/// Shape of one incremental dump generation.
+struct IncrementalDumpSpec {
+  /// Fraction of slabs whose content changed since the parent generation.
+  double dirty_fraction = 1.0;
+  /// Replication factor R: every written byte goes to R replicas.
+  std::size_t replicas = 1;
+  /// Cost of hashing every raw slab for dirty detection (paid on the full
+  /// field every dump, independent of d). Zero workload = no stage.
+  power::Workload hash_workload;
+  /// Cost of rewriting the manifest journal (paid once per dump, scaled
+  /// by R like any other written byte). Zero workload = no stage.
+  power::Workload journal_workload;
+};
+
+/// The incremental dump priced against the full dump it replaces.
+struct IncrementalDumpPlan {
+  IncrementalDumpSpec spec;
+  /// The incremental dump: hash + d-scaled compress + d*R-scaled write +
+  /// R-scaled journal, base clock vs tuned rule.
+  PlanComparison plan;
+  /// Reference full dump (d = 1, R = 1, no overhead terms).
+  PlanComparison full_dump;
+
+  /// Tuned-plan energy the delta dump saves over a full dump.
+  [[nodiscard]] Joules energy_saved_vs_full() const noexcept {
+    return full_dump.energy_tuned - plan.energy_tuned;
+  }
+};
+
+/// Builds the incremental-dump plan. `compress_workload` and
+/// `write_workload` describe the FULL field (they are scaled internally).
+/// With spec.dirty_fraction = 1, spec.replicas = 1 and zero overhead
+/// workloads, `plan` equals plan_compressed_dump on the same inputs
+/// bit-for-bit.
+[[nodiscard]] IncrementalDumpPlan plan_incremental_dump(
+    const power::ChipSpec& spec, const power::Workload& compress_workload,
+    const power::Workload& write_workload, const TuningRule& rule,
+    const IncrementalDumpSpec& inc);
+
 // --- Resilient-framing chunk-size trade-off --------------------------------
 //
 // A framed dump (compress/common/framing.hpp) splits the stream into

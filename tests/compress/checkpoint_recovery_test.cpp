@@ -161,6 +161,100 @@ TEST(CheckpointTest, InterpolateFillRampsAcrossLostSlab) {
   }
 }
 
+TEST(CheckpointTest, InterpolateClampsFlatAtLeadingSlab) {
+  // Slab 0 has no left neighbor: the fill must hold flat at the right
+  // neighbor's first value, never extrapolate the ramp below it.
+  const std::size_t n = 8192;
+  std::vector<float> ramp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ramp[i] = 100.0F + static_cast<float>(i);
+  }
+  const data::Field field{"ramp", data::Dims::d1(n), std::move(ramp)};
+  auto bytes = write_checkpoint(field, small_chunks(1024));
+  ASSERT_TRUE(bytes.has_value());
+
+  auto damaged = *bytes;
+  damaged[chunk_payload_offset(damaged, 1) + 2] ^= 0xFF;  // slab 0
+
+  RecoveryPolicy policy;
+  policy.fill = RecoveryFill::kInterpolate;
+  auto report = recover_checkpoint(damaged, policy);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_FALSE(report->slabs[0].recovered);
+  const auto values = report->field.values();
+  const float anchor = 100.0F + 1024.0F;  // first surviving element
+  for (std::size_t i = 0; i < 1024; ++i) {
+    ASSERT_EQ(values[i], anchor) << i;
+  }
+  // The surviving tail is untouched.
+  EXPECT_EQ(values[1024], anchor);
+  EXPECT_EQ(values[n - 1], 100.0F + static_cast<float>(n - 1));
+}
+
+TEST(CheckpointTest, InterpolateClampsFlatAtTrailingSlab) {
+  // The last slab has no right neighbor: flat fill at the left
+  // neighbor's final value.
+  const std::size_t n = 8192;
+  std::vector<float> ramp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ramp[i] = static_cast<float>(i);
+  }
+  const data::Field field{"ramp", data::Dims::d1(n), std::move(ramp)};
+  auto bytes = write_checkpoint(field, small_chunks(1024));
+  ASSERT_TRUE(bytes.has_value());
+
+  const std::uint32_t last_slab = static_cast<std::uint32_t>(n / 1024) - 1;
+  auto damaged = *bytes;
+  damaged[chunk_payload_offset(damaged, last_slab + 1) + 2] ^= 0xFF;
+
+  RecoveryPolicy policy;
+  policy.fill = RecoveryFill::kInterpolate;
+  auto report = recover_checkpoint(damaged, policy);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_FALSE(report->slabs[last_slab].recovered);
+  const auto values = report->field.values();
+  const float anchor = static_cast<float>(n - 1024 - 1);  // last survivor
+  for (std::size_t i = n - 1024; i < n; ++i) {
+    ASSERT_EQ(values[i], anchor) << i;
+  }
+}
+
+TEST(InterpolateRegionsTest, MidRunRampsBetweenNeighbors) {
+  std::vector<float> out = {0.0F, 0.0F, 0.0F, 0.0F, 10.0F};
+  out[0] = 0.0F;
+  const SlabRegion regions[] = {
+      {0, 1, true}, {1, 3, false}, {4, 1, true}};
+  interpolate_lost_regions(out, regions);
+  // Ramp from out[0]=0 to out[4]=10 across 3 lost elements.
+  EXPECT_FLOAT_EQ(out[1], 2.5F);
+  EXPECT_FLOAT_EQ(out[2], 5.0F);
+  EXPECT_FLOAT_EQ(out[3], 7.5F);
+}
+
+TEST(InterpolateRegionsTest, LeadingRunHoldsRightNeighbor) {
+  std::vector<float> out = {0.0F, 0.0F, 7.0F, 8.0F};
+  const SlabRegion regions[] = {{0, 2, false}, {2, 2, true}};
+  interpolate_lost_regions(out, regions);
+  EXPECT_FLOAT_EQ(out[0], 7.0F);
+  EXPECT_FLOAT_EQ(out[1], 7.0F);
+}
+
+TEST(InterpolateRegionsTest, TrailingRunHoldsLeftNeighbor) {
+  std::vector<float> out = {3.0F, 4.0F, 0.0F, 0.0F};
+  const SlabRegion regions[] = {{0, 2, true}, {2, 2, false}};
+  interpolate_lost_regions(out, regions);
+  EXPECT_FLOAT_EQ(out[2], 4.0F);
+  EXPECT_FLOAT_EQ(out[3], 4.0F);
+}
+
+TEST(InterpolateRegionsTest, NothingSurvivingLeavesFillUntouched) {
+  std::vector<float> out = {0.0F, 0.0F};
+  const SlabRegion regions[] = {{0, 2, false}};
+  interpolate_lost_regions(out, regions);
+  EXPECT_FLOAT_EQ(out[0], 0.0F);
+  EXPECT_FLOAT_EQ(out[1], 0.0F);
+}
+
 TEST(CheckpointTest, ZeroFillIsDefault) {
   const auto field = make_field();
   auto bytes = write_checkpoint(field, small_chunks());

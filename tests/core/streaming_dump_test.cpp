@@ -14,6 +14,7 @@
 #include "compress/common/checkpoint.hpp"
 #include "compress/common/framing.hpp"
 #include "data/generators.hpp"
+#include "io/fault.hpp"
 #include "io/nfs_client.hpp"
 #include "support/thread_pool.hpp"
 
@@ -187,6 +188,66 @@ TEST(StreamingDumpTest, ProducerFailureAbortsPipelineWithRealError) {
   ASSERT_FALSE(stats.has_value());
   EXPECT_NE(stats.status().to_string().find("finite"), std::string::npos)
       << stats.status().to_string();
+}
+
+TEST(StreamingDumpTest, ServerDownMidStreamSurfacesTypedStatus) {
+  // The server dies partway through the stream and never comes back. The
+  // writer thread must unwind with the client's typed retry-exhaustion
+  // status — a silent truncation would leave a file that decodes to a
+  // short field, which is the one failure a checkpoint must never have.
+  const auto field = make_field();
+  const auto cfg = small_slabs(1024);
+
+  io::FaultPlan plan;
+  plan.episodes.push_back({io::FaultKind::kServerUnavailable,
+                           /*first_rpc=*/3, /*rpc_count=*/1u << 20,
+                           io::kFaultPersistsForever});
+  io::FaultInjector injector{plan};
+  io::NfsServer server;
+  io::NfsClient client{server};
+  client.attach_fault_injector(&injector);
+  ThreadPool pool{4};
+  const auto stats =
+      streaming_dump(field, pool, client, "/ckpt/down", cfg);
+  ASSERT_FALSE(stats.has_value());
+  EXPECT_EQ(stats.status().code(), ErrorCode::kUnavailable);
+  EXPECT_GT(client.retry_stats().rejections, 0u);
+  // Whatever partial bytes reached the server must not decode as a
+  // complete checkpoint (the frame header back-patch never happened).
+  if (server.has_file("/ckpt/down")) {
+    const auto stored = server.read_file("/ckpt/down");
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_FALSE(compress::read_checkpoint(*stored).has_value());
+  }
+}
+
+TEST(StreamingDumpTest, TransientMidStreamOutageRidesRetries) {
+  // Same outage window, but it clears after two failed attempts per RPC:
+  // backoff absorbs it and the wire bytes stay identical to the serial
+  // write_checkpoint path.
+  const auto field = make_field();
+  const auto cfg = small_slabs(1024);
+  auto serial = compress::write_checkpoint(field, cfg.checkpoint);
+  ASSERT_TRUE(serial.has_value());
+
+  io::FaultPlan plan;
+  plan.episodes.push_back({io::FaultKind::kServerUnavailable,
+                           /*first_rpc=*/3, /*rpc_count=*/4,
+                           /*persist_attempts=*/2});
+  io::FaultInjector injector{plan};
+  io::NfsServer server;
+  io::NfsClient client{server};
+  client.attach_fault_injector(&injector);
+  ThreadPool pool{4};
+  const auto stats =
+      streaming_dump(field, pool, client, "/ckpt/blip", cfg);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+  EXPECT_GE(client.retry_stats().retries, 1u);
+
+  const auto stored = server.read_file("/ckpt/blip");
+  ASSERT_TRUE(stored.has_value());
+  ASSERT_EQ(stored->size(), serial->size());
+  EXPECT_TRUE(std::equal(stored->begin(), stored->end(), serial->begin()));
 }
 
 }  // namespace

@@ -55,5 +55,36 @@ TEST(Crc32cTest, DetectsEverySingleBitFlipInAChunk) {
   }
 }
 
+TEST(Fnv1a64Test, KnownVectors) {
+  // Reference values from the FNV specification.
+  EXPECT_EQ(fnv1a64({}), kFnv1a64Init);
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(fnv1a64(bytes_of("foobar")), 0x85944171F73967E8ull);
+}
+
+TEST(Fnv1a64Test, StreamingMatchesOneShot) {
+  std::vector<std::uint8_t> data(777);
+  std::iota(data.begin(), data.end(), 3);
+  const std::uint64_t whole = fnv1a64(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{255},
+                            data.size()}) {
+    std::uint64_t state = kFnv1a64Init;
+    state = fnv1a64_update(state, std::span{data.data(), split});
+    state = fnv1a64_update(
+        state, std::span{data.data() + split, data.size() - split});
+    EXPECT_EQ(state, whole) << "split at " << split;
+  }
+}
+
+TEST(Fnv1a64Test, SensitiveToOrderAndContent) {
+  // The content-addressed store keys objects by this hash: swapped bytes
+  // and single-bit flips must land on different names.
+  EXPECT_NE(fnv1a64(bytes_of("ab")), fnv1a64(bytes_of("ba")));
+  auto a = bytes_of("checkpoint-slab");
+  auto b = a;
+  b[4] ^= 0x01;
+  EXPECT_NE(fnv1a64(a), fnv1a64(b));
+}
+
 }  // namespace
 }  // namespace lcp

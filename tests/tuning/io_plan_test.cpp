@@ -105,6 +105,107 @@ TEST(IoPlanTest, TransitionOverheadIsNegligibleForEqn3Plans) {
             1e-5);
 }
 
+TEST(ScaleWorkloadTest, FactorOneIsTheExactIdentity) {
+  const auto w = compress_w();
+  const auto scaled = scale_workload(w, 1.0);
+  // Bit-for-bit, not merely close: the incremental plan's degeneracy to
+  // plan_compressed_dump depends on it.
+  EXPECT_EQ(scaled.cpu_ghz_seconds, w.cpu_ghz_seconds);
+  EXPECT_EQ(scaled.stall_seconds.seconds(), w.stall_seconds.seconds());
+  EXPECT_EQ(scaled.floor_seconds.seconds(), w.floor_seconds.seconds());
+  EXPECT_EQ(scaled.activity, w.activity);
+}
+
+TEST(ScaleWorkloadTest, ScalesTimeTermsLinearlyAndKeepsActivity) {
+  power::Workload w;
+  w.cpu_ghz_seconds = 10.0;
+  w.stall_seconds = Seconds{4.0};
+  w.floor_seconds = Seconds{2.0};
+  w.activity = 0.7;
+  const auto half = scale_workload(w, 0.5);
+  EXPECT_DOUBLE_EQ(half.cpu_ghz_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(half.stall_seconds.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(half.floor_seconds.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(half.activity, 0.7);
+}
+
+TEST(DirtySlabFractionTest, ClampsAndDegenerates) {
+  EXPECT_DOUBLE_EQ(dirty_slab_fraction(0.0, 1024, 128), 0.0);
+  EXPECT_DOUBLE_EQ(dirty_slab_fraction(-1.0, 1024, 128), 0.0);
+  // Touching everything dirties everything regardless of run length.
+  EXPECT_DOUBLE_EQ(dirty_slab_fraction(1.0, 1024, 128), 1.0);
+  // Slab granularity amplifies small scattered writes: 5% touched in
+  // short runs straddles far more than 5% of slabs.
+  const double scattered = dirty_slab_fraction(0.05, 32768, 4096);
+  EXPECT_GT(scattered, 0.05);
+  EXPECT_LE(scattered, 1.0);
+  // Long runs amortize the straddle penalty away.
+  EXPECT_LT(dirty_slab_fraction(0.05, 1024, 1 << 20),
+            dirty_slab_fraction(0.05, 1024, 256));
+}
+
+TEST(IncrementalPlanTest, DegeneratesToFullDumpBitForBit) {
+  IncrementalDumpSpec inc;  // d = 1, R = 1, zero overhead workloads
+  const auto plan =
+      plan_incremental_dump(bdw(), compress_w(), write_w(), paper_rule(), inc);
+  const auto full =
+      plan_compressed_dump(bdw(), compress_w(), write_w(), paper_rule());
+  EXPECT_EQ(plan.plan.energy_tuned.joules(), full.energy_tuned.joules());
+  EXPECT_EQ(plan.plan.energy_base.joules(), full.energy_base.joules());
+  EXPECT_EQ(plan.plan.runtime_tuned.seconds(), full.runtime_tuned.seconds());
+  EXPECT_EQ(plan.plan.runtime_base.seconds(), full.runtime_base.seconds());
+  EXPECT_DOUBLE_EQ(plan.energy_saved_vs_full().joules(), 0.0);
+}
+
+TEST(IncrementalPlanTest, EnergyIsMonotoneInDirtyFraction) {
+  double last = -1.0;
+  for (const double d : {0.05, 0.25, 0.5, 0.75, 1.0}) {
+    IncrementalDumpSpec inc;
+    inc.dirty_fraction = d;
+    const auto plan = plan_incremental_dump(bdw(), compress_w(), write_w(),
+                                            paper_rule(), inc);
+    EXPECT_GT(plan.plan.energy_tuned.joules(), last) << d;
+    last = plan.plan.energy_tuned.joules();
+  }
+}
+
+TEST(IncrementalPlanTest, ReplicationScalesOnlyTheWriteSide) {
+  IncrementalDumpSpec one;
+  IncrementalDumpSpec three;
+  three.replicas = 3;
+  const auto p1 =
+      plan_incremental_dump(bdw(), compress_w(), write_w(), paper_rule(), one);
+  const auto p3 = plan_incremental_dump(bdw(), compress_w(), write_w(),
+                                        paper_rule(), three);
+  EXPECT_GT(p3.plan.energy_tuned.joules(), p1.plan.energy_tuned.joules());
+  // The full-dump reference does not depend on R.
+  EXPECT_EQ(p3.full_dump.energy_tuned.joules(),
+            p1.full_dump.energy_tuned.joules());
+}
+
+TEST(IncrementalPlanTest, OverheadWorkloadsAddStages) {
+  IncrementalDumpSpec inc;
+  inc.dirty_fraction = 0.1;
+  const auto lean =
+      plan_incremental_dump(bdw(), compress_w(), write_w(), paper_rule(), inc);
+  inc.hash_workload = power::compression_workload(bdw(), Seconds{1.0}, 0.5, 1.0);
+  inc.journal_workload = io::transit_workload(bdw(), Bytes::from_mb(1), {});
+  const auto full =
+      plan_incremental_dump(bdw(), compress_w(), write_w(), paper_rule(), inc);
+  EXPECT_EQ(full.plan.tuned.stages.size(), lean.plan.tuned.stages.size() + 2);
+  EXPECT_GT(full.plan.energy_tuned.joules(), lean.plan.energy_tuned.joules());
+}
+
+TEST(IncrementalPlanTest, SmallDeltaBeatsFullDump) {
+  IncrementalDumpSpec inc;
+  inc.dirty_fraction = 0.05;
+  inc.replicas = 2;
+  inc.hash_workload = power::compression_workload(bdw(), Seconds{0.5}, 0.5, 1.0);
+  const auto plan =
+      plan_incremental_dump(bdw(), compress_w(), write_w(), paper_rule(), inc);
+  EXPECT_GT(plan.energy_saved_vs_full().joules(), 0.0);
+}
+
 TEST(FramingTradeoffTest, SurvivalFractionIsAProbability) {
   for (const double p : {0.0, 1e-9, 1e-6, 1e-3, 0.5, 1.0, 2.0}) {
     for (const std::size_t c : {std::size_t{256}, std::size_t{65536}}) {
