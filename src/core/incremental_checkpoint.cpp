@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <set>
+#include <string_view>
 #include <utility>
 
 #include "compress/common/container.hpp"
@@ -31,6 +33,7 @@ constexpr std::uint8_t kJournalVersion = 1;
 
 struct JournalHeader {
   std::uint64_t epoch = 0;
+  std::uint64_t next_generation = 1;  ///< never reused, survives drops
   std::vector<std::uint64_t> generations;
 };
 
@@ -39,6 +42,7 @@ std::vector<std::uint8_t> build_header(const JournalHeader& h) {
   w.write_u32(kJournalHeaderMagic);
   w.write_u8(kJournalVersion);
   w.write_u64(h.epoch);
+  w.write_u64(h.next_generation);
   w.write_u32(static_cast<std::uint32_t>(h.generations.size()));
   for (std::uint64_t g : h.generations) {
     w.write_u64(g);
@@ -62,6 +66,11 @@ Expected<JournalHeader> parse_header(std::span<const std::uint8_t> bytes) {
     return epoch.status().with_context("journal epoch");
   }
   h.epoch = *epoch;
+  auto next_generation = r.read_u64();
+  if (!next_generation || *next_generation == 0) {
+    return Status::corrupt_data("journal next generation invalid");
+  }
+  h.next_generation = *next_generation;
   auto count = r.read_u32();
   if (!count || *count > compress::kMaxFrameChunks) {
     return Status::corrupt_data("journal generation count invalid");
@@ -74,6 +83,10 @@ Expected<JournalHeader> parse_header(std::span<const std::uint8_t> bytes) {
     }
     prev = *g;
     h.generations.push_back(*g);
+  }
+  if (h.next_generation <= prev) {
+    return Status::corrupt_data(
+        "journal next generation not above live generations");
   }
   if (r.remaining() != 0) {
     return Status::corrupt_data("journal header has trailing bytes");
@@ -214,6 +227,24 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+std::optional<std::uint64_t> parse_hex16(std::string_view s) {
+  if (s.size() != 16) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
 std::span<const std::uint8_t> slab_raw_bytes(std::span<const float> values,
                                              std::size_t offset,
                                              std::size_t count) {
@@ -248,33 +279,86 @@ std::string IncrementalCheckpointStore::slab_path(
   return options_.root + "/slabs/" + hex16(stored_hash);
 }
 
-std::string IncrementalCheckpointStore::journal_path() const {
-  return options_.root + "/journal";
+std::string IncrementalCheckpointStore::journal_prefix() const {
+  return options_.root + "/journal.";
 }
 
-std::vector<std::uint8_t>
-IncrementalCheckpointStore::build_journal_with_epoch(
-    const std::vector<GenerationEntry>& entries) const {
+std::string IncrementalCheckpointStore::journal_path(
+    std::uint64_t epoch) const {
+  return journal_prefix() + hex16(epoch);
+}
+
+Status IncrementalCheckpointStore::publish_journal(
+    std::vector<GenerationEntry> next, std::uint64_t next_generation,
+    Bytes* journal_bytes) {
+  const std::uint64_t attempt = epoch_ + 1;
   compress::FrameParams params;
   params.flags = compress::kFrameFlagJournal;
   compress::FramedWriter writer{params};
   JournalHeader header;
-  header.epoch = epoch_ + 1;
-  for (const GenerationEntry& e : entries) {
+  header.epoch = attempt;
+  header.next_generation = next_generation;
+  for (const GenerationEntry& e : next) {
     header.generations.push_back(e.generation);
   }
   writer.append_chunk(build_header(header));
-  for (const GenerationEntry& e : entries) {
+  for (const GenerationEntry& e : next) {
     writer.append_chunk(build_entry(e));
   }
-  return writer.finish();
+  const std::vector<std::uint8_t> journal = writer.finish();
+
+  // Every rewrite goes to a NEW epoch-named file: the committed journal
+  // is never removed, or even touched, before its replacement is
+  // quorum-durable, so there is no window in which a failed write can
+  // destroy published state.
+  const std::string path = journal_path(attempt);
+  const Status st = replicas_.write_file(path, journal).status;
+  // Success or failure, the attempted epoch is burnt: a retry writes a
+  // strictly higher epoch and can never present a second, different
+  // journal under an epoch some replica already holds.
+  epoch_ = attempt;
+  if (!st.is_ok()) {
+    // Roll the sub-quorum copies back best-effort (server-side, so a
+    // fault-injected client path cannot block it). A copy that survives
+    // anyway is served by the epoch vote without forking, and the slabs
+    // it references are already quorum-durable.
+    (void)replicas_.remove_file(path);
+    return st;
+  }
+  entries_ = std::move(next);
+  next_generation_ = next_generation;
+  if (journal_bytes != nullptr) {
+    *journal_bytes = Bytes{journal.size()};
+  }
+  prune_superseded_journals(attempt);
+  return Status::ok();
+}
+
+void IncrementalCheckpointStore::prune_superseded_journals(
+    std::uint64_t keep_epoch) {
+  const std::string prefix = journal_prefix();
+  for (std::size_t r = 0; r < replicas_.replica_count(); ++r) {
+    if (replicas_.replica_down(r)) {
+      continue;  // its stale epochs lose the epoch vote until the next prune
+    }
+    io::NfsServer& server = replicas_.server(r);
+    for (const std::string& path : server.list_files(prefix)) {
+      const auto epoch =
+          parse_hex16(std::string_view{path}.substr(prefix.size()));
+      if (epoch.has_value() && *epoch < keep_epoch) {
+        (void)server.remove_file(path);  // best-effort; lower epochs are inert
+      }
+    }
+  }
 }
 
 Status IncrementalCheckpointStore::put_file(
     const std::string& path, std::span<const std::uint8_t> data) {
   // NfsClient::write_file appends on the fault-free path, so a stale file
   // under the same name must be dropped first; remove_file skips missing
-  // and down-replica copies.
+  // and down-replica copies. Safe for slab objects only: they are
+  // content-addressed, so any stale same-name copy holds the exact bytes
+  // this write carries and committed state cannot be lost.
   auto removed = replicas_.remove_file(path);
   if (!removed.has_value()) {
     return removed.status().with_context("replacing '" + path + "'");
@@ -296,66 +380,115 @@ void IncrementalCheckpointStore::rebuild_index(
       stored_objects_.end());
 }
 
-Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
-    bool& degraded, std::uint64_t* epoch_out) const {
-  degraded = false;
-  if (epoch_out != nullptr) {
-    *epoch_out = 0;
-  }
-  const std::string path = journal_path();
+Expected<IncrementalCheckpointStore::JournalView>
+IncrementalCheckpointStore::load_journal() const {
+  JournalView view;
+  const std::string prefix = journal_prefix();
   const std::size_t n = replicas_.replica_count();
 
+  // Every valid framed journal copy, across every replica and every epoch
+  // file a replica holds (a replica that slept through prunes may hold
+  // several; a stale epoch just loses the vote below).
   struct Copy {
     compress::FrameRecovery frame;
-    std::span<const std::uint8_t> bytes;
+    std::optional<JournalHeader> header;  ///< intact + parsed chunk 0
+    std::span<const std::uint8_t> header_bytes;
   };
-  std::vector<Copy> readable;
+  std::vector<Copy> copies;
   std::size_t absent = 0;
+  std::size_t readable_replicas = 0;
   Status last_error = Status::ok();
   for (std::size_t r = 0; r < n; ++r) {
     if (replicas_.replica_down(r)) {
-      degraded = true;
+      view.degraded = true;
       continue;
     }
-    auto bytes = replicas_.server(r).read_file(path);
-    if (!bytes.has_value()) {
+    const auto files = replicas_.server(r).list_files(prefix);
+    if (files.empty()) {
+      // A live replica with no journal file at any epoch: one vote that
+      // the store never committed a journal.
       ++absent;
       continue;
     }
-    auto frame = compress::recover_framed(*bytes);
-    if (!frame.has_value() ||
-        (frame->info.flags & compress::kFrameFlagJournal) == 0) {
-      last_error = frame.has_value()
-                       ? Status::corrupt_data("journal frame flag missing")
-                       : frame.status();
-      degraded = true;
-      continue;
+    bool replica_readable = false;
+    for (const std::string& path : files) {
+      const auto name_epoch =
+          parse_hex16(std::string_view{path}.substr(prefix.size()));
+      auto bytes = replicas_.server(r).read_file(path);
+      if (!bytes.has_value()) {
+        last_error = bytes.status();
+        view.degraded = true;
+        continue;
+      }
+      auto frame = compress::recover_framed(*bytes);
+      if (!frame.has_value() ||
+          (frame->info.flags & compress::kFrameFlagJournal) == 0) {
+        last_error = frame.has_value()
+                         ? Status::corrupt_data("journal frame flag missing")
+                         : frame.status();
+        view.degraded = true;
+        continue;
+      }
+      Copy copy;
+      copy.frame = std::move(*frame);
+      if (!copy.frame.chunks.empty() &&
+          copy.frame.chunks.front().state == compress::ChunkState::kIntact) {
+        auto header = parse_header(copy.frame.chunks.front().payload);
+        if (!header.has_value()) {
+          return header.status().with_context("journal header (crc-valid)");
+        }
+        if (!name_epoch.has_value() || *name_epoch != header->epoch) {
+          // The file name is outside the frame CRC; a copy whose path
+          // disagrees with its own header is untrustworthy end to end.
+          last_error =
+              Status::corrupt_data("journal copy epoch disagrees with path");
+          view.degraded = true;
+          continue;
+        }
+        copy.header_bytes = copy.frame.chunks.front().payload;
+        copy.header = std::move(*header);
+      } else {
+        view.degraded = true;
+      }
+      copies.push_back(std::move(copy));
+      replica_readable = true;
     }
-    readable.push_back({std::move(*frame), *bytes});
+    if (replica_readable) {
+      ++readable_replicas;
+    }
   }
 
-  if (readable.empty()) {
-    if (last_error.is_ok() && absent > 0) {
-      // No replica holds a journal at all: a fresh store, not a failure.
-      return std::vector<GenerationEntry>{};
+  if (readable_replicas == 0) {
+    if (last_error.is_ok() && absent >= replicas_.write_quorum()) {
+      // At least write_quorum live replicas agree no journal was ever
+      // committed: a genuinely fresh store (any committed quorum write
+      // would intersect that many observations). Fewer absences prove
+      // nothing about what the unreachable replicas hold, so below the
+      // threshold the store fails closed instead of restarting at epoch 1
+      // and forking whatever the down replicas come back with.
+      return view;
     }
-    if (last_error.is_ok()) {
-      return Status::unavailable("journal unreachable on every replica");
+    if (!last_error.is_ok()) {
+      return Status{last_error.code(),
+                    "journal unreadable on every replica: " +
+                        last_error.message()};
     }
-    return Status{last_error.code(),
-                  "journal unreadable on every replica: " +
-                      last_error.message()};
-  }
-  if (readable.size() < replicas_.write_quorum()) {
-    // Fail closed below quorum: with fewer copies than the write quorum
-    // we cannot rule out every readable copy being stale (R + W > N is
-    // what guarantees the freshest epoch is represented).
     return Status::unavailable(
-        "journal readable on " + std::to_string(readable.size()) +
+        "journal absent on " + std::to_string(absent) +
+        " reachable replicas, need quorum " +
+        std::to_string(replicas_.write_quorum()) +
+        " absences to call the store fresh");
+  }
+  if (readable_replicas < replicas_.write_quorum()) {
+    // Fail closed below quorum: with fewer readable replicas than the
+    // write quorum we cannot rule out every readable copy being stale
+    // (R + W > N is what guarantees the freshest epoch is represented).
+    return Status::unavailable(
+        "journal readable on " + std::to_string(readable_replicas) +
         " replicas, need quorum " + std::to_string(replicas_.write_quorum()));
   }
-  if (readable.size() < n) {
-    degraded = true;
+  if (readable_replicas < n) {
+    view.degraded = true;
   }
 
   // Freshness: the highest epoch among intact headers names the live
@@ -364,22 +497,16 @@ Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
   bool have_header = false;
   JournalHeader winner;
   std::span<const std::uint8_t> winner_bytes;
-  for (const Copy& copy : readable) {
-    if (copy.frame.chunks.empty() ||
-        copy.frame.chunks.front().state != compress::ChunkState::kIntact) {
-      degraded = true;
+  for (const Copy& copy : copies) {
+    if (!copy.header.has_value()) {
       continue;
     }
-    auto header = parse_header(copy.frame.chunks.front().payload);
-    if (!header.has_value()) {
-      return header.status().with_context("journal header (crc-valid)");
-    }
-    if (!have_header || header->epoch > winner.epoch) {
+    if (!have_header || copy.header->epoch > winner.epoch) {
       have_header = true;
-      winner = std::move(*header);
-      winner_bytes = copy.frame.chunks.front().payload;
-    } else if (header->epoch == winner.epoch) {
-      const auto& b = copy.frame.chunks.front().payload;
+      winner = *copy.header;
+      winner_bytes = copy.header_bytes;
+    } else if (copy.header->epoch == winner.epoch) {
+      const auto& b = copy.header_bytes;
       if (b.size() != winner_bytes.size() ||
           !std::equal(b.begin(), b.end(), winner_bytes.begin())) {
         return Status::corrupt_data(
@@ -390,19 +517,19 @@ Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
   if (!have_header) {
     return Status::corrupt_data("journal header lost on every replica");
   }
-  if (epoch_out != nullptr) {
-    *epoch_out = winner.epoch;
-  }
+  view.epoch = winner.epoch;
+  view.next_generation = winner.next_generation;
 
-  // Candidate entry bytes per generation, from every replica's intact
-  // chunks. Entries are immutable once written, so any intact copy of a
-  // generation may serve it — but all intact copies must agree.
+  // Candidate entry bytes per generation, from every copy's intact
+  // chunks — stale epochs included: entries are immutable once written
+  // (generation numbers are never reused), so any intact copy of a
+  // generation may serve it, but all intact copies must agree.
   std::map<std::uint64_t, std::span<const std::uint8_t>> candidates;
-  for (const Copy& copy : readable) {
+  for (const Copy& copy : copies) {
     for (std::size_t c = 1; c < copy.frame.chunks.size(); ++c) {
       const auto& chunk = copy.frame.chunks[c];
       if (chunk.state != compress::ChunkState::kIntact) {
-        degraded = true;
+        view.degraded = true;
         continue;
       }
       auto entry = parse_entry(chunk.payload);
@@ -424,7 +551,6 @@ Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
     }
   }
 
-  std::vector<GenerationEntry> entries;
   for (std::uint64_t g : winner.generations) {
     const auto it = candidates.find(g);
     if (it == candidates.end()) {
@@ -432,30 +558,33 @@ Expected<std::vector<GenerationEntry>> IncrementalCheckpointStore::load_journal(
       // the journal fails open to the surviving ones (restore of the lost
       // generation reports "not in journal" instead of a silent wrong
       // answer, because its slabs are unreachable without the entry).
-      degraded = true;
+      view.degraded = true;
       continue;
     }
     auto entry = parse_entry(it->second);
     if (!entry.has_value()) {
       return entry.status();
     }
-    entries.push_back(std::move(*entry));
+    view.entries.push_back(std::move(*entry));
   }
-  return entries;
+  return view;
 }
 
 Status IncrementalCheckpointStore::ensure_loaded_locked() {
   if (loaded_) {
     return Status::ok();
   }
-  bool degraded = false;
-  std::uint64_t epoch = 0;
-  auto entries = load_journal(degraded, &epoch);
-  if (!entries.has_value()) {
-    return entries.status();
+  auto view = load_journal();
+  if (!view.has_value()) {
+    return view.status();
   }
-  entries_ = std::move(*entries);
-  epoch_ = epoch;
+  entries_ = std::move(view->entries);
+  // max(): a failed publish may have burnt epochs (or generation numbers)
+  // beyond what the replicas committed; never step back behind them.
+  epoch_ = std::max(epoch_, view->epoch);
+  next_generation_ = std::max(
+      {next_generation_, view->next_generation,
+       entries_.empty() ? std::uint64_t{1} : entries_.back().generation + 1});
   rebuild_index(entries_);
   loaded_ = true;
   return Status::ok();
@@ -501,7 +630,10 @@ Expected<DumpSummary> IncrementalCheckpointStore::dump(
       parent->slabs.size() == slab_count;
 
   GenerationEntry entry;
-  entry.generation = parent == nullptr ? 1 : parent->generation + 1;
+  // Generation numbers come from the persisted counter, never from
+  // back()+1: after a drop of the newest generation the latter would
+  // reuse a number a stale replica may still hold an entry for.
+  entry.generation = next_generation_;
   entry.parent = parent == nullptr ? 0 : parent->generation;
   entry.codec = opts.codec;
   entry.bound = opts.bound;
@@ -552,18 +684,18 @@ Expected<DumpSummary> IncrementalCheckpointStore::dump(
   }
   entry.dirty_slabs = static_cast<std::uint32_t>(summary.dirty_slabs);
 
-  // Publish: the generation exists once the journal rewrite reaches
-  // quorum, and not before.
+  // Publish: the generation exists once the journal write reaches
+  // quorum, and not before. A failed publish leaves the committed
+  // journal untouched (orphan slab objects wait for the next gc()).
   std::vector<GenerationEntry> next = entries_;
-  next.push_back(entry);
-  std::vector<std::uint8_t> journal = build_journal_with_epoch(next);
-  const Status st = put_file(journal_path(), journal);
+  next.push_back(std::move(entry));
+  Bytes journal_bytes{0};
+  const Status st =
+      publish_journal(std::move(next), summary.generation + 1, &journal_bytes);
   if (!st.is_ok()) {
     return st.with_context("incremental dump: journal");
   }
-  ++epoch_;
-  entries_ = std::move(next);
-  summary.journal_bytes = Bytes{journal.size()};
+  summary.journal_bytes = journal_bytes;
   summary.replicated_bytes =
       Bytes{replicas_.bytes_replicated().bytes() - wire_before.bytes()};
   return summary;
@@ -572,13 +704,18 @@ Expected<DumpSummary> IncrementalCheckpointStore::dump(
 Expected<RestoreReport> IncrementalCheckpointStore::restore(
     std::uint64_t generation, const compress::RecoveryPolicy& policy) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  bool degraded = false;
-  auto entries = load_journal(degraded);
-  if (!entries.has_value()) {
-    return entries.status().with_context("incremental restore");
+  auto view = load_journal();
+  if (!view.has_value()) {
+    return view.status().with_context("incremental restore");
   }
+  return restore_from_view(*view, generation, policy);
+}
+
+Expected<RestoreReport> IncrementalCheckpointStore::restore_from_view(
+    const JournalView& view, std::uint64_t generation,
+    const compress::RecoveryPolicy& policy) const {
   const GenerationEntry* entry = nullptr;
-  for (const GenerationEntry& e : *entries) {
+  for (const GenerationEntry& e : view.entries) {
     if (e.generation == generation) {
       entry = &e;
       break;
@@ -594,7 +731,7 @@ Expected<RestoreReport> IncrementalCheckpointStore::restore(
   RestoreReport report;
   report.generation = generation;
   report.total_elements = n;
-  report.journal_degraded = degraded;
+  report.journal_degraded = view.degraded;
   report.slabs.resize(count);
   std::vector<float> out(n, 0.0F);
 
@@ -669,22 +806,18 @@ Expected<RestoreReport> IncrementalCheckpointStore::restore(
 
 Expected<RestoreReport> IncrementalCheckpointStore::restore_latest(
     const compress::RecoveryPolicy& policy) const {
-  std::uint64_t newest = 0;
-  {
-    // Find the newest generation under a shared lock, then release it
-    // before delegating (shared_mutex is not recursive).
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    bool degraded = false;
-    auto entries = load_journal(degraded);
-    if (!entries.has_value()) {
-      return entries.status().with_context("incremental restore_latest");
-    }
-    if (entries->empty()) {
-      return Status::invalid_argument("journal holds no generations");
-    }
-    newest = entries->back().generation;
+  // One shared lock and one journal read cover both the pick and the
+  // restore: a drop_generation between them (which needs the exclusive
+  // lock) can never turn the chosen generation into "not in journal".
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto view = load_journal();
+  if (!view.has_value()) {
+    return view.status().with_context("incremental restore_latest");
   }
-  return restore(newest, policy);
+  if (view->entries.empty()) {
+    return Status::invalid_argument("journal holds no generations");
+  }
+  return restore_from_view(*view, view->entries.back().generation, policy);
 }
 
 Status IncrementalCheckpointStore::drop_generation(std::uint64_t generation) {
@@ -701,13 +834,12 @@ Status IncrementalCheckpointStore::drop_generation(std::uint64_t generation) {
   }
   std::vector<GenerationEntry> next = entries_;
   next.erase(next.begin() + (it - entries_.begin()));
-  const std::vector<std::uint8_t> journal = build_journal_with_epoch(next);
-  const Status st = put_file(journal_path(), journal);
+  // next_generation_ is preserved across the drop: the dropped number is
+  // retired forever, not freed for reuse.
+  const Status st = publish_journal(std::move(next), next_generation_, nullptr);
   if (!st.is_ok()) {
     return st.with_context("drop_generation");
   }
-  ++epoch_;
-  entries_ = std::move(next);
   // The dropped generation's exclusive objects stay on disk until gc();
   // the index must forget them NOW so a later dump re-writes rather than
   // referencing a file gc() is about to delete.

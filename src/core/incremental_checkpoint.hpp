@@ -21,11 +21,17 @@
 //
 //   - Append-only manifest journal. Each generation appends one entry
 //     (codec, bound, dims, and the per-slab hash table) to a logical
-//     journal, serialized as one framed stream at <root>/journal with one
-//     CRC-protected chunk per entry (kFrameFlagJournal) and the usual
-//     header/trailer replica pair. A tampered entry fails its chunk CRC
-//     and takes down only its own generation — the rest of the journal
-//     stays readable.
+//     journal, serialized as one framed stream per rewrite epoch at
+//     <root>/journal.<hex16 epoch> with one CRC-protected chunk per entry
+//     (kFrameFlagJournal) and the usual header/trailer replica pair. A
+//     tampered entry fails its chunk CRC and takes down only its own
+//     generation — the rest of the journal stays readable. Every rewrite
+//     goes to a NEW epoch-named file; superseded epochs are pruned only
+//     after the new epoch reaches the write quorum, so a failed publish
+//     can never destroy the committed journal (there is no
+//     remove-before-write window). A publish that misses quorum is rolled
+//     back best-effort and its epoch is burnt, so a retry always writes a
+//     strictly higher epoch and can never fork an already-written one.
 //
 //   - N-way replication (io/replica_set.hpp). Every object and journal
 //     write fans out to all replicas; a dump is durable when the write
@@ -63,7 +69,7 @@ namespace lcp::core {
 
 struct IncrementalStoreOptions {
   /// Object-store prefix on every replica; slab objects live under
-  /// "<root>/slabs/", the journal at "<root>/journal".
+  /// "<root>/slabs/", the journal at "<root>/journal.<hex16 epoch>".
   std::string root = "ckpt";
   /// Slab codec/bound/slicing — identical semantics to write_checkpoint.
   compress::CheckpointOptions checkpoint;
@@ -150,7 +156,9 @@ class IncrementalCheckpointStore {
       std::uint64_t generation,
       const compress::RecoveryPolicy& policy = {}) const;
 
-  /// restore() of the newest generation in the journal.
+  /// restore() of the newest generation in the journal. The pick and the
+  /// restore happen under one shared lock over one journal read, so a
+  /// concurrent drop_generation cannot invalidate the chosen generation.
   [[nodiscard]] Expected<RestoreReport> restore_latest(
       const compress::RecoveryPolicy& policy = {}) const;
 
@@ -170,23 +178,49 @@ class IncrementalCheckpointStore {
 
  private:
   std::string slab_path(std::uint64_t stored_hash) const;
-  std::string journal_path() const;
+  /// Common prefix of every epoch-named journal file.
+  std::string journal_prefix() const;
+  std::string journal_path(std::uint64_t epoch) const;
 
-  /// Serializes `entries` into the framed journal stream at epoch_ + 1.
-  std::vector<std::uint8_t> build_journal_with_epoch(
-      const std::vector<GenerationEntry>& entries) const;
+  /// One consistent read of the merged journal.
+  struct JournalView {
+    std::vector<GenerationEntry> entries;
+    std::uint64_t epoch = 0;            ///< winning epoch (0 = fresh store)
+    std::uint64_t next_generation = 1;  ///< first unused generation number
+    bool degraded = false;  ///< merge needed replica or chunk failover
+  };
 
   /// Reads and merges the journal from all readable replicas; see the
-  /// quorum semantics in the file comment. `degraded` reports whether the
-  /// merge needed failover (replica or chunk); `epoch_out`, when non-null,
-  /// receives the winning journal epoch (0 for a fresh store).
-  Expected<std::vector<GenerationEntry>> load_journal(
-      bool& degraded, std::uint64_t* epoch_out = nullptr) const;
+  /// quorum semantics in the file comment. A fresh store (no journal ever
+  /// committed) is only concluded when at least write_quorum live
+  /// replicas hold no journal file; below that the call fails closed.
+  Expected<JournalView> load_journal() const;
+
+  /// Restores `generation` out of an already-loaded journal view; caller
+  /// holds mu_ (shared suffices — this is a pure read).
+  Expected<RestoreReport> restore_from_view(
+      const JournalView& view, std::uint64_t generation,
+      const compress::RecoveryPolicy& policy) const;
+
+  /// Writes `next` as the epoch_+1 journal file and, on quorum success,
+  /// commits it to entries_/next_generation_ and prunes superseded epoch
+  /// files. On a sub-quorum write the partial copies are removed
+  /// best-effort and the attempted epoch is burnt (epoch_ advances), so a
+  /// retry can never produce two same-epoch journals with different
+  /// content; the committed journal files are never touched.
+  Status publish_journal(std::vector<GenerationEntry> next,
+                         std::uint64_t next_generation, Bytes* journal_bytes);
+
+  /// Removes journal files below `keep_epoch` from every up replica
+  /// (best-effort: a lingering lower epoch always loses the epoch vote).
+  void prune_superseded_journals(std::uint64_t keep_epoch);
 
   /// Loads journal state into entries_/epoch_/index on first use.
   Status ensure_loaded_locked();
 
-  /// Removes any stale copy and fans the write out; quorum-checked.
+  /// Removes any stale copy and fans the write out; quorum-checked. Slab
+  /// objects only — the journal goes through publish_journal, which never
+  /// removes before writing.
   Status put_file(const std::string& path, std::span<const std::uint8_t> data);
 
   /// Rebuilds raw->stored dedup state from `entries`.
@@ -203,6 +237,10 @@ class IncrementalCheckpointStore {
   mutable std::shared_mutex mu_;
   bool loaded_ = false;
   std::uint64_t epoch_ = 0;  ///< journal rewrite counter (freshness order)
+  /// Next generation number to assign. Persisted in the journal header
+  /// and never reused, even after the newest generation is dropped — a
+  /// reused number could fork against a stale replica's entry for it.
+  std::uint64_t next_generation_ = 1;
   std::vector<GenerationEntry> entries_;
   /// Object names (stored hashes) the store believes are durable, i.e.
   /// referenced by some live journal entry. Guards dedup: an object not

@@ -212,6 +212,7 @@ struct JournalFuzzRig {
   core::IncrementalStoreOptions opts;
   core::IncrementalCheckpointStore store;
   std::vector<data::Field> reference;  ///< index g-1 = generation g
+  std::string journal_name;            ///< the live epoch's journal path
   std::vector<std::uint8_t> pristine;  ///< intact journal bytes
 
   JournalFuzzRig() : opts(make_options()), store(replicas, opts) {
@@ -228,9 +229,16 @@ struct JournalFuzzRig {
       EXPECT_TRUE(restored.has_value());
       reference.push_back(std::move(restored->field));
     }
-    const auto bytes = s0.read_file("ckpt/journal");
-    EXPECT_TRUE(bytes.has_value());
-    pristine.assign(bytes->begin(), bytes->end());
+    // Journals are epoch-named; superseded epochs are pruned on publish,
+    // so exactly one file remains after the two dumps.
+    const auto files = s0.list_files("ckpt/journal.");
+    EXPECT_EQ(files.size(), 1u);
+    if (!files.empty()) {
+      journal_name = files.front();
+      const auto bytes = s0.read_file(journal_name);
+      EXPECT_TRUE(bytes.has_value());
+      pristine.assign(bytes->begin(), bytes->end());
+    }
   }
 
   static core::IncrementalStoreOptions make_options() {
@@ -243,9 +251,11 @@ struct JournalFuzzRig {
   io::NfsServer& server(std::size_t r) { return replicas.server(r); }
 
   void plant_journal(std::size_t r, const std::vector<std::uint8_t>& bytes) {
-    (void)server(r).remove_file("ckpt/journal");
+    for (const std::string& path : server(r).list_files("ckpt/journal.")) {
+      (void)server(r).remove_file(path);
+    }
     if (!bytes.empty()) {
-      EXPECT_TRUE(server(r).handle_write("ckpt/journal", bytes).is_ok());
+      EXPECT_TRUE(server(r).handle_write(journal_name, bytes).is_ok());
     }
   }
 

@@ -397,6 +397,122 @@ TEST(IncrementalStoreTest, StaleReplicaJournalLosesToFresherQuorum) {
   EXPECT_FALSE(rig.store.restore(1).has_value());
 }
 
+TEST(IncrementalStoreTest, FailedJournalPublishNeverDestroysCommittedState) {
+  Rig rig;
+  const auto gen1 = ramp_field();
+  ASSERT_TRUE(rig.store.dump(gen1).has_value());
+
+  // Persistent client-path outage on replicas 1 and 2. Server-side
+  // removes still work, so a remove-then-write journal replace would
+  // destroy the committed journal everywhere and land the replacement on
+  // a single replica — below quorum, losing every published generation.
+  io::FaultPlan outage;
+  outage.episodes.push_back({io::FaultKind::kServerUnavailable, 0, 1u << 20,
+                             io::kFaultPersistsForever});
+  io::FaultInjector inj1{outage};
+  io::FaultInjector inj2{outage};
+  rig.replicas.attach_fault_injector(1, &inj1);
+  rig.replicas.attach_fault_injector(2, &inj2);
+
+  // A clean redump writes no slabs: the journal publish is the only
+  // write, and it must miss quorum.
+  const auto failed = rig.store.dump(gen1);
+  ASSERT_FALSE(failed.has_value());
+  EXPECT_EQ(failed.status().code(), ErrorCode::kUnavailable);
+
+  rig.replicas.attach_fault_injector(1, nullptr);
+  rig.replicas.attach_fault_injector(2, nullptr);
+
+  // The committed generation survived the failed replace bit-for-bit...
+  compress::RecoveryPolicy strict;
+  strict.fail_on_any_loss = true;
+  const auto restored = rig.store.restore_latest(strict);
+  ASSERT_TRUE(restored.has_value()) << restored.status().message();
+  EXPECT_EQ(restored->generation, 1u);
+  expect_identical(restored->field, reference(gen1, rig.opts.checkpoint));
+  // ...and the failed dump was rolled back, not half-published.
+  EXPECT_FALSE(rig.store.restore(2).has_value());
+}
+
+TEST(IncrementalStoreTest, RetriedDumpAfterFailedJournalPublishSucceeds) {
+  Rig rig;
+  const auto gen1 = ramp_field();
+  ASSERT_TRUE(rig.store.dump(gen1).has_value());
+
+  io::FaultPlan outage;
+  outage.episodes.push_back({io::FaultKind::kServerUnavailable, 0, 1u << 20,
+                             io::kFaultPersistsForever});
+  io::FaultInjector inj1{outage};
+  io::FaultInjector inj2{outage};
+  rig.replicas.attach_fault_injector(1, &inj1);
+  rig.replicas.attach_fault_injector(2, &inj2);
+  ASSERT_FALSE(rig.store.dump(gen1).has_value());
+  rig.replicas.attach_fault_injector(1, nullptr);
+  rig.replicas.attach_fault_injector(2, nullptr);
+
+  // The retry must publish under a fresh epoch: an epoch reused from the
+  // failed attempt could fork against copies that acked it.
+  const auto gen2 = touch(gen1, 0, kChunk, 0.5F);
+  const auto summary = rig.store.dump(gen2);
+  ASSERT_TRUE(summary.has_value()) << summary.status().message();
+  EXPECT_EQ(summary->generation, 2u);
+
+  // A second store instance merges the replicas without seeing a fork.
+  IncrementalCheckpointStore second{rig.replicas, rig.opts};
+  ASSERT_TRUE(second.open().is_ok());
+  EXPECT_EQ(second.generations(), (std::vector<std::uint64_t>{1, 2}));
+  compress::RecoveryPolicy strict;
+  strict.fail_on_any_loss = true;
+  const auto restored = second.restore(2, strict);
+  ASSERT_TRUE(restored.has_value()) << restored.status().message();
+  expect_identical(restored->field, reference(gen2, rig.opts.checkpoint));
+}
+
+TEST(IncrementalStoreTest, FreshStoreVerdictRequiresAbsenceQuorum) {
+  Rig rig;
+  rig.replicas.set_replica_down(1, true);
+  rig.replicas.set_replica_down(2, true);
+  // One live, journal-less replica cannot prove the store is fresh: the
+  // down replicas may hold committed generations. Everything fails
+  // closed instead of restarting the store at epoch 1.
+  EXPECT_EQ(rig.store.open().code(), ErrorCode::kUnavailable);
+  const auto restored = rig.store.restore_latest();
+  ASSERT_FALSE(restored.has_value());
+  EXPECT_EQ(restored.status().code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(rig.store.dump(ramp_field()).has_value());
+
+  // With every replica reachable the absence quorum is met: genuinely
+  // fresh, and the first dump proceeds.
+  rig.replicas.set_replica_down(1, false);
+  rig.replicas.set_replica_down(2, false);
+  EXPECT_TRUE(rig.store.open().is_ok());
+  EXPECT_TRUE(rig.store.dump(ramp_field()).has_value());
+}
+
+TEST(IncrementalStoreTest, DropOfNewestGenerationNeverReusesItsNumber) {
+  Rig rig;
+  const auto gen1 = ramp_field();
+  const auto gen2 = touch(gen1, 0, kChunk, 0.5F);
+  ASSERT_TRUE(rig.store.dump(gen1).has_value());
+  // Replica 2 sleeps through generation 2, its drop, and the follow-up.
+  rig.replicas.set_replica_down(2, true);
+  ASSERT_TRUE(rig.store.dump(gen2).has_value());
+  ASSERT_TRUE(rig.store.drop_generation(2).is_ok());
+  const auto gen3 = touch(gen1, kChunk, kChunk, -0.25F);
+  const auto summary = rig.store.dump(gen3);
+  ASSERT_TRUE(summary.has_value());
+  // The replacement takes number 3, not 2: replica 2 still holds an
+  // entry for generation 2, and a reused number would fork against it.
+  EXPECT_EQ(summary->generation, 3u);
+
+  rig.replicas.set_replica_down(2, false);
+  const auto latest = rig.store.restore_latest();
+  ASSERT_TRUE(latest.has_value()) << latest.status().message();
+  EXPECT_EQ(latest->generation, 3u);
+  expect_identical(latest->field, reference(gen3, rig.opts.checkpoint));
+  EXPECT_FALSE(rig.store.restore(2).has_value());
+}
+
 TEST(IncrementalStoreTest, EmptyStoreRestoreIsTypedError) {
   Rig rig;
   const auto restored = rig.store.restore_latest();

@@ -135,6 +135,35 @@ TEST(IncrementalConcurrentTest, ConcurrentDumpsSerializeIntoOneChain) {
   }
 }
 
+TEST(IncrementalConcurrentTest, RestoreLatestRacesDropOfNewestGeneration) {
+  Rig rig;
+  ASSERT_TRUE(rig.store.dump(seed_field(0.0F)).has_value());
+
+  // restore_latest picks the newest generation and restores it under one
+  // shared lock over one journal read; a drop of that generation in
+  // between must be impossible, never an "is not in journal" error.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::thread reader([&rig, &stop, &bad] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto restored = rig.store.restore_latest();
+      if (!restored.has_value() || !restored->complete()) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    const auto summary =
+        rig.store.dump(seed_field(1.0F + 0.5F * round));
+    ASSERT_TRUE(summary.has_value()) << summary.status().message();
+    // Immediately drop the generation the reader is most likely to pick.
+    ASSERT_TRUE(rig.store.drop_generation(summary->generation).is_ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
 TEST(IncrementalConcurrentTest, GcRacesRestoresOfLiveGenerations) {
   Rig rig;
   ASSERT_TRUE(rig.store.dump(seed_field(0.0F)).has_value());
