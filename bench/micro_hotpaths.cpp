@@ -1,15 +1,29 @@
 // Micro-benchmarks for the hot paths touched by the kernel overhaul:
 // thread-pool dispatch, the fused SZ predict+quantize pass, canonical
-// Huffman encode/decode, raw bitstream write/read, chunk-parallel SZ
+// Huffman encode/decode, raw bitstream write/read, the byte-shuffle and
+// zlite lossless kernels, ZFP embedded plane coding, chunk-parallel SZ
 // compression across worker counts, and the streaming dump engine.
 //
 // Unlike the figure/table benches this is a plain timing harness (no
 // google-benchmark) so it can emit a stable machine-readable summary:
 //   micro_hotpaths [--quick] [--json [path]]
 // --json merges into BENCH_hotpaths.json (default path): records are
-// keyed by (op, workers) — an existing record with the same key is
-// replaced in place, unknown keys are preserved, new keys are appended —
-// so one bench run never wipes another's rows.
+// keyed by (op, workers, dispatch) — an existing record with the same key
+// is replaced in place, unknown keys are preserved, new keys are appended
+// — so one bench run never wipes another's rows, and scalar rows survive
+// an AVX2-host run (and vice versa).
+//
+// SIMD discipline: every vectorized kernel runs as a scalar/avx2 pair
+// (interleaved, best-of-N — this host is a noisy shared VM and min-of-
+// interleaved is robust where mean-of-batch is not) with a bit-identity
+// spot check between the two dispatch levels' outputs. Gates (exit code):
+//   sz/predict_quantize_fused and huffman/decode: avx2 >= 2x scalar at
+//     full scale (>= 1.5x at --quick scale) when the host has AVX2
+//   every other paired kernel: avx2 never worse than scalar beyond a
+//     0.85x noise tolerance
+//   identity: paired outputs bit-identical across dispatch levels
+// On scalar-only hosts (or under LCP_FORCE_SCALAR=1) the SIMD gates all
+// pass trivially: there is nothing to compare.
 //
 // Scaling discipline: wall-clock rows are real measurements and therefore
 // flat on a single-CPU host. The */modeled rows are the LPT makespan of
@@ -19,11 +33,19 @@
 //   parallel_compress/sz_modeled: >= 1.5x at 4 workers, >= 3x at 8
 //   dump/streaming_modeled: overlapped makespan strictly below the
 //     serial compress + write sum at every worker count
+//
+// The Eqn 3 section re-derives the compute/transit crossover bandwidth B*
+// from each dispatch level's measured end-to-end codec throughput
+// (tuning/codec_choice.hpp): a faster codec shrinks the compute term and
+// moves B* upward, so the gate checks B*_avx2 >= B*_scalar and that the
+// compress-or-raw decision actually flips between the two crossovers.
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -31,33 +53,70 @@
 #include <vector>
 
 #include "compress/common/parallel.hpp"
+#include "compress/lossless/shuffle_codec.hpp"
+#include "compress/simd/dispatch.hpp"
 #include "compress/sz/huffman.hpp"
 #include "compress/sz/pipeline.hpp"
 #include "compress/sz/quantizer.hpp"
 #include "compress/sz/sz_compressor.hpp"
+#include "compress/sz/zlite.hpp"
+#include "compress/zfp/embedded_coder.hpp"
 #include "core/streaming_dump.hpp"
 #include "data/generators.hpp"
 #include "io/nfs_client.hpp"
+#include "io/transit_model.hpp"
+#include "power/chip_model.hpp"
 #include "support/bitstream.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/thread_pool.hpp"
+#include "tuning/codec_choice.hpp"
+#include "tuning/rule.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::string current_dispatch_name() {
+  return lcp::simd::simd_level_name(lcp::simd::simd_level());
+}
 
 struct BenchRecord {
   std::string op;
   double ns_per_op = 0.0;
   double bytes_per_sec = 0.0;  // 0 when the op has no natural byte volume
   std::size_t workers = 0;     // 0 for single-threaded kernels
+  std::string dispatch;        // simd level the op ran at ("scalar"/"avx2")
 };
 
 std::vector<BenchRecord> g_records;
 
+void push_record(const std::string& op, double ns_per_op, std::size_t bytes,
+                 std::size_t iters, std::size_t workers,
+                 const std::string& dispatch) {
+  BenchRecord rec;
+  rec.op = op;
+  rec.ns_per_op = ns_per_op;
+  rec.workers = workers;
+  rec.dispatch = dispatch;
+  if (bytes > 0 && ns_per_op > 0.0) {
+    rec.bytes_per_sec = static_cast<double>(bytes) / (ns_per_op * 1e-9);
+  }
+  (void)iters;
+  g_records.push_back(rec);
+  std::printf("%-34s %12.1f ns/op", rec.op.c_str(), rec.ns_per_op);
+  if (rec.bytes_per_sec > 0.0) {
+    std::printf(" %9.1f MB/s", rec.bytes_per_sec / 1e6);
+  }
+  if (rec.workers > 0) {
+    std::printf("  workers=%zu", rec.workers);
+  }
+  std::printf("  [%s]\n", rec.dispatch.c_str());
+}
+
 /// Times `body` (which must process `bytes` payload bytes per call) over
-/// `iters` iterations and records + prints one line.
+/// `iters` iterations and records + prints one line at the current
+/// dispatch level.
 template <typename Body>
 void run_case(const std::string& op, std::size_t iters, std::size_t bytes,
               std::size_t workers, Body&& body) {
@@ -69,42 +128,110 @@ void run_case(const std::string& op, std::size_t iters, std::size_t bytes,
   const auto stop = Clock::now();
   const double total_ns =
       std::chrono::duration<double, std::nano>(stop - start).count();
-  BenchRecord rec;
-  rec.op = op;
-  rec.ns_per_op = total_ns / static_cast<double>(iters);
-  rec.workers = workers;
-  if (bytes > 0 && total_ns > 0.0) {
-    rec.bytes_per_sec = static_cast<double>(bytes) *
-                        static_cast<double>(iters) / (total_ns * 1e-9);
-  }
-  g_records.push_back(rec);
-  std::printf("%-34s %12.1f ns/op", rec.op.c_str(), rec.ns_per_op);
-  if (rec.bytes_per_sec > 0.0) {
-    std::printf(" %9.1f MB/s", rec.bytes_per_sec / 1e6);
-  }
-  if (rec.workers > 0) {
-    std::printf("  workers=%zu", rec.workers);
-  }
-  std::printf("\n");
+  push_record(op, total_ns / static_cast<double>(iters), bytes, iters, workers,
+              current_dispatch_name());
 }
 
 /// Records a row computed from modeled (not measured-in-place) seconds.
 void record_modeled(const std::string& op, double seconds, std::size_t bytes,
                     std::size_t workers) {
-  BenchRecord rec;
-  rec.op = op;
-  rec.ns_per_op = seconds * 1e9;
-  rec.workers = workers;
-  if (bytes > 0 && seconds > 0.0) {
-    rec.bytes_per_sec = static_cast<double>(bytes) / seconds;
+  push_record(op, seconds * 1e9, bytes, 1, workers, current_dispatch_name());
+}
+
+/// Best-of times of one body under both dispatch levels.
+struct PairedTimes {
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  bool has_simd = false;  // host+build actually reach kAvx2
+
+  [[nodiscard]] double speedup() const {
+    return has_simd && simd_ns > 0.0 ? scalar_ns / simd_ns : 1.0;
   }
-  g_records.push_back(rec);
-  std::printf("%-34s %12.1f ns/op %9.1f MB/s  workers=%zu\n", rec.op.c_str(),
-              rec.ns_per_op, rec.bytes_per_sec / 1e6, rec.workers);
+};
+
+/// Runs `body` under forced-scalar and (when available) AVX2 dispatch,
+/// interleaving the levels rep by rep and keeping each level's best time.
+/// Emits one record per level, keyed by the dispatch name.
+template <typename Body>
+PairedTimes run_paired(const std::string& op, std::size_t reps,
+                       std::size_t bytes, Body&& body) {
+  using lcp::simd::ScopedSimdLevel;
+  using lcp::simd::SimdLevel;
+  PairedTimes times;
+  times.has_simd =
+      lcp::simd::hardware_simd_level() >= SimdLevel::kAvx2;
+  const SimdLevel levels[2] = {SimdLevel::kScalar, SimdLevel::kAvx2};
+  const std::size_t nlevels = times.has_simd ? 2 : 1;
+  double best[2] = {0.0, 0.0};
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    ScopedSimdLevel guard{levels[l]};
+    body();  // warm-up: page-faults buffers, primes pooled scratch
+  }
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t l = 0; l < nlevels; ++l) {
+      ScopedSimdLevel guard{levels[l]};
+      const auto start = Clock::now();
+      body();
+      const auto stop = Clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(stop - start).count();
+      if (best[l] == 0.0 || ns < best[l]) {
+        best[l] = ns;
+      }
+    }
+  }
+  times.scalar_ns = best[0];
+  times.simd_ns = times.has_simd ? best[1] : best[0];
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    push_record(op, best[l], bytes, reps, 0,
+                lcp::simd::simd_level_name(levels[l]));
+  }
+  if (times.has_simd) {
+    std::printf("  %s: avx2 speedup %.2fx\n", op.c_str(), times.speedup());
+  }
+  return times;
+}
+
+/// Gate: avx2 must beat scalar by `min_speedup` (no-op without AVX2).
+void gate_speedup(std::vector<std::string>& failures, const std::string& op,
+                  const PairedTimes& t, double min_speedup) {
+  if (!t.has_simd) {
+    return;
+  }
+  if (t.speedup() < min_speedup) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s avx2 speedup %.2fx below %.2fx gate",
+                  op.c_str(), t.speedup(), min_speedup);
+    failures.emplace_back(buf);
+  }
+}
+
+/// Gate: avx2 must not lose to scalar beyond a noise tolerance.
+void gate_never_worse(std::vector<std::string>& failures, const std::string& op,
+                      const PairedTimes& t) {
+  constexpr double kTolerance = 0.85;
+  if (!t.has_simd) {
+    return;
+  }
+  if (t.speedup() < kTolerance) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s avx2 is %.2fx of scalar (never-worse tolerance %.2fx)",
+                  op.c_str(), t.speedup(), kTolerance);
+    failures.emplace_back(buf);
+  }
+}
+
+void gate_identity(std::vector<std::string>& failures, const std::string& op,
+                   bool identical) {
+  if (!identical) {
+    failures.push_back(op + " outputs differ between scalar and avx2 dispatch");
+  }
 }
 
 /// Parses records previously written by write_json. Best-effort: a line
-/// that does not match the record shape is skipped.
+/// that does not match the record shape is skipped. Records from before
+/// the dispatch field keep an empty dispatch key.
 std::vector<BenchRecord> load_existing(const std::string& path) {
   std::vector<BenchRecord> records;
   std::FILE* f = std::fopen(path.c_str(), "r");
@@ -114,30 +241,40 @@ std::vector<BenchRecord> load_existing(const std::string& path) {
   char line[512];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     char op[256];
+    char dispatch[64];
     double ns = 0.0;
     double bps = 0.0;
     unsigned long long workers = 0;
     if (std::sscanf(line,
                     " { \"op\" : \"%255[^\"]\" , \"ns_per_op\" : %lf , "
-                    "\"bytes_per_sec\" : %lf , \"workers\" : %llu",
-                    op, &ns, &bps, &workers) == 4) {
+                    "\"bytes_per_sec\" : %lf , \"workers\" : %llu , "
+                    "\"dispatch\" : \"%63[^\"]\"",
+                    op, &ns, &bps, &workers, dispatch) == 5) {
       records.push_back(BenchRecord{op, ns, bps,
-                                    static_cast<std::size_t>(workers)});
+                                    static_cast<std::size_t>(workers),
+                                    dispatch});
+    } else if (std::sscanf(line,
+                           " { \"op\" : \"%255[^\"]\" , \"ns_per_op\" : %lf , "
+                           "\"bytes_per_sec\" : %lf , \"workers\" : %llu",
+                           op, &ns, &bps, &workers) == 4) {
+      records.push_back(BenchRecord{op, ns, bps,
+                                    static_cast<std::size_t>(workers), ""});
     }
   }
   std::fclose(f);
   return records;
 }
 
-/// Merge-or-append semantics keyed by (op, workers): rows this run did
-/// not produce survive, rows it did produce are updated in place.
+/// Merge-or-append semantics keyed by (op, workers, dispatch): rows this
+/// run did not produce survive, rows it did produce are updated in place.
 void write_json(const std::string& path) {
   std::vector<BenchRecord> merged = load_existing(path);
   const std::size_t preserved = merged.size();
   std::size_t replaced = 0;
   for (const auto& rec : g_records) {
     auto it = std::find_if(merged.begin(), merged.end(), [&](const auto& m) {
-      return m.op == rec.op && m.workers == rec.workers;
+      return m.op == rec.op && m.workers == rec.workers &&
+             m.dispatch == rec.dispatch;
     });
     if (it != merged.end()) {
       *it = rec;
@@ -158,9 +295,10 @@ void write_json(const std::string& path) {
     const auto& r = merged[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"ns_per_op\": %.3f, "
-                 "\"bytes_per_sec\": %.3f, \"workers\": %zu}%s\n",
+                 "\"bytes_per_sec\": %.3f, \"workers\": %zu, "
+                 "\"dispatch\": \"%s\"}%s\n",
                  r.op.c_str(), r.ns_per_op, r.bytes_per_sec, r.workers,
-                 i + 1 < merged.size() ? "," : "");
+                 r.dispatch.c_str(), i + 1 < merged.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -198,7 +336,7 @@ void bench_pool_dispatch(bool quick) {
   }
 }
 
-void bench_fused_pipeline(bool quick) {
+void bench_fused_pipeline(bool quick, std::vector<std::string>& failures) {
   const std::size_t n = quick ? 64 : 192;
   const auto field = lcp::data::generate_nyx(n, 7);
   const lcp::sz::LinearQuantizer quantizer{1e-3};
@@ -206,52 +344,111 @@ void bench_fused_pipeline(bool quick) {
   std::vector<std::uint32_t> exact;
   std::vector<float> decoded;
   const std::size_t bytes = field.element_count() * sizeof(float);
-  run_case("sz/predict_quantize_fused", quick ? 3 : 10, bytes, 0, [&] {
-    codes.clear();
-    exact.clear();
-    lcp::sz::predict_quantize_fused(field.values(), field.dims().extents(),
-                                    lcp::sz::SzPredictor::kFirstOrder,
-                                    quantizer, codes, exact, decoded);
-  });
+  const auto pq = run_paired(
+      "sz/predict_quantize_fused", quick ? 5 : 7, bytes, [&] {
+        codes.clear();
+        exact.clear();
+        lcp::sz::predict_quantize_fused(field.values(),
+                                        field.dims().extents(),
+                                        lcp::sz::SzPredictor::kFirstOrder,
+                                        quantizer, codes, exact, decoded);
+      });
+  gate_speedup(failures, "sz/predict_quantize_fused", pq, quick ? 1.5 : 2.0);
+
+  // Dispatch identity spot check: the quantization codes, exact-value side
+  // stream and decoded grid must match bit for bit across levels.
+  {
+    std::vector<std::uint32_t> codes_s;
+    std::vector<std::uint32_t> exact_s;
+    std::vector<float> decoded_s;
+    {
+      lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+      lcp::sz::predict_quantize_fused(field.values(), field.dims().extents(),
+                                      lcp::sz::SzPredictor::kFirstOrder,
+                                      quantizer, codes_s, exact_s, decoded_s);
+    }
+    {
+      lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kAvx2};
+      codes.clear();
+      exact.clear();
+      lcp::sz::predict_quantize_fused(field.values(), field.dims().extents(),
+                                      lcp::sz::SzPredictor::kFirstOrder,
+                                      quantizer, codes, exact, decoded);
+    }
+    const bool same =
+        codes == codes_s && exact == exact_s &&
+        decoded.size() == decoded_s.size() &&
+        std::memcmp(decoded.data(), decoded_s.data(),
+                    decoded.size() * sizeof(float)) == 0;
+    gate_identity(failures, "sz/predict_quantize_fused", same);
+  }
 
   std::vector<float> exact_f(exact.size());
   std::memcpy(exact_f.data(), exact.data(), exact.size() * sizeof(float));
   std::vector<float> out(field.element_count());
-  run_case("sz/reconstruct_fused", quick ? 3 : 10, bytes, 0, [&] {
+  const auto rec = run_paired("sz/reconstruct_fused", quick ? 5 : 7, bytes,
+                              [&] {
+                                std::size_t consumed = 0;
+                                const bool ok = lcp::sz::reconstruct_fused(
+                                    codes, exact_f, field.dims().extents(),
+                                    lcp::sz::SzPredictor::kFirstOrder,
+                                    quantizer, out, consumed);
+                                LCP_REQUIRE(
+                                    ok,
+                                    "fused reconstruction failed in benchmark");
+                              });
+  gate_never_worse(failures, "sz/reconstruct_fused", rec);
+  {
+    std::vector<float> out_s(field.element_count());
     std::size_t consumed = 0;
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
     const bool ok = lcp::sz::reconstruct_fused(
         codes, exact_f, field.dims().extents(),
-        lcp::sz::SzPredictor::kFirstOrder, quantizer, out, consumed);
-    LCP_REQUIRE(ok, "fused reconstruction failed in benchmark");
-  });
+        lcp::sz::SzPredictor::kFirstOrder, quantizer, out_s, consumed);
+    gate_identity(failures, "sz/reconstruct_fused",
+                  ok && std::memcmp(out.data(), out_s.data(),
+                                    out.size() * sizeof(float)) == 0);
+  }
 }
 
-void bench_huffman(bool quick) {
-  // Quantization-code-shaped symbols: concentrated near the radius with a
-  // geometric tail, matching the Huffman coder's production input.
-  const std::size_t count = quick ? (1u << 16) : (1u << 20);
-  constexpr std::uint32_t kRadius = 32768;
-  lcp::Rng rng{11};
-  std::vector<std::uint32_t> symbols(count);
-  for (auto& s : symbols) {
-    std::int64_t delta = 0;
-    while (delta < 64 && rng.uniform() < 0.5) {
-      ++delta;
-    }
-    if (rng.uniform() < 0.5) {
-      delta = -delta;
-    }
-    s = static_cast<std::uint32_t>(kRadius + delta);
-  }
+void bench_huffman(bool quick, std::vector<std::string>& failures) {
+  // Production-shaped symbols: the quantization codes of a real Nyx field,
+  // whose ~8-bit average code length is exactly what the wide-window
+  // multi-symbol decoder is tuned for. Synthetic near-uniform deltas would
+  // flatter the decoder (every pair fits one probe).
+  const std::size_t n = quick ? 64 : 128;
+  const auto field = lcp::data::generate_nyx(n, 11);
+  const lcp::sz::LinearQuantizer quantizer{1e-3};
+  std::vector<std::uint32_t> symbols;
+  std::vector<std::uint32_t> exact;
+  std::vector<float> grid;
+  lcp::sz::predict_quantize_fused(field.values(), field.dims().extents(),
+                                  lcp::sz::SzPredictor::kFirstOrder, quantizer,
+                                  symbols, exact, grid);
+  const std::size_t count = symbols.size();
   const std::size_t bytes = count * sizeof(std::uint32_t);
+
   std::vector<std::uint8_t> blob;
-  run_case("huffman/encode", quick ? 3 : 10, bytes, 0,
-           [&] { blob = lcp::sz::huffman_encode(symbols, 2 * kRadius); });
-  run_case("huffman/decode", quick ? 3 : 10, bytes, 0, [&] {
-    auto decoded = lcp::sz::huffman_decode(blob, count);
-    LCP_REQUIRE(decoded.has_value() && decoded->size() == count,
+  run_case("huffman/encode", quick ? 5 : 7, bytes, 0, [&] {
+    blob = lcp::sz::huffman_encode(symbols, quantizer.alphabet_size());
+  });
+
+  std::vector<std::uint32_t> decoded;
+  const auto dec = run_paired("huffman/decode", quick ? 5 : 7, bytes, [&] {
+    const auto status = lcp::sz::huffman_decode_into(blob, count, decoded);
+    LCP_REQUIRE(status.is_ok() && decoded.size() == count,
                 "huffman decode failed in benchmark");
   });
+  gate_speedup(failures, "huffman/decode", dec, quick ? 1.5 : 2.0);
+  // Identity: both dispatch levels reproduce the encoder's input exactly.
+  {
+    std::vector<std::uint32_t> decoded_s;
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    const auto status = lcp::sz::huffman_decode_into(blob, count, decoded_s);
+    gate_identity(failures, "huffman/decode",
+                  status.is_ok() && decoded_s == symbols &&
+                      decoded == symbols);
+  }
 }
 
 void bench_bitstream(bool quick) {
@@ -285,6 +482,134 @@ void bench_bitstream(bool quick) {
     }
     LCP_REQUIRE(!reader.overflowed(), "bitstream benchmark overflow");
   });
+}
+
+void bench_shuffle(bool quick, std::vector<std::string>& failures) {
+  const std::size_t n = quick ? (1u << 18) : (1u << 22);
+  lcp::Rng rng{31};
+  std::vector<float> values(n);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+  const std::size_t bytes = n * sizeof(float);
+  std::vector<std::uint8_t> planes(bytes);
+  const auto sh = run_paired("shuffle/shuffle_bytes", quick ? 5 : 7, bytes,
+                             [&] {
+                               lcp::lossless::shuffle_bytes(values, planes);
+                             });
+  gate_never_worse(failures, "shuffle/shuffle_bytes", sh);
+  {
+    std::vector<std::uint8_t> planes_s(bytes);
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    lcp::lossless::shuffle_bytes(values, planes_s);
+    gate_identity(failures, "shuffle/shuffle_bytes", planes == planes_s);
+  }
+
+  std::vector<float> restored(n);
+  const auto un = run_paired("shuffle/unshuffle_bytes", quick ? 5 : 7, bytes,
+                             [&] {
+                               lcp::lossless::unshuffle_bytes(planes, restored);
+                             });
+  gate_never_worse(failures, "shuffle/unshuffle_bytes", un);
+  {
+    std::vector<float> restored_s(n);
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    lcp::lossless::unshuffle_bytes(planes, restored_s);
+    gate_identity(failures, "shuffle/unshuffle_bytes",
+                  std::memcmp(restored.data(), restored_s.data(), bytes) == 0 &&
+                      std::memcmp(restored.data(), values.data(), bytes) == 0);
+  }
+}
+
+void bench_zlite(bool quick, std::vector<std::string>& failures) {
+  // Shuffled float planes: the exact byte stream the lossless codec hands
+  // to zlite in production (long exponent-byte runs, compressible).
+  const std::size_t side = quick ? 48 : 96;
+  const auto field = lcp::data::generate_nyx(side, 13);
+  const std::size_t bytes = field.element_count() * sizeof(float);
+  std::vector<std::uint8_t> planes(bytes);
+  lcp::lossless::shuffle_bytes(field.values(), planes);
+
+  std::vector<std::uint8_t> packed;
+  const auto zc = run_paired("zlite/compress", quick ? 5 : 7, bytes, [&] {
+    packed = lcp::sz::zlite_compress(planes);
+  });
+  gate_never_worse(failures, "zlite/compress", zc);
+  {
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    const auto packed_s = lcp::sz::zlite_compress(planes);
+    gate_identity(failures, "zlite/compress", packed == packed_s);
+  }
+
+  const auto zd = run_paired("zlite/decompress", quick ? 5 : 7, bytes, [&] {
+    const auto restored = lcp::sz::zlite_decompress(packed, bytes);
+    LCP_REQUIRE(restored.has_value() && restored->size() == bytes,
+                "zlite decompress failed in benchmark");
+  });
+  gate_never_worse(failures, "zlite/decompress", zd);
+  {
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    const auto restored = lcp::sz::zlite_decompress(packed, bytes);
+    gate_identity(failures, "zlite/decompress",
+                  restored.has_value() && *restored == planes);
+  }
+}
+
+void bench_zfp_planes(bool quick, std::vector<std::string>& failures) {
+  // Blocks of 64 negabinary coefficients with a low-frequency-first
+  // magnitude decay, mimicking post-transform ZFP blocks.
+  const std::size_t blocks = quick ? 512 : 2048;
+  constexpr std::size_t kBlock = 64;
+  lcp::Rng rng{37};
+  std::vector<std::uint64_t> nb(blocks * kBlock);
+  std::vector<unsigned> plane_hi(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::uint64_t all = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      const unsigned shift = 20 + static_cast<unsigned>((i * 40) / kBlock);
+      nb[b * kBlock + i] = rng.next_u64() >> shift;
+      all |= nb[b * kBlock + i];
+    }
+    if (all == 0) {
+      nb[b * kBlock] = 1;
+      all = 1;
+    }
+    plane_hi[b] = static_cast<unsigned>(std::bit_width(all) - 1);
+  }
+  const std::size_t bytes = nb.size() * sizeof(std::uint64_t);
+
+  std::vector<std::uint8_t> blob;
+  const auto enc = run_paired("zfp/encode_planes", quick ? 5 : 7, bytes, [&] {
+    lcp::BitWriter writer;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      lcp::zfp::encode_block_planes({nb.data() + b * kBlock, kBlock},
+                                    plane_hi[b], 0, writer);
+    }
+    blob = writer.finish();
+  });
+  gate_never_worse(failures, "zfp/encode_planes", enc);
+  {
+    lcp::simd::ScopedSimdLevel guard{lcp::simd::SimdLevel::kScalar};
+    lcp::BitWriter writer;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      lcp::zfp::encode_block_planes({nb.data() + b * kBlock, kBlock},
+                                    plane_hi[b], 0, writer);
+    }
+    gate_identity(failures, "zfp/encode_planes", writer.finish() == blob);
+  }
+
+  std::vector<std::uint64_t> coeffs(nb.size());
+  const auto dec = run_paired("zfp/decode_planes", quick ? 5 : 7, bytes, [&] {
+    lcp::BitReader reader{blob};
+    std::fill(coeffs.begin(), coeffs.end(), 0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const bool ok = lcp::zfp::decode_block_planes(
+          {coeffs.data() + b * kBlock, kBlock}, plane_hi[b], 0, reader);
+      LCP_REQUIRE(ok, "zfp plane decode failed in benchmark");
+    }
+  });
+  gate_never_worse(failures, "zfp/decode_planes", dec);
+  gate_identity(failures, "zfp/decode_planes", coeffs == nb);
 }
 
 void bench_parallel_compress(bool quick, std::vector<std::string>& failures) {
@@ -398,6 +723,105 @@ void bench_streaming_dump(bool quick, std::vector<std::string>& failures) {
   }
 }
 
+void bench_eqn3_crossover(bool quick, std::vector<std::string>& failures) {
+  // Re-derive Eqn 3's compute/transit crossover from each dispatch level's
+  // measured end-to-end codec cost. The profile feeds the same
+  // compress-or-raw pricing the planner uses; B* is the link bandwidth at
+  // which shipping raw starts to beat compress-then-ship.
+  using lcp::simd::ScopedSimdLevel;
+  using lcp::simd::SimdLevel;
+  const std::size_t n = quick ? 64 : 128;
+  const auto field = lcp::data::generate_nyx(n, 9);
+  const lcp::sz::SzCompressor codec{{}};
+  const auto bound = lcp::compress::ErrorBound::absolute(1e-3);
+  const double input_bytes = static_cast<double>(field.size_bytes().bytes());
+
+  const bool has_simd =
+      lcp::simd::hardware_simd_level() >= SimdLevel::kAvx2;
+  const SimdLevel levels[2] = {SimdLevel::kScalar, SimdLevel::kAvx2};
+  const std::size_t nlevels = has_simd ? 2 : 1;
+
+  const auto& spec = lcp::power::chip(lcp::power::ChipId::kSkylake4114);
+  const lcp::io::TransitModelConfig transit;
+  const auto rule = lcp::tuning::paper_rule();
+  const lcp::Bytes dump_bytes{std::uint64_t{4} << 30};  // one 4 GiB dump
+
+  double bstar[2] = {0.0, 0.0};
+  double throughput[2] = {0.0, 0.0};
+  lcp::tuning::CodecCostProfile profiles[2];
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    ScopedSimdLevel guard{levels[l]};
+    double best_ns = 0.0;
+    double ratio = 1.0;
+    const std::size_t reps = quick ? 2 : 4;
+    for (std::size_t rep = 0; rep <= reps; ++rep) {
+      const auto start = Clock::now();
+      auto result = codec.compress(field, bound);
+      const auto stop = Clock::now();
+      LCP_REQUIRE(result.has_value(), "sz compress failed in eqn3 bench");
+      ratio = static_cast<double>(result->output_bytes.bytes()) / input_bytes;
+      const double ns =
+          std::chrono::duration<double, std::nano>(stop - start).count();
+      if (rep > 0 && (best_ns == 0.0 || ns < best_ns)) {
+        best_ns = ns;  // rep 0 is warm-up
+      }
+    }
+    throughput[l] = input_bytes / best_ns;  // bytes per ns == GB/s
+    push_record("sz/compress_e2e", best_ns,
+                static_cast<std::size_t>(input_bytes), reps, 0,
+                lcp::simd::simd_level_name(levels[l]));
+
+    auto& profile = profiles[l];
+    profile.name =
+        std::string{"sz/"} + lcp::simd::simd_level_name(levels[l]);
+    profile.gigabytes_per_second = throughput[l];
+    profile.ratio = ratio;
+    bstar[l] = lcp::tuning::crossover_bandwidth_gbps(spec, profile,
+                                                     dump_bytes, transit,
+                                                     rule);
+    // The record stores the crossover as a bandwidth (bytes/sec): B* is
+    // the quantity of interest, not a per-op latency.
+    BenchRecord rec;
+    rec.op = "eqn3/crossover";
+    rec.bytes_per_sec = bstar[l] * 1e9 / 8.0;
+    rec.dispatch = lcp::simd::simd_level_name(levels[l]);
+    g_records.push_back(rec);
+    std::printf("%-34s  B* = %.2f Gbit/s  (%.2f GB/s codec, ratio %.3f) [%s]\n",
+                "eqn3/crossover", bstar[l], throughput[l], ratio,
+                rec.dispatch.c_str());
+  }
+
+  if (!has_simd) {
+    return;  // single profile: nothing to compare
+  }
+  // Faster kernels must push the crossover up (or the model broke), and at
+  // a bandwidth between the two crossovers the plans must actually differ:
+  // the scalar profile ships raw where the SIMD profile still compresses.
+  if (throughput[1] > throughput[0] && bstar[1] < bstar[0] * 0.999) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "eqn3 crossover moved down under avx2 (%.2f -> %.2f Gbit/s)",
+                  bstar[0], bstar[1]);
+    failures.emplace_back(buf);
+  }
+  if (std::fabs(bstar[1] - bstar[0]) > 0.01 * bstar[0]) {
+    auto mid_transit = transit;
+    mid_transit.link.gigabits_per_second = std::sqrt(bstar[0] * bstar[1]);
+    const auto lo = lcp::tuning::compress_or_raw(
+        spec, profiles[0], dump_bytes, mid_transit, rule);
+    const auto hi = lcp::tuning::compress_or_raw(
+        spec, profiles[1], dump_bytes, mid_transit, rule);
+    std::printf("  at %.2f Gbit/s: scalar plan %s, avx2 plan %s\n",
+                mid_transit.link.gigabits_per_second,
+                lo.compress ? "compress" : "raw",
+                hi.compress ? "compress" : "raw");
+    if (lo.compress || !hi.compress) {
+      failures.push_back(
+          "eqn3 decision did not flip between scalar and avx2 crossovers");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,24 +843,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("== micro_hotpaths (%s scale) ==\n", quick ? "quick" : "full");
+  std::printf("== micro_hotpaths (%s scale, dispatch %s) ==\n",
+              quick ? "quick" : "full", current_dispatch_name().c_str());
   std::vector<std::string> failures;
   bench_pool_dispatch(quick);
-  bench_fused_pipeline(quick);
-  bench_huffman(quick);
+  bench_fused_pipeline(quick, failures);
+  bench_huffman(quick, failures);
   bench_bitstream(quick);
+  bench_shuffle(quick, failures);
+  bench_zlite(quick, failures);
+  bench_zfp_planes(quick, failures);
   bench_parallel_compress(quick, failures);
   bench_streaming_dump(quick, failures);
+  bench_eqn3_crossover(quick, failures);
 
   if (json) {
     write_json(json_path);
   }
   if (!failures.empty()) {
     for (const auto& f : failures) {
-      std::fprintf(stderr, "SCALING GATE FAILED: %s\n", f.c_str());
+      std::fprintf(stderr, "BENCH GATE FAILED: %s\n", f.c_str());
     }
     return 1;
   }
-  std::printf("all scaling gates passed\n");
+  std::printf("all bench gates passed\n");
   return 0;
 }

@@ -4,9 +4,14 @@
 #include <cstring>
 
 #include "compress/common/container.hpp"
+#include "compress/simd/dispatch.hpp"
 #include "compress/sz/zlite.hpp"
 #include "support/bytestream.hpp"
 #include "support/timer.hpp"
+
+#if defined(LCP_HAVE_AVX2_BUILD)
+#include "compress/simd/avx2_kernels.hpp"
+#endif
 
 namespace lcp::lossless {
 namespace {
@@ -18,6 +23,12 @@ constexpr std::uint8_t kPayloadVersion = 1;
 void shuffle_bytes(std::span<const float> values,
                    std::span<std::uint8_t> out) noexcept {
   const std::size_t n = values.size();
+#if defined(LCP_HAVE_AVX2_BUILD)
+  if (simd::simd_level() >= simd::SimdLevel::kAvx2) {
+    simd::avx2::shuffle_bytes(values.data(), n, out.data());
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) {
     const auto bits = std::bit_cast<std::uint32_t>(values[i]);
     out[0 * n + i] = static_cast<std::uint8_t>(bits);
@@ -30,6 +41,12 @@ void shuffle_bytes(std::span<const float> values,
 void unshuffle_bytes(std::span<const std::uint8_t> bytes,
                      std::span<float> out) noexcept {
   const std::size_t n = out.size();
+#if defined(LCP_HAVE_AVX2_BUILD)
+  if (simd::simd_level() >= simd::SimdLevel::kAvx2) {
+    simd::avx2::unshuffle_bytes(bytes.data(), n, out.data());
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t bits =
         static_cast<std::uint32_t>(bytes[0 * n + i]) |

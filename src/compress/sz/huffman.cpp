@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "compress/simd/dispatch.hpp"
 #include "support/buffer_pool.hpp"
 #include "support/bytestream.hpp"
 
@@ -221,6 +222,17 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
 
 Expected<std::vector<std::uint32_t>> huffman_decode(
     std::span<const std::uint8_t> blob, std::uint64_t max_count) {
+  std::vector<std::uint32_t> out;
+  auto status = huffman_decode_into(blob, max_count, out);
+  if (!status.is_ok()) {
+    return status;
+  }
+  return out;
+}
+
+Status huffman_decode_into(std::span<const std::uint8_t> blob,
+                           std::uint64_t max_count,
+                           std::vector<std::uint32_t>& out) {
   ByteReader r{blob};
   auto alphabet = r.read_u32();
   if (!alphabet || *alphabet == 0) {
@@ -286,29 +298,7 @@ Expected<std::vector<std::uint32_t>> huffman_decode(
     }
   }
 
-  // Primary lookup table over the next kDecodeTableBits stream bits. The
-  // stream carries codes MSB-first but BitReader::peek_bits returns the
-  // first stream bit in the LSB, so entries are indexed by the reversed
-  // code with every possible fill of the remaining high bits.
-  struct TableEntry {
-    std::uint32_t symbol = 0;
-    std::uint8_t length = 0;  // 0 = not resolvable at table width
-  };
-  std::vector<TableEntry> table(std::size_t{1} << kDecodeTableBits);
-  {
-    const auto codes = canonical_codes(lengths);
-    for (std::uint32_t s = 0; s < *alphabet; ++s) {
-      const unsigned len = lengths[s];
-      if (len == 0 || len > kDecodeTableBits) {
-        continue;
-      }
-      const std::uint64_t base = reverse_bits(codes[s], len);
-      const std::size_t fills = std::size_t{1} << (kDecodeTableBits - len);
-      for (std::size_t fill = 0; fill < fills; ++fill) {
-        table[base | (fill << len)] = {s, static_cast<std::uint8_t>(len)};
-      }
-    }
-  }
+  const auto codes = canonical_codes(lengths);
 
   auto payload_size = r.read_u64();
   if (!payload_size) {
@@ -320,23 +310,15 @@ Expected<std::vector<std::uint32_t>> huffman_decode(
   }
 
   BitReader bits{*payload};
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(*count));
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    const TableEntry entry = table[bits.peek_bits(kDecodeTableBits)];
-    if (entry.length != 0) {
-      bits.skip_bits(entry.length);
-      if (bits.overflowed()) {
-        return Status::corrupt_data("huffman: invalid code in stream");
-      }
-      out.push_back(entry.symbol);
-      continue;
-    }
-    // Slow path: extend the prefix one bit at a time (codes longer than the
-    // table width, or garbage).
+
+  // Slow path shared by both loops: extend the prefix one bit at a time
+  // (codes longer than the table width, or garbage).
+  const auto decode_slow = [&](std::uint32_t& symbol) noexcept {
     std::uint64_t acc = 0;
     unsigned len = 0;
-    std::uint32_t symbol = UINT32_MAX;
+    symbol = UINT32_MAX;
     while (len < kMaxCodeLength) {
       acc = (acc << 1) | (bits.read_bit() ? 1u : 0u);
       ++len;
@@ -349,12 +331,233 @@ Expected<std::vector<std::uint32_t>> huffman_decode(
         break;
       }
     }
-    if (symbol == UINT32_MAX || bits.overflowed()) {
+    return symbol != UINT32_MAX && !bits.overflowed();
+  };
+
+  if (simd::simd_level() >= simd::SimdLevel::kAvx2 &&
+      *alphabet <= (std::uint32_t{1} << 17)) {
+    // Multi-symbol decode over a wider probe window. SZ's quantizer codes
+    // average ~8 bits on smooth fields, so the 11-bit classic table sends
+    // nearly one symbol in ten to the bit-serial slow path and almost
+    // never fits two codes in one probe. A 16-bit window resolves ~99% of
+    // symbols in one lookup and pairs two codes about half the time.
+    //
+    // Each slot packs into one 64-bit word (the loop is latency-bound on
+    // the serial peek -> table load -> skip chain, so the table must stay
+    // as small and line-aligned as possible — hence the 2^17 alphabet cap,
+    // which SZ's 17-bit quantizer alphabet always satisfies):
+    //   bits  0..16  first symbol
+    //   bits 17..33  second symbol
+    //   bits 34..39  bits consumed when emitting the first symbol only
+    //   bits 40..45  bits consumed when emitting both
+    //   bits 62..63  symbols resolvable at this slot (0-2)
+    //
+    // The wide table is built once per decode (pooled across calls, so
+    // steady-state decompression re-faults no pages): one pass writes the
+    // single-symbol entries — total fill work is bounded by 2^16 slots via
+    // the Kraft inequality, regardless of alphabet size — and a second
+    // pass upgrades slots to pairs in place. The in-place upgrade is sound
+    // because pair entries preserve their own first-symbol and
+    // first-length fields, which is all the chaining read needs. Chaining
+    // two single-symbol lookups per slot is sound because for
+    // len0 + len1 <= window width the second lookup's index bits are all
+    // genuine stream bits; the same zero-padding past the end of the
+    // payload feeds both this loop and the classic one, so the
+    // success/corrupt verdicts are identical.
+    constexpr unsigned kWideBits = 16;
+    constexpr std::size_t kWideSlots = std::size_t{1} << kWideBits;
+    ScratchLease<std::uint64_t> mtable_lease;
+    auto& mtable = mtable_lease.get();
+    mtable.assign(kWideSlots, 0);
+    for (std::uint32_t s = 0; s < *alphabet; ++s) {
+      const unsigned len = lengths[s];
+      if (len == 0 || len > kWideBits) {
+        continue;
+      }
+      const std::uint64_t base = reverse_bits(codes[s], len);
+      const std::size_t fills = std::size_t{1} << (kWideBits - len);
+      const std::uint64_t m = s | (std::uint64_t{len} << 34) |
+                              (std::uint64_t{len} << 40) |
+                              (std::uint64_t{1} << 62);
+      for (std::size_t fill = 0; fill < fills; ++fill) {
+        mtable[base | (fill << len)] = m;
+      }
+    }
+    for (std::size_t idx = 0; idx < kWideSlots; ++idx) {
+      const std::uint64_t m1 = mtable[idx];
+      if (m1 == 0) {
+        continue;
+      }
+      const unsigned len0 = static_cast<unsigned>((m1 >> 34) & 63);
+      const std::uint64_t m2 = mtable[idx >> len0];
+      const unsigned len1 = static_cast<unsigned>((m2 >> 34) & 63);
+      if (m2 != 0 && len0 + len1 <= kWideBits) {
+        mtable[idx] = (m1 & 0x1FFFF) | ((m2 & 0x1FFFF) << 17) |
+                      (std::uint64_t{len0} << 34) |
+                      (std::uint64_t{len0 + len1} << 40) |
+                      (std::uint64_t{2} << 62);
+      }
+    }
+
+    // Long codes (beyond the wide window) resolve with the same canonical
+    // per-length walk as decode_slow, but over one peeked register instead
+    // of a read_bit call per bit. The overflow verdict is unchanged: a
+    // match whose final bit lies past the end trips skip_bits exactly
+    // where the bit-serial walk would have tripped read_bits.
+    const auto decode_long = [&](std::uint32_t& symbol) noexcept {
+      const std::uint64_t window = bits.peek_bits(kMaxCodeLength);
+      std::uint64_t acc = 0;
+      unsigned len = 0;
+      symbol = UINT32_MAX;
+      while (len < kMaxCodeLength) {
+        acc = (acc << 1) | ((window >> len) & 1u);
+        ++len;
+        if (count_by_len[len] == 0) {
+          continue;
+        }
+        const std::uint64_t offset = acc - first_code[len];
+        if (acc >= first_code[len] && offset < count_by_len[len]) {
+          symbol = symbols_by_rank[first_index[len] + offset];
+          break;
+        }
+      }
+      if (symbol == UINT32_MAX) {
+        return false;
+      }
+      bits.skip_bits(len);
+      return !bits.overflowed();
+    };
+
+    // The hot loop is a serial dependency chain (probe -> table load ->
+    // cursor advance -> next probe), so the body holds the pending stream
+    // bits in a register and refills it from memory only every few symbols
+    // (a refill banks >= 57 bits; one probe spends at most kWideBits).
+    // Everything else is branchless apart from the rare long-code
+    // fallback: both symbol slots store unconditionally, and running the
+    // loop only while two output slots remain (i + 1 < total) makes the
+    // advance and bit counts plain field extracts — a pair entry always
+    // consumes both symbols, so `total bits` is the consumption for every
+    // resolvable entry. While a full 8-byte refill window is in bounds
+    // every consumed bit is a genuine stream bit, so no overflow checks
+    // are needed; the last symbols and any long-code fallback run
+    // through the bounds-checked BitReader, synced to the register
+    // cursor's position on entry.
+    const std::uint64_t total = *count;
+    out.resize(static_cast<std::size_t>(total) + 1);
+    std::uint32_t* dst = out.data();
+    std::uint64_t i = 0;
+
+    const std::uint8_t* data = payload->data();
+    const std::size_t size = payload->size();
+    std::uint64_t buf = 0;  // stream bits [pos, pos + navail), LSB first
+    unsigned navail = 0;
+    std::uint64_t pos = 0;  // bits consumed, tracked ahead of `bits`
+
+    while (i + 1 < total) {
+      if (navail < kWideBits) {
+        const auto byte = static_cast<std::size_t>(pos >> 3);
+        if (byte + sizeof(std::uint64_t) > size) {
+          break;  // within 8 bytes of the end: finish on the checked path
+        }
+        std::uint64_t word;
+        std::memcpy(&word, data + byte, sizeof(word));
+        buf = word >> (pos & 7);
+        navail = 64 - static_cast<unsigned>(pos & 7);
+      }
+      const std::uint64_t e = mtable[buf & ((1u << kWideBits) - 1)];
+      if (e == 0) {
+        bits.skip_bits(pos - bits.bit_position());
+        std::uint32_t symbol = UINT32_MAX;
+        if (!decode_long(symbol)) {
+          return Status::corrupt_data("huffman: invalid code in stream");
+        }
+        dst[i] = symbol;
+        ++i;
+        pos = bits.bit_position();
+        navail = 0;
+        continue;
+      }
+      const auto consumed = static_cast<unsigned>((e >> 40) & 63);
+      dst[i] = static_cast<std::uint32_t>(e & 0x1FFFF);
+      dst[i + 1] = static_cast<std::uint32_t>((e >> 17) & 0x1FFFF);
+      buf >>= consumed;
+      navail -= consumed;
+      pos += consumed;
+      i += static_cast<std::uint64_t>(e >> 62);
+    }
+
+    // Tail (and corrupt-stream) path: same decode over the checked reader,
+    // with the overflow verdict deferred to one check after the loop.
+    // Deferring is sound because the flag is sticky and the loop always
+    // terminates (every iteration advances i); a stream that overflows
+    // decodes garbage past that point under either policy and returns the
+    // same corrupt verdict.
+    bits.skip_bits(pos - bits.bit_position());
+    while (i < total) {
+      const std::uint64_t e = mtable[bits.peek_fixed<kWideBits>()];
+      const auto resolved = static_cast<unsigned>(e >> 62);
+      if (resolved == 0) {
+        std::uint32_t symbol = UINT32_MAX;
+        if (!decode_long(symbol)) {
+          return Status::corrupt_data("huffman: invalid code in stream");
+        }
+        dst[i] = symbol;
+        ++i;
+        continue;
+      }
+      const std::uint64_t advance = (resolved == 2 && i + 2 <= total) ? 2 : 1;
+      const std::uint64_t consumed =
+          advance == 2 ? ((e >> 40) & 63) : ((e >> 34) & 63);
+      dst[i] = static_cast<std::uint32_t>(e & 0x1FFFF);
+      dst[i + 1] = static_cast<std::uint32_t>((e >> 17) & 0x1FFFF);
+      bits.skip_bits(consumed);
+      i += advance;
+    }
+    if (bits.overflowed()) {
+      return Status::corrupt_data("huffman: invalid code in stream");
+    }
+    out.resize(static_cast<std::size_t>(total));
+    return Status::ok();
+  }
+
+  // Primary lookup table over the next kDecodeTableBits stream bits. The
+  // stream carries codes MSB-first but BitReader::peek_bits returns the
+  // first stream bit in the LSB, so entries are indexed by the reversed
+  // code with every possible fill of the remaining high bits.
+  struct TableEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = not resolvable at table width
+  };
+  std::vector<TableEntry> table(std::size_t{1} << kDecodeTableBits);
+  for (std::uint32_t s = 0; s < *alphabet; ++s) {
+    const unsigned len = lengths[s];
+    if (len == 0 || len > kDecodeTableBits) {
+      continue;
+    }
+    const std::uint64_t base = reverse_bits(codes[s], len);
+    const std::size_t fills = std::size_t{1} << (kDecodeTableBits - len);
+    for (std::size_t fill = 0; fill < fills; ++fill) {
+      table[base | (fill << len)] = {s, static_cast<std::uint8_t>(len)};
+    }
+  }
+
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const TableEntry entry = table[bits.peek_bits(kDecodeTableBits)];
+    if (entry.length != 0) {
+      bits.skip_bits(entry.length);
+      if (bits.overflowed()) {
+        return Status::corrupt_data("huffman: invalid code in stream");
+      }
+      out.push_back(entry.symbol);
+      continue;
+    }
+    std::uint32_t symbol = UINT32_MAX;
+    if (!decode_slow(symbol)) {
       return Status::corrupt_data("huffman: invalid code in stream");
     }
     out.push_back(symbol);
   }
-  return out;
+  return Status::ok();
 }
 
 }  // namespace lcp::sz

@@ -25,6 +25,13 @@ namespace lcp::sz {
 [[nodiscard]] lcp::Expected<std::vector<std::uint32_t>> huffman_decode(
     std::span<const std::uint8_t> blob, std::uint64_t max_count = UINT64_MAX);
 
+/// huffman_decode into a caller-owned vector (cleared and resized), so hot
+/// paths can reuse pooled storage instead of allocating the full symbol
+/// buffer on every call.
+[[nodiscard]] Status huffman_decode_into(std::span<const std::uint8_t> blob,
+                                         std::uint64_t max_count,
+                                         std::vector<std::uint32_t>& out);
+
 /// Computes canonical code lengths for `freq` (internal; exposed for tests).
 /// Lengths are capped at 32 bits. Symbols with zero frequency get length 0.
 [[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(

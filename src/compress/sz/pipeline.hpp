@@ -1,12 +1,17 @@
 #pragma once
-// Fused SZ hot-path kernels: Lorenzo prediction and linear-scaling
-// quantization (or reconstruction) in one pass over the field.
+// SZ hot-path kernels: prequantized integer Lorenzo prediction and
+// linear-scaling quantization (or reconstruction) over the field.
 //
-// The per-site work is compiled once per (rank, predictor) pair, so the
-// inner loops carry no stencil dispatch, and interior rows — where every
-// causal neighbour exists — run an unguarded stencil. Row-major traversal
-// keeps the previous plane/row in cache, which is the access pattern the
-// Lorenzo stencils want.
+// The pipeline is the cuSZ-style prequantized formulation (see
+// compress/sz/prequant.hpp): each sample is first snapped to its error-
+// bound grid index independently, the Lorenzo stencil then runs in exact
+// integer arithmetic over that grid, and only sites whose float32
+// reconstruction would break the bound (or that fall off the grid) are
+// stored exactly. Removing the reconstructed-value feedback chain makes
+// the encoder embarrassingly parallel, which is what lets the AVX2
+// dispatch level (compress/simd/dispatch.hpp) run 8-lane kernels that are
+// bit-identical to the scalar path — same codes, same exact stream, same
+// decoded values, under either dispatch level.
 
 #include <cstddef>
 #include <cstdint>

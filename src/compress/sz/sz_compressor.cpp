@@ -16,7 +16,10 @@
 namespace lcp::sz {
 namespace {
 
-constexpr std::uint8_t kPayloadVersion = 1;
+// v2: prequantized integer Lorenzo pipeline (compress/sz/prequant.hpp).
+// v1 payloads used reconstructed-value feedback prediction and would
+// silently misdecode under the v2 semantics, so the version gates them out.
+constexpr std::uint8_t kPayloadVersion = 2;
 
 /// Collapses rank-4 fields to 3-D by merging the two slowest axes; SZ's
 /// highest-order stencil is 3-D.
@@ -204,24 +207,26 @@ Expected<compress::DecompressResult> SzCompressor::decompress(
   }
 
   const std::size_t n = view->dims.element_count();
-  std::vector<std::uint32_t> codes;
+  // Pooled like the compress-side scratch: the decoded symbol buffer is the
+  // largest decompression allocation (4 bytes per element) and would
+  // otherwise be mapped and faulted in fresh on every call.
+  ScratchLease<std::uint32_t> codes_lease;
+  auto& codes = codes_lease.get();
   if (*lossless != 0) {
     // Cap the inflated size: huffman blob is bounded by table + payload.
     auto huffman = zlite_decompress(*entropy_blob, 64 + 8 * n + (n + 1) * 16);
     if (!huffman) {
       return huffman.status().with_context("sz entropy payload");
     }
-    auto decoded_codes = huffman_decode(*huffman, n);
-    if (!decoded_codes) {
-      return decoded_codes.status().with_context("sz entropy payload");
+    auto status = huffman_decode_into(*huffman, n, codes);
+    if (!status.is_ok()) {
+      return status.with_context("sz entropy payload");
     }
-    codes = std::move(*decoded_codes);
   } else {
-    auto decoded_codes = huffman_decode(*entropy_blob, n);
-    if (!decoded_codes) {
-      return decoded_codes.status().with_context("sz entropy payload");
+    auto status = huffman_decode_into(*entropy_blob, n, codes);
+    if (!status.is_ok()) {
+      return status.with_context("sz entropy payload");
     }
-    codes = std::move(*decoded_codes);
   }
   if (codes.size() != n) {
     return Status::corrupt_data("sz: code count mismatch");

@@ -1,5 +1,6 @@
 #include "compress/sz/zlite.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "support/buffer_pool.hpp"
@@ -66,9 +67,26 @@ std::vector<std::uint8_t> zlite_compress(std::span<const std::uint8_t> input) {
         std::memcmp(&input[candidate], &input[pos], kMinMatch) == 0) {
       match_len = kMinMatch;
       const std::size_t limit = input.size() - pos;
-      while (match_len < limit &&
-             input[candidate + match_len] == input[pos + match_len]) {
-        ++match_len;
+      // Extend 8 bytes at a time; the first XOR difference pinpoints the
+      // mismatch byte via its trailing zero count. Same greedy longest
+      // match as the byte loop, so the emitted stream is unchanged.
+      while (match_len + 8 <= limit) {
+        std::uint64_t lhs = 0;
+        std::uint64_t rhs = 0;
+        std::memcpy(&lhs, &input[candidate + match_len], 8);
+        std::memcpy(&rhs, &input[pos + match_len], 8);
+        const std::uint64_t diff = lhs ^ rhs;
+        if (diff != 0) {
+          match_len += static_cast<std::size_t>(std::countr_zero(diff)) >> 3;
+          break;
+        }
+        match_len += 8;
+      }
+      if (match_len + 8 > limit) {
+        while (match_len < limit &&
+               input[candidate + match_len] == input[pos + match_len]) {
+          ++match_len;
+        }
       }
     }
 
@@ -139,10 +157,28 @@ Expected<std::vector<std::uint8_t>> zlite_decompress(
     if (dist == 0 || dist > out.size() || match_len > total - out.size()) {
       return Status::corrupt_data("zlite: match out of bounds");
     }
-    // Byte-by-byte copy: overlapping matches (dist < len) are legal.
-    std::size_t src = out.size() - static_cast<std::size_t>(dist);
-    for (std::uint64_t i = 0; i < match_len; ++i) {
-      out.push_back(out[src + static_cast<std::size_t>(i)]);
+    // Overlapping matches (dist < len) are legal and must replicate the
+    // period byte-by-byte. For dist >= 8 the source window never reaches
+    // the bytes being written (src + i + 8 <= dst + i), so the copy can
+    // move 8-byte blocks after one resize; short distances keep the
+    // byte loop.
+    const std::size_t src = out.size() - static_cast<std::size_t>(dist);
+    const std::size_t len = static_cast<std::size_t>(match_len);
+    if (dist >= 8) {
+      const std::size_t dst = out.size();
+      out.resize(dst + len);
+      std::uint8_t* data = out.data();
+      std::size_t i = 0;
+      for (; i + 8 <= len; i += 8) {
+        std::memcpy(data + dst + i, data + src + i, 8);
+      }
+      for (; i < len; ++i) {
+        data[dst + i] = data[src + i];
+      }
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
     }
   }
   if (out.size() != total) {

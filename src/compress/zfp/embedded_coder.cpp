@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <bit>
 
+#include "compress/simd/dispatch.hpp"
 #include "support/status.hpp"
+
+#if defined(LCP_HAVE_AVX2_BUILD)
+#include "compress/simd/avx2_kernels.hpp"
+#endif
 
 namespace lcp::zfp {
 namespace {
@@ -13,6 +18,11 @@ namespace {
 std::uint64_t gather_plane(std::span<const std::uint64_t> coeffs,
                            unsigned plane, std::size_t begin,
                            std::size_t count) {
+#if defined(LCP_HAVE_AVX2_BUILD)
+  if (simd::simd_level() >= simd::SimdLevel::kAvx2) {
+    return simd::avx2::gather_plane(coeffs.data() + begin, plane, count);
+  }
+#endif
   std::uint64_t word = 0;
   for (std::size_t t = 0; t < count; ++t) {
     word |= ((coeffs[begin + t] >> plane) & 1u) << t;

@@ -119,18 +119,6 @@ std::uint64_t BitReader::peek_bits(unsigned bits) const noexcept {
   return extract(pos_, std::min(avail, bits));
 }
 
-void BitReader::skip_bits(std::uint64_t bits) noexcept {
-  const std::uint64_t total = static_cast<std::uint64_t>(bytes_.size()) * 8;
-  // Overflow-safe form of `pos_ + bits > total`: a hostile length field
-  // near 2^64 must not wrap the cursor back into bounds.
-  if (bits > total - pos_) {
-    overflow_ = true;
-    pos_ = total;
-    return;
-  }
-  pos_ += bits;
-}
-
 unsigned BitReader::read_unary() noexcept {
   unsigned zeros = 0;
   for (;;) {

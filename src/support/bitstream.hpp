@@ -7,6 +7,7 @@
 // the same sequence of reads round-trips bit-for-bit (property-tested).
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -61,11 +62,43 @@ class BitReader {
   /// marking overflow (past-the-end bits read as zero). bits in [0, 64].
   [[nodiscard]] std::uint64_t peek_bits(unsigned bits) const noexcept;
 
+  /// peek_bits with a compile-time width: whenever a full 8-byte window
+  /// starting at the cursor's byte is in bounds, one unaligned 64-bit load
+  /// replaces the byte-gather. Bits is capped at 57 because the load
+  /// discards up to 7 cursor-alignment bits; near the final word it
+  /// delegates to peek_bits, which zero-pads past the end — identical
+  /// results everywhere (regression-pinned by bitstream_test).
+  template <unsigned Bits>
+  [[nodiscard]] std::uint64_t peek_fixed() const noexcept {
+    static_assert(Bits >= 1 && Bits <= 57,
+                  "peek_fixed reads one unaligned 64-bit word and may "
+                  "discard up to 7 alignment bits");
+    const auto byte = static_cast<std::size_t>(pos_ >> 3);
+    if (byte + sizeof(std::uint64_t) <= bytes_.size()) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, bytes_.data() + byte, sizeof(word));
+      word >>= (pos_ & 7);
+      return word & ((std::uint64_t{1} << Bits) - 1);
+    }
+    return peek_bits(Bits);
+  }
+
   /// Advances the cursor by `bits` without extracting them. Skipping past
   /// the end marks overflow, exactly as reading those bits would; the
   /// cursor saturates at the end of the buffer, so arbitrarily large
-  /// (hostile) skip counts cannot wrap it back into bounds.
-  void skip_bits(std::uint64_t bits) noexcept;
+  /// (hostile) skip counts cannot wrap it back into bounds. Inline: the
+  /// Huffman fast loop pairs it with peek_fixed per emitted symbol.
+  void skip_bits(std::uint64_t bits) noexcept {
+    const auto total = static_cast<std::uint64_t>(bytes_.size()) * 8;
+    // Overflow-safe form of `pos_ + bits > total`: a hostile length field
+    // near 2^64 must not wrap the cursor back into bounds.
+    if (bits > total - pos_) {
+      overflow_ = true;
+      pos_ = total;
+      return;
+    }
+    pos_ += bits;
+  }
 
   /// Reads a unary code written by BitWriter::write_unary.
   /// Returns the count of zeros before the terminating one. If the stream

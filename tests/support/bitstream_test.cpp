@@ -209,5 +209,34 @@ TEST(BitStreamTest, OverflowingReadSaturatesCursor) {
   EXPECT_EQ(r.read_bits(16), 0u);  // cursor pinned at the end
 }
 
+// peek_fixed takes the unaligned-64-bit-load fast path while a full
+// 8-byte window fits and must hand off to the zero-padding peek_bits
+// slow path at exactly the final-word boundary, with identical results
+// at every bit position on either side of the switch.
+TEST(BitStreamTest, PeekFixedMatchesPeekBitsAcrossFinalWordBoundary) {
+  Rng rng{0xBEEF};
+  for (std::size_t size : {std::size_t{7}, std::size_t{8}, std::size_t{9},
+                           std::size_t{16}}) {
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    for (std::uint64_t bit = 0; bit <= size * 8; ++bit) {
+      BitReader fast{bytes};
+      BitReader slow{bytes};
+      fast.skip_bits(bit);
+      slow.skip_bits(bit);
+      SCOPED_TRACE("size " + std::to_string(size) + " bit " +
+                   std::to_string(bit));
+      EXPECT_EQ(fast.peek_fixed<1>(), slow.peek_bits(1));
+      EXPECT_EQ(fast.peek_fixed<11>(), slow.peek_bits(11));
+      EXPECT_EQ(fast.peek_fixed<16>(), slow.peek_bits(16));
+      EXPECT_EQ(fast.peek_fixed<57>(), slow.peek_bits(57));
+      // Peeking never consumes or flags overflow, even past the end.
+      EXPECT_FALSE(fast.overflowed());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lcp

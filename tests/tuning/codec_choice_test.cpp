@@ -1,0 +1,91 @@
+#include "tuning/codec_choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/transit_model.hpp"
+#include "power/chip_model.hpp"
+#include "tuning/rule.hpp"
+
+namespace lcp::tuning {
+namespace {
+
+constexpr std::uint64_t kDump = std::uint64_t{4} << 30;  // 4 GiB
+
+CodecCostProfile profile(double gbps, double ratio) {
+  CodecCostProfile p;
+  p.name = "test";
+  p.gigabytes_per_second = gbps;
+  p.ratio = ratio;
+  return p;
+}
+
+io::TransitModelConfig config_at(double link_gbps) {
+  io::TransitModelConfig transit;
+  transit.link.gigabits_per_second = link_gbps;
+  return transit;
+}
+
+double crossover(const CodecCostProfile& codec) {
+  return crossover_bandwidth_gbps(power::chip(power::ChipId::kSkylake4114),
+                                  codec, Bytes{kDump},
+                                  io::TransitModelConfig{}, paper_rule());
+}
+
+// Faster codec at the same ratio shrinks Eqn 3's compute term, so the
+// compressed plan stays cheaper up to a strictly higher link bandwidth.
+// This is the property the bench's scalar-vs-AVX2 crossover gate relies on.
+TEST(CodecChoiceTest, FasterCodecRaisesCrossover) {
+  const double slow = crossover(profile(0.1, 0.35));
+  const double fast = crossover(profile(0.4, 0.35));
+  EXPECT_GT(slow, 0.01);
+  EXPECT_GT(fast, slow);
+}
+
+// Better ratio means fewer bytes on the wire, which also favors
+// compression at higher bandwidths.
+TEST(CodecChoiceTest, BetterRatioRaisesCrossover) {
+  const double weak = crossover(profile(0.2, 0.6));
+  const double strong = crossover(profile(0.2, 0.15));
+  EXPECT_GT(strong, weak);
+}
+
+// The decision must actually flip across B*: compress below, raw above.
+TEST(CodecChoiceTest, DecisionFlipsAtCrossover) {
+  const auto spec = power::chip(power::ChipId::kSkylake4114);
+  const auto codec = profile(0.25, 0.35);
+  const double bstar = crossover(codec);
+  ASSERT_GT(bstar, 0.011);
+  ASSERT_LT(bstar, 999.0);  // interior crossover, not a clamped bound
+
+  const auto below = compress_or_raw(spec, codec, Bytes{kDump},
+                                     config_at(bstar * 0.5), paper_rule());
+  const auto above = compress_or_raw(spec, codec, Bytes{kDump},
+                                     config_at(bstar * 2.0), paper_rule());
+  EXPECT_TRUE(below.compress);
+  EXPECT_GT(below.energy_saved().joules(), 0.0);
+  EXPECT_FALSE(above.compress);
+  EXPECT_LE(above.energy_saved().joules(), 0.0);
+}
+
+// Raw-plan energy is independent of the codec; compressed-plan energy
+// decomposes into compute + wire and both respond the right way.
+TEST(CodecChoiceTest, RawEnergyIndependentOfCodec) {
+  const auto spec = power::chip(power::ChipId::kSkylake4114);
+  const auto transit = config_at(1.0);
+  const auto a = compress_or_raw(spec, profile(0.1, 0.5), Bytes{kDump},
+                                 transit, paper_rule());
+  const auto b = compress_or_raw(spec, profile(0.9, 0.2), Bytes{kDump},
+                                 transit, paper_rule());
+  EXPECT_DOUBLE_EQ(a.energy_raw.joules(), b.energy_raw.joules());
+  EXPECT_LT(b.energy_compressed.joules(), a.energy_compressed.joules());
+}
+
+// A codec that never pays for itself (ratio ~1, glacial throughput) pins
+// the bisection to the lower bound; an absurdly good one pins the upper.
+TEST(CodecChoiceTest, DegenerateProfilesClampToSearchBounds) {
+  EXPECT_DOUBLE_EQ(crossover(profile(1e-4, 0.999)), 0.01);
+  EXPECT_DOUBLE_EQ(crossover(profile(100.0, 0.01)), 1000.0);
+}
+
+}  // namespace
+}  // namespace lcp::tuning
