@@ -148,10 +148,16 @@ void emit_figure(const std::string& name, const std::string& title,
   }
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  const std::string path = "bench_out/" + name + ".csv";
-  const auto status = csv.write_file(path);
+  emit_csv(csv, "bench_out/" + name + ".csv");
+}
+
+void emit_csv(const CsvWriter& csv, const std::string& path) {
+  const Status status = csv.write_file(path);
   if (status.is_ok()) {
     std::printf("  [csv] %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  [csv] FAILED %s: %s\n", path.c_str(),
+                 status.message().c_str());
   }
 }
 

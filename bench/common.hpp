@@ -61,6 +61,12 @@ void emit_figure(const std::string& name, const std::string& title,
                  const std::string& y_label,
                  const std::vector<AggregatedCurve>& curves);
 
+/// Writes `csv` to `path` and prints the standard "  [csv] path" line.
+/// A failed write goes to stderr instead of being dropped: the benches
+/// used to (void)-cast these Statuses, so a full disk produced a green
+/// run whose CSV artifact silently did not exist.
+void emit_csv(const CsvWriter& csv, const std::string& path);
+
 /// Prints a Table IV/V-style model table.
 void print_model_table(const std::string& title,
                        const std::vector<core::ModelTableRow>& rows);

@@ -202,11 +202,10 @@ int main() {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  (void)csv.write_file("bench_out/extension_corruption_recovery.csv");
-  (void)size_csv.write_file(
-      "bench_out/extension_corruption_framing_tax.csv");
-  std::printf("  [csv] bench_out/extension_corruption_recovery.csv\n");
-  std::printf("  [csv] bench_out/extension_corruption_framing_tax.csv\n\n");
+  bench::emit_csv(csv, "bench_out/extension_corruption_recovery.csv");
+  bench::emit_csv(size_csv,
+                  "bench_out/extension_corruption_framing_tax.csv");
+  std::printf("\n");
 
   bench::print_comparison(
       "recovered fraction monotone non-increasing, rework J non-decreasing",

@@ -116,8 +116,8 @@ int main() {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  (void)csv.write_file("bench_out/extension_fault_energy.csv");
-  std::printf("  [csv] bench_out/extension_fault_energy.csv\n\n");
+  bench::emit_csv(csv, "bench_out/extension_fault_energy.csv");
+  std::printf("\n");
 
   bench::print_comparison("energy/GB monotone in loss rate", "yes",
                           monotone ? "yes" : "NO");

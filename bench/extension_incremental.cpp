@@ -286,10 +286,10 @@ int main() {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  (void)grid_csv.write_file("bench_out/extension_incremental_grid.csv");
-  (void)ladder_csv.write_file("bench_out/extension_incremental_ladder.csv");
-  std::printf("  [csv] bench_out/extension_incremental_grid.csv\n");
-  std::printf("  [csv] bench_out/extension_incremental_ladder.csv\n\n");
+  bench::emit_csv(grid_csv, "bench_out/extension_incremental_grid.csv");
+  bench::emit_csv(ladder_csv,
+                  "bench_out/extension_incremental_ladder.csv");
+  std::printf("\n");
 
   const bool pass = degeneracy_exact && grid_monotone &&
                     never_worse_than_full && delta_cheaper && identical &&

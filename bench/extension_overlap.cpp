@@ -164,8 +164,8 @@ int main() {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  (void)csv.write_file("bench_out/extension_overlap.csv");
-  std::printf("  [csv] bench_out/extension_overlap.csv\n\n");
+  bench::emit_csv(csv, "bench_out/extension_overlap.csv");
+  std::printf("\n");
 
   bench::print_comparison("depth 1 reproduces the serial plan exactly",
                           "yes", depth1_exact ? "yes" : "NO");

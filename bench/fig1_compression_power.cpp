@@ -38,12 +38,10 @@ int main(int argc, char** argv) {
   {
     std::error_code ec;
     std::filesystem::create_directories("bench_out", ec);
-    (void)core::export_compression_study(study).write_file(
-        "bench_out/compression_study_full.csv");
-    (void)core::export_calibrations(study).write_file(
-        "bench_out/compression_calibrations.csv");
-    std::printf("  [csv] bench_out/compression_study_full.csv\n");
-    std::printf("  [csv] bench_out/compression_calibrations.csv\n");
+    bench::emit_csv(core::export_compression_study(study),
+                    "bench_out/compression_study_full.csv");
+    bench::emit_csv(core::export_calibrations(study),
+                    "bench_out/compression_calibrations.csv");
   }
   bench::emit_figure("fig1_compression_power",
                      "Fig 1 (reproduced): scaled power vs frequency",

@@ -33,9 +33,8 @@ int main() {
   {
     std::error_code ec;
     std::filesystem::create_directories("bench_out", ec);
-    (void)core::export_transit_study(study).write_file(
-        "bench_out/transit_study_full.csv");
-    std::printf("  [csv] bench_out/transit_study_full.csv\n");
+    bench::emit_csv(core::export_transit_study(study),
+                    "bench_out/transit_study_full.csv");
   }
   bench::emit_figure("fig3_transit_power",
                      "Fig 3 (reproduced): transit scaled power vs frequency",

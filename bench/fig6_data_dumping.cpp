@@ -85,7 +85,6 @@ int main() {
   }
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  (void)csv.write_file("bench_out/fig6_data_dumping.csv");
-  std::printf("  [csv] bench_out/fig6_data_dumping.csv\n");
+  bench::emit_csv(csv, "bench_out/fig6_data_dumping.csv");
   return 0;
 }

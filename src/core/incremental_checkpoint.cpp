@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <set>
 #include <string_view>
 #include <utility>
@@ -591,7 +589,7 @@ Status IncrementalCheckpointStore::ensure_loaded_locked() {
 }
 
 Status IncrementalCheckpointStore::open() {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   loaded_ = false;
   const Status st = ensure_loaded_locked();
   if (!st.is_ok()) {
@@ -602,7 +600,7 @@ Status IncrementalCheckpointStore::open() {
 
 Expected<DumpSummary> IncrementalCheckpointStore::dump(
     const data::Field& field) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   LCP_RETURN_IF_ERROR(ensure_loaded_locked());
   const compress::CheckpointOptions& opts = options_.checkpoint;
   if (field.element_count() == 0) {
@@ -703,7 +701,7 @@ Expected<DumpSummary> IncrementalCheckpointStore::dump(
 
 Expected<RestoreReport> IncrementalCheckpointStore::restore(
     std::uint64_t generation, const compress::RecoveryPolicy& policy) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock{mu_};
   auto view = load_journal();
   if (!view.has_value()) {
     return view.status().with_context("incremental restore");
@@ -809,7 +807,7 @@ Expected<RestoreReport> IncrementalCheckpointStore::restore_latest(
   // One shared lock and one journal read cover both the pick and the
   // restore: a drop_generation between them (which needs the exclusive
   // lock) can never turn the chosen generation into "not in journal".
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock{mu_};
   auto view = load_journal();
   if (!view.has_value()) {
     return view.status().with_context("incremental restore_latest");
@@ -821,7 +819,7 @@ Expected<RestoreReport> IncrementalCheckpointStore::restore_latest(
 }
 
 Status IncrementalCheckpointStore::drop_generation(std::uint64_t generation) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   LCP_RETURN_IF_ERROR(ensure_loaded_locked());
   const auto it = std::find_if(
       entries_.begin(), entries_.end(),
@@ -848,7 +846,7 @@ Status IncrementalCheckpointStore::drop_generation(std::uint64_t generation) {
 }
 
 Expected<GcReport> IncrementalCheckpointStore::gc() {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   LCP_RETURN_IF_ERROR(ensure_loaded_locked());
   rebuild_index(entries_);
   std::set<std::string> live;
@@ -885,7 +883,7 @@ Expected<GcReport> IncrementalCheckpointStore::gc() {
 }
 
 std::vector<std::uint64_t> IncrementalCheckpointStore::generations() const {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   std::vector<std::uint64_t> out;
   out.reserve(entries_.size());
   for (const GenerationEntry& e : entries_) {
@@ -895,7 +893,7 @@ std::vector<std::uint64_t> IncrementalCheckpointStore::generations() const {
 }
 
 std::uint64_t IncrementalCheckpointStore::latest_generation() const {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterLock lock{mu_};
   return entries_.empty() ? 0 : entries_.back().generation;
 }
 

@@ -54,7 +54,6 @@
 // each other (but not with a writer, same as any checkpoint file).
 
 #include <cstdint>
-#include <shared_mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,6 +62,7 @@
 #include "data/field.hpp"
 #include "io/replica_set.hpp"
 #include "support/status.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/units.hpp"
 
 namespace lcp::core {
@@ -139,14 +139,14 @@ class IncrementalCheckpointStore {
   /// Attaches to whatever journal the replicas hold (a cold start on an
   /// empty store is OK) and rebuilds the dedup index. Call before the
   /// first dump() against pre-existing state; a fresh store needs no open.
-  Status open();
+  [[nodiscard]] Status open();
 
   /// Writes one generation: hashes every raw slab, compresses and ships
   /// only the dirty ones (skipping objects the store already holds), and
   /// replaces the journal with the entry appended. Fails without
   /// publishing the generation if the object or journal writes miss the
   /// write quorum.
-  Expected<DumpSummary> dump(const data::Field& field);
+  [[nodiscard]] Expected<DumpSummary> dump(const data::Field& field);
 
   /// Reconstructs `generation` from any quorum of replicas. Lost slabs
   /// are filled per `policy` exactly as recover_checkpoint fills them
@@ -163,10 +163,10 @@ class IncrementalCheckpointStore {
       const compress::RecoveryPolicy& policy = {}) const;
 
   /// Retires one generation from the journal (objects stay until gc()).
-  Status drop_generation(std::uint64_t generation);
+  [[nodiscard]] Status drop_generation(std::uint64_t generation);
 
   /// Removes every stored object that no live generation references.
-  Expected<GcReport> gc();
+  [[nodiscard]] Expected<GcReport> gc();
 
   /// Generations currently in the journal, ascending.
   [[nodiscard]] std::vector<std::uint64_t> generations() const;
@@ -194,13 +194,13 @@ class IncrementalCheckpointStore {
   /// quorum semantics in the file comment. A fresh store (no journal ever
   /// committed) is only concluded when at least write_quorum live
   /// replicas hold no journal file; below that the call fails closed.
-  Expected<JournalView> load_journal() const;
+  [[nodiscard]] Expected<JournalView> load_journal() const LCP_REQUIRES_SHARED(mu_);
 
   /// Restores `generation` out of an already-loaded journal view; caller
   /// holds mu_ (shared suffices — this is a pure read).
   Expected<RestoreReport> restore_from_view(
       const JournalView& view, std::uint64_t generation,
-      const compress::RecoveryPolicy& policy) const;
+      const compress::RecoveryPolicy& policy) const LCP_REQUIRES_SHARED(mu_);
 
   /// Writes `next` as the epoch_+1 journal file and, on quorum success,
   /// commits it to entries_/next_generation_ and prunes superseded epoch
@@ -209,22 +209,24 @@ class IncrementalCheckpointStore {
   /// retry can never produce two same-epoch journals with different
   /// content; the committed journal files are never touched.
   Status publish_journal(std::vector<GenerationEntry> next,
-                         std::uint64_t next_generation, Bytes* journal_bytes);
+                         std::uint64_t next_generation, Bytes* journal_bytes)
+      LCP_REQUIRES(mu_);
 
   /// Removes journal files below `keep_epoch` from every up replica
   /// (best-effort: a lingering lower epoch always loses the epoch vote).
-  void prune_superseded_journals(std::uint64_t keep_epoch);
+  void prune_superseded_journals(std::uint64_t keep_epoch) LCP_REQUIRES(mu_);
 
   /// Loads journal state into entries_/epoch_/index on first use.
-  Status ensure_loaded_locked();
+  [[nodiscard]] Status ensure_loaded_locked() LCP_REQUIRES(mu_);
 
   /// Removes any stale copy and fans the write out; quorum-checked. Slab
   /// objects only — the journal goes through publish_journal, which never
   /// removes before writing.
-  Status put_file(const std::string& path, std::span<const std::uint8_t> data);
+  [[nodiscard]] Status put_file(const std::string& path, std::span<const std::uint8_t> data);
 
   /// Rebuilds raw->stored dedup state from `entries`.
-  void rebuild_index(const std::vector<GenerationEntry>& entries);
+  void rebuild_index(const std::vector<GenerationEntry>& entries)
+      LCP_REQUIRES(mu_);
 
   io::ReplicaSet& replicas_;
   IncrementalStoreOptions options_;
@@ -234,18 +236,19 @@ class IncrementalCheckpointStore {
   /// parallel but never overlap a journal rewrite or object removal (the
   /// in-memory NfsServer, like a real backend, does not promise atomic
   /// visibility of a replace while readers stream the old bytes).
-  mutable std::shared_mutex mu_;
-  bool loaded_ = false;
-  std::uint64_t epoch_ = 0;  ///< journal rewrite counter (freshness order)
+  mutable SharedMutex mu_;
+  bool loaded_ LCP_GUARDED_BY(mu_) = false;
+  /// Journal rewrite counter (freshness order).
+  std::uint64_t epoch_ LCP_GUARDED_BY(mu_) = 0;
   /// Next generation number to assign. Persisted in the journal header
   /// and never reused, even after the newest generation is dropped — a
   /// reused number could fork against a stale replica's entry for it.
-  std::uint64_t next_generation_ = 1;
-  std::vector<GenerationEntry> entries_;
+  std::uint64_t next_generation_ LCP_GUARDED_BY(mu_) = 1;
+  std::vector<GenerationEntry> entries_ LCP_GUARDED_BY(mu_);
   /// Object names (stored hashes) the store believes are durable, i.e.
   /// referenced by some live journal entry. Guards dedup: an object not
   /// in this set is (re)written even if a stale file shares the name.
-  std::vector<std::uint64_t> stored_objects_;
+  std::vector<std::uint64_t> stored_objects_ LCP_GUARDED_BY(mu_);
 };
 
 }  // namespace lcp::core

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
-#include <thread>
 #include <utility>
 
 #include "compress/common/framing.hpp"
 #include "compress/common/registry.hpp"
 #include "support/bounded_queue.hpp"
+#include "support/scoped_thread.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace lcp::core {
@@ -20,6 +20,14 @@ namespace {
 struct CompressedSlab {
   std::size_t index = 0;
   std::vector<std::uint8_t> container;
+};
+
+/// First failure among the parallel compression producers. Any worker may
+/// lose the race to report; the first error wins and the rest are dropped
+/// (they are all downstream casualties of the same abort).
+struct ProducerState {
+  Mutex mutex;
+  Status status LCP_GUARDED_BY(mutex) = Status::ok();
 };
 
 }  // namespace
@@ -50,12 +58,13 @@ Expected<StreamingDumpStats> streaming_dump(const data::Field& field,
   stats.slab_seconds.assign(slab_count, Seconds{0.0});
 
   BoundedQueue<CompressedSlab> queue{config.queue_capacity};
-  Status producer_status = Status::ok();
-  std::mutex producer_mutex;
+  ProducerState producer;
+  // Written by the writer thread only, read after join() (which supplies
+  // the happens-before edge); needs no lock.
   Status writer_status = Status::ok();
   std::size_t slabs_shipped = 0;
 
-  std::thread writer([&] {
+  ScopedThread writer([&] {
     compress::FrameParams params;
     params.flags = compress::kFrameFlagCheckpoint;
     compress::FramedWriter framed{params};
@@ -141,9 +150,11 @@ Expected<StreamingDumpStats> streaming_dump(const data::Field& field,
                                                **codec);
         const Seconds elapsed = t.elapsed();
         if (!container) {
-          const std::scoped_lock lock{producer_mutex};
-          if (producer_status.is_ok()) {
-            producer_status = container.status();
+          {
+            const MutexLock lock{producer.mutex};
+            if (producer.status.is_ok()) {
+              producer.status = container.status();
+            }
           }
           queue.close();
           return;
@@ -155,6 +166,11 @@ Expected<StreamingDumpStats> streaming_dump(const data::Field& field,
   queue.close();
   writer.join();
 
+  Status producer_status = Status::ok();
+  {
+    const MutexLock lock{producer.mutex};
+    producer_status = producer.status;
+  }
   if (!producer_status.is_ok()) {
     return producer_status.with_context("streaming_dump");
   }

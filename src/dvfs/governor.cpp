@@ -5,7 +5,7 @@ namespace lcp::dvfs {
 Governor::Governor(const power::ChipSpec& spec)
     : range_(spec.f_min, spec.f_max, spec.f_step), current_(spec.f_max) {}
 
-Status Governor::set_frequency(GigaHertz f) {
+Status Governor::set_frequency_locked(GigaHertz f) {
   if (!range_.contains(f)) {
     return Status::out_of_range("requested frequency outside DVFS range");
   }
@@ -14,11 +14,17 @@ Status Governor::set_frequency(GigaHertz f) {
   return Status::ok();
 }
 
+Status Governor::set_frequency(GigaHertz f) {
+  const MutexLock lock{mu_};
+  return set_frequency_locked(f);
+}
+
 Status Governor::set_fraction_of_max(double fraction) {
   if (fraction <= 0.0 || fraction > 1.0) {
     return Status::invalid_argument("fraction of f_max must be in (0, 1]");
   }
-  return set_frequency(GigaHertz{range_.max().ghz() * fraction});
+  const MutexLock lock{mu_};
+  return set_frequency_locked(GigaHertz{range_.max().ghz() * fraction});
 }
 
 }  // namespace lcp::dvfs

@@ -6,16 +6,24 @@
 #include "dvfs/frequency_range.hpp"
 #include "power/chip_model.hpp"
 #include "support/status.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lcp::dvfs {
 
+/// Thread-safe: the pinned frequency and transition counter are guarded by
+/// one mutex (a sweep running on the pool may consult the governor while a
+/// planner thread re-pins it). The range itself is immutable after
+/// construction.
 class Governor {
  public:
   /// Starts at the chip's max clock (the "Base Clock" baseline of Fig 6).
   explicit Governor(const power::ChipSpec& spec);
 
   [[nodiscard]] const FrequencyRange& range() const noexcept { return range_; }
-  [[nodiscard]] GigaHertz current() const noexcept { return current_; }
+  [[nodiscard]] GigaHertz current() const {
+    const MutexLock lock{mu_};
+    return current_;
+  }
 
   /// Pins all cores to `f` (snapped to grid). Fails if outside the range.
   [[nodiscard]] Status set_frequency(GigaHertz f);
@@ -24,17 +32,25 @@ class Governor {
   [[nodiscard]] Status set_fraction_of_max(double fraction);
 
   /// Restores the max clock.
-  void reset() noexcept { current_ = range_.max(); }
+  void reset() {
+    const MutexLock lock{mu_};
+    current_ = range_.max();
+  }
 
   /// Number of set_frequency transitions performed (diagnostics).
-  [[nodiscard]] std::size_t transition_count() const noexcept {
+  [[nodiscard]] std::size_t transition_count() const {
+    const MutexLock lock{mu_};
     return transitions_;
   }
 
  private:
+  /// Shared body of the two public setters; callers hold mu_.
+  Status set_frequency_locked(GigaHertz f) LCP_REQUIRES(mu_);
+
   FrequencyRange range_;
-  GigaHertz current_;
-  std::size_t transitions_ = 0;
+  mutable Mutex mu_;
+  GigaHertz current_ LCP_GUARDED_BY(mu_);
+  std::size_t transitions_ LCP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lcp::dvfs

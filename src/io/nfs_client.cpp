@@ -72,7 +72,8 @@ Status NfsClient::write_file_framed(const std::string& path,
 }
 
 Status NfsClient::FileStream::append(std::span<const std::uint8_t> data) {
-  const Status st = write_at(offset_, data);
+  const MutexLock lock{mu_};
+  const Status st = write_at_locked(offset_, data);
   if (st.is_ok()) {
     offset_ += data.size();
   }
@@ -81,6 +82,12 @@ Status NfsClient::FileStream::append(std::span<const std::uint8_t> data) {
 
 Status NfsClient::FileStream::write_at(std::uint64_t offset,
                                        std::span<const std::uint8_t> data) {
+  const MutexLock lock{mu_};
+  return write_at_locked(offset, data);
+}
+
+Status NfsClient::FileStream::write_at_locked(
+    std::uint64_t offset, std::span<const std::uint8_t> data) {
   NfsClient& c = *client_;
   if (c.config_.rpc_chunk_bytes == 0) {
     return Status::invalid_argument("nfs client: zero chunk size");
@@ -128,6 +135,7 @@ Status NfsClient::FileStream::write_at(std::uint64_t offset,
 }
 
 Status NfsClient::FileStream::finish() {
+  const MutexLock lock{mu_};
   auto stored = client_->server_.read_file(path_);
   if (!stored.has_value()) {
     return stored.status();

@@ -11,6 +11,7 @@ Status NfsServer::handle_write(const std::string& path,
   if (path.empty()) {
     return Status::invalid_argument("nfs: empty path");
   }
+  const MutexLock lock{mu_};
   auto& file = files_[path];
   file.insert(file.end(), chunk.begin(), chunk.end());
   bytes_stored_ += chunk.size();
@@ -24,6 +25,7 @@ Expected<std::uint32_t> NfsServer::handle_write_at(
   if (path.empty()) {
     return Status::invalid_argument("nfs: empty path");
   }
+  const MutexLock lock{mu_};
   auto& file = files_[path];
   const std::uint64_t end = offset + chunk.size();
   if (end > file.size()) {
@@ -40,6 +42,7 @@ Expected<std::uint32_t> NfsServer::handle_write_at(
 
 Expected<std::span<const std::uint8_t>> NfsServer::read_file(
     const std::string& path) const {
+  const MutexLock lock{mu_};
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::invalid_argument("nfs: no such file: " + path);
@@ -48,6 +51,7 @@ Expected<std::span<const std::uint8_t>> NfsServer::read_file(
 }
 
 Expected<std::uint64_t> NfsServer::remove_file(const std::string& path) {
+  const MutexLock lock{mu_};
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::invalid_argument("nfs: no such file: " + path);
@@ -61,6 +65,7 @@ Expected<std::uint64_t> NfsServer::remove_file(const std::string& path) {
 
 std::vector<std::string> NfsServer::list_files(
     const std::string& prefix) const {
+  const MutexLock lock{mu_};
   std::vector<std::string> paths;
   for (auto it = files_.lower_bound(prefix);
        it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;

@@ -3,6 +3,12 @@
 // files, and models a bounded-throughput storage backend. Functional (the
 // bytes really move) so conservation and content integrity are testable;
 // timing is modeled, not measured.
+//
+// The file table and its byte/RPC accounting are guarded by one mutex
+// (annotated for -Wthread-safety), so concurrent restore sessions reading
+// different files through one server are safe. Spans returned by
+// read_file() point into the table and stay valid only until the next
+// mutating call — the same lifetime contract as before, now stated.
 
 #include <cstdint>
 #include <map>
@@ -11,6 +17,7 @@
 #include <vector>
 
 #include "support/status.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/units.hpp"
 
 namespace lcp::io {
@@ -46,7 +53,10 @@ class NfsServer {
   /// Accounts for an RPC the server received but refused (injected
   /// reject/disk-full/unavailable episodes): it consumed a server request
   /// slot, so it must show up in rpc_count() for conservation checks.
-  void note_refused_rpc() noexcept { ++rpcs_; }
+  void note_refused_rpc() {
+    const MutexLock lock{mu_};
+    ++rpcs_;
+  }
 
   /// Full contents of a stored file.
   [[nodiscard]] Expected<std::span<const std::uint8_t>> read_file(
@@ -55,24 +65,33 @@ class NfsServer {
   /// Removes one file (NFSv3 REMOVE). Returns the bytes freed; removing a
   /// missing path is a typed error so garbage collectors can distinguish
   /// "already gone" from "freed now".
-  Expected<std::uint64_t> remove_file(const std::string& path);
+  [[nodiscard]] Expected<std::uint64_t> remove_file(const std::string& path);
 
   /// Paths currently stored under `prefix`, in lexicographic order (the
   /// slab-store GC walk; std::map iteration makes it deterministic).
   [[nodiscard]] std::vector<std::string> list_files(
       const std::string& prefix) const;
 
-  [[nodiscard]] bool has_file(const std::string& path) const noexcept {
+  [[nodiscard]] bool has_file(const std::string& path) const {
+    const MutexLock lock{mu_};
     return files_.contains(path);
   }
-  [[nodiscard]] std::size_t file_count() const noexcept { return files_.size(); }
-  [[nodiscard]] Bytes total_bytes_stored() const noexcept {
+  [[nodiscard]] std::size_t file_count() const {
+    const MutexLock lock{mu_};
+    return files_.size();
+  }
+  [[nodiscard]] Bytes total_bytes_stored() const {
+    const MutexLock lock{mu_};
     return Bytes{bytes_stored_};
   }
-  [[nodiscard]] std::size_t rpc_count() const noexcept { return rpcs_; }
+  [[nodiscard]] std::size_t rpc_count() const {
+    const MutexLock lock{mu_};
+    return rpcs_;
+  }
   [[nodiscard]] const DiskSpec& disk() const noexcept { return disk_; }
 
-  void remove_all() noexcept {
+  void remove_all() {
+    const MutexLock lock{mu_};
     files_.clear();
     bytes_stored_ = 0;
     rpcs_ = 0;
@@ -80,9 +99,10 @@ class NfsServer {
 
  private:
   DiskSpec disk_;
-  std::map<std::string, std::vector<std::uint8_t>> files_;
-  std::uint64_t bytes_stored_ = 0;
-  std::size_t rpcs_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<std::uint8_t>> files_ LCP_GUARDED_BY(mu_);
+  std::uint64_t bytes_stored_ LCP_GUARDED_BY(mu_) = 0;
+  std::size_t rpcs_ LCP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lcp::io

@@ -27,12 +27,12 @@ void ReplicaSet::attach_fault_injector(std::size_t replica,
 
 void ReplicaSet::set_replica_down(std::size_t replica, bool down) {
   LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
-  replicas_[replica]->down = down;
+  replicas_[replica]->down.store(down, std::memory_order_relaxed);
 }
 
 bool ReplicaSet::replica_down(std::size_t replica) const {
   LCP_REQUIRE(replica < replicas_.size(), "replica set: index out of range");
-  return replicas_[replica]->down;
+  return replicas_[replica]->down.load(std::memory_order_relaxed);
 }
 
 ReplicaWriteOutcome ReplicaSet::write_file(
@@ -40,7 +40,7 @@ ReplicaWriteOutcome ReplicaSet::write_file(
   ReplicaWriteOutcome out;
   out.per_replica.reserve(replicas_.size());
   for (auto& r : replicas_) {
-    if (r->down) {
+    if (r->down.load(std::memory_order_relaxed)) {
       // No wire traffic: a down replica rejects before the first byte, so
       // it costs nothing in the transit model but still misses the copy.
       out.per_replica.push_back(
@@ -78,7 +78,8 @@ ReplicaWriteOutcome ReplicaSet::write_file(
 Expected<std::uint64_t> ReplicaSet::remove_file(const std::string& path) {
   std::uint64_t freed = 0;
   for (auto& r : replicas_) {
-    if (r->down || !r->server->has_file(path)) {
+    if (r->down.load(std::memory_order_relaxed) ||
+        !r->server->has_file(path)) {
       continue;
     }
     auto got = r->server->remove_file(path);
@@ -99,7 +100,7 @@ Expected<ReplicaSet::ReadResult> ReplicaSet::read_file(
     const std::size_t r = (preferred + step) % n;
     const Replica& rep = *replicas_[r];
     Status reject;
-    if (rep.down) {
+    if (rep.down.load(std::memory_order_relaxed)) {
       reject = Status::unavailable("replica set: replica " +
                                    std::to_string(r) + " marked down");
     } else {

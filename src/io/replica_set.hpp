@@ -23,6 +23,10 @@
 // Read-path counters are atomics: concurrent restores may share one
 // ReplicaSet as long as nothing is writing (the incremental checkpoint
 // store serializes its writers; see core/incremental_checkpoint.hpp).
+// The per-replica down flag is also atomic: an operator may mark a
+// replica down while restores are mid-failover, and the flag was a plain
+// bool before the -Wthread-safety migration — a genuine data race the
+// annotation sweep flushed out (ConcurrentDownToggleDuringReads pins it).
 
 #include <atomic>
 #include <cstdint>
@@ -85,7 +89,7 @@ class ReplicaSet {
   /// Removes `path` from every replica that holds it. Missing copies are
   /// not errors (a replica that was down during the write never got one);
   /// returns the total bytes freed across replicas.
-  Expected<std::uint64_t> remove_file(const std::string& path);
+  [[nodiscard]] Expected<std::uint64_t> remove_file(const std::string& path);
 
   /// One verified read with failover.
   struct ReadResult {
@@ -126,7 +130,9 @@ class ReplicaSet {
     Replica(NfsServer& s, const NfsClientConfig& cfg) : server(&s), client(s, cfg) {}
     NfsServer* server;
     NfsClient client;
-    bool down = false;
+    /// Atomic, not GUARDED_BY: flipped by an admin thread while reads are
+    /// in flight; readers only need a coherent snapshot, not an ordering.
+    std::atomic<bool> down{false};
   };
 
   std::vector<std::unique_ptr<Replica>> replicas_;

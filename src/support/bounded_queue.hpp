@@ -9,15 +9,18 @@
 // condition variables; the pipeline uses it SPSC but the stress tests and
 // future sharded writers run it MPMC). close() initiates shutdown: pushes
 // are refused, pops drain what remains and then report exhaustion.
+//
+// Locking: everything mutable is guarded by mutex_ and annotated for
+// Clang's -Wthread-safety analysis; the wait loops are written inline
+// (not as predicate lambdas) so the analysis can see the guarded reads.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "support/status.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lcp {
 
@@ -33,10 +36,11 @@ class BoundedQueue {
 
   /// Blocks until there is room, then enqueues. Returns false (and drops
   /// `item`) when the queue was closed before room appeared.
-  bool push(T item) {
-    std::unique_lock lock{mutex_};
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  [[nodiscard]] bool push(T item) {
+    MutexLock lock{mutex_};
+    while (!closed_ && items_.size() >= capacity_) {
+      not_full_.wait(lock);
+    }
     if (closed_) {
       return false;
     }
@@ -48,9 +52,9 @@ class BoundedQueue {
   }
 
   /// Enqueues only if room is available right now; never blocks.
-  bool try_push(T item) {
+  [[nodiscard]] bool try_push(T item) {
     {
-      std::lock_guard lock{mutex_};
+      MutexLock lock{mutex_};
       if (closed_ || items_.size() >= capacity_) {
         return false;
       }
@@ -63,9 +67,11 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   /// nullopt means no item will ever arrive again.
-  std::optional<T> pop() {
-    std::unique_lock lock{mutex_};
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  [[nodiscard]] std::optional<T> pop() {
+    MutexLock lock{mutex_};
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(lock);
+    }
     if (items_.empty()) {
       return std::nullopt;  // closed and drained
     }
@@ -77,10 +83,10 @@ class BoundedQueue {
   }
 
   /// Dequeues only if an item is available right now; never blocks.
-  std::optional<T> try_pop() {
+  [[nodiscard]] std::optional<T> try_pop() {
     std::optional<T> item;
     {
-      std::lock_guard lock{mutex_};
+      MutexLock lock{mutex_};
       if (items_.empty()) {
         return std::nullopt;
       }
@@ -95,7 +101,7 @@ class BoundedQueue {
   /// remain poppable; idempotent.
   void close() {
     {
-      std::lock_guard lock{mutex_};
+      MutexLock lock{mutex_};
       closed_ = true;
     }
     not_full_.notify_all();
@@ -103,12 +109,12 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     return items_.size();
   }
 
@@ -116,18 +122,18 @@ class BoundedQueue {
 
   /// Items ever accepted by push/try_push (conservation checks).
   [[nodiscard]] std::uint64_t total_pushed() const {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     return total_pushed_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ LCP_GUARDED_BY(mutex_);
   const std::size_t capacity_;
-  bool closed_ = false;
-  std::uint64_t total_pushed_ = 0;
+  bool closed_ LCP_GUARDED_BY(mutex_) = false;
+  std::uint64_t total_pushed_ LCP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace lcp

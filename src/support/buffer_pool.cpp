@@ -5,7 +5,7 @@ namespace lcp {
 std::vector<std::uint8_t> SlabPool::acquire(std::size_t reserve_hint) {
   std::vector<std::uint8_t> buf;
   {
-    std::lock_guard lock{mutex_};
+    const MutexLock lock{mutex_};
     if (!free_.empty()) {
       buf = std::move(free_.back());
       free_.pop_back();
@@ -27,7 +27,7 @@ void SlabPool::release(std::vector<std::uint8_t>&& buf) {
   if (buf.capacity() == 0) {
     return;
   }
-  std::lock_guard lock{mutex_};
+  const MutexLock lock{mutex_};
   if (max_retained_ > 0 && free_.size() >= max_retained_) {
     return;
   }
@@ -35,17 +35,17 @@ void SlabPool::release(std::vector<std::uint8_t>&& buf) {
 }
 
 std::size_t SlabPool::retained() const {
-  std::lock_guard lock{mutex_};
+  const MutexLock lock{mutex_};
   return free_.size();
 }
 
 std::uint64_t SlabPool::hits() const {
-  std::lock_guard lock{mutex_};
+  const MutexLock lock{mutex_};
   return hits_;
 }
 
 std::uint64_t SlabPool::misses() const {
-  std::lock_guard lock{mutex_};
+  const MutexLock lock{mutex_};
   return misses_;
 }
 

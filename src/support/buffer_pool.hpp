@@ -24,9 +24,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <type_traits>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace lcp {
 
@@ -148,11 +149,11 @@ class SlabPool {
   [[nodiscard]] std::uint64_t misses() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::vector<std::uint8_t>> free_;
+  mutable Mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_ LCP_GUARDED_BY(mutex_);
   std::size_t max_retained_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::uint64_t hits_ LCP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ LCP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace lcp

@@ -38,7 +38,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard lock{sleep_mutex_};
+    const MutexLock lock{sleep_mutex_};
   }
   cv_.notify_all();
   for (auto& thread : threads_) {
@@ -49,23 +49,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::push_task(detail::Task task) {
   if (tls_worker.pool == this) {
     Worker& own = *workers_[tls_worker.index];
-    std::lock_guard lock{own.mutex};
+    const MutexLock lock{own.mutex};
     own.deque.push_back(std::move(task));
   } else {
-    std::lock_guard lock{inject_mutex_};
+    const MutexLock lock{inject_mutex_};
     inject_.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
     // Pairs with the waiters' predicate check: a waiter is either about to
     // re-test `pending_` or already blocked and gets the notify.
-    std::lock_guard lock{sleep_mutex_};
+    const MutexLock lock{sleep_mutex_};
   }
   cv_.notify_one();
 }
 
 detail::Task ThreadPool::pop_injected() {
-  std::lock_guard lock{inject_mutex_};
+  const MutexLock lock{inject_mutex_};
   if (inject_.empty()) {
     return {};
   }
@@ -75,12 +75,17 @@ detail::Task ThreadPool::pop_injected() {
 }
 
 detail::Task ThreadPool::steal_from(Worker& victim) {
-  std::unique_lock lock{victim.mutex, std::try_to_lock};
-  if (!lock.owns_lock() || victim.deque.empty()) {
+  // try-lock-and-bail: a contended victim is skipped, not waited on. The
+  // manual unlock on both paths is what the TRY_ACQUIRE annotation checks.
+  if (!victim.mutex.try_lock()) {
     return {};
   }
-  detail::Task task = std::move(victim.deque.front());
-  victim.deque.pop_front();
+  detail::Task task;
+  if (!victim.deque.empty()) {
+    task = std::move(victim.deque.front());
+    victim.deque.pop_front();
+  }
+  victim.mutex.unlock();
   return task;
 }
 
@@ -88,7 +93,7 @@ detail::Task ThreadPool::try_acquire(std::size_t self) {
   {
     // Own deque first, newest first (LIFO keeps the working set hot).
     Worker& own = *workers_[self];
-    std::lock_guard lock{own.mutex};
+    const MutexLock lock{own.mutex};
     if (!own.deque.empty()) {
       detail::Task task = std::move(own.deque.back());
       own.deque.pop_back();
@@ -141,17 +146,17 @@ void ThreadPool::worker_loop(std::size_t self) {
       if (++failed_acquires < 16) {
         std::this_thread::yield();
       } else {
-        std::unique_lock lock{sleep_mutex_};
-        cv_.wait_for(lock, std::chrono::microseconds(100));
+        MutexLock lock{sleep_mutex_};
+        (void)cv_.wait_for(lock, std::chrono::microseconds(100));
       }
       continue;
     }
     failed_acquires = 0;
-    std::unique_lock lock{sleep_mutex_};
-    cv_.wait(lock, [this] {
-      return stopping_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock{sleep_mutex_};
+    while (!stopping_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      cv_.wait(lock);
+    }
     if (stopping_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;  // stopping and drained
@@ -192,10 +197,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::size_t end = 0;
     std::size_t grain = 0;
     const std::function<void(std::size_t)>* body = nullptr;
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    Mutex error_mutex;
+    std::exception_ptr first_error LCP_GUARDED_BY(error_mutex);
+    Mutex done_mutex;  // rendezvous only: `active` is the atomic predicate
+    CondVar done_cv;
   };
   auto state = std::make_shared<SharedState>();
   state->next.store(begin, std::memory_order_relaxed);
@@ -216,9 +221,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
           (*s.body)(i);
         }
       } catch (...) {
-        std::lock_guard lock{s.error_mutex};
-        if (!s.first_error) {
-          s.first_error = std::current_exception();
+        {
+          const MutexLock lock{s.error_mutex};
+          if (!s.first_error) {
+            s.first_error = std::current_exception();
+          }
         }
         s.next.store(s.end, std::memory_order_relaxed);  // abort early
         return;
@@ -233,7 +240,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     push_task(detail::Task{[state, run_chunks] {
       run_chunks(*state);
       if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock{state->done_mutex};
+        const MutexLock lock{state->done_mutex};
         state->done_cv.notify_all();
       }
     }});
@@ -248,14 +255,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       task();
       continue;
     }
-    std::unique_lock lock{state->done_mutex};
-    state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&state] {
-      return state->active.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock{state->done_mutex};
+    if (state->active.load(std::memory_order_acquire) != 0) {
+      (void)state->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
   }
 
-  if (state->first_error) {
-    std::rethrow_exception(state->first_error);
+  std::exception_ptr first_error;
+  {
+    const MutexLock lock{state->error_mutex};
+    first_error = state->first_error;
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -14,18 +14,18 @@
 // waiting for stragglers, helps by executing unrelated pool tasks, so
 // nested parallelism cannot deadlock the pool.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace lcp {
 
@@ -144,8 +144,9 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<detail::Task> deque;  // owner: back; thieves: front
+    Mutex mutex;
+    std::deque<detail::Task> deque
+        LCP_GUARDED_BY(mutex);  // owner: back; thieves: front
   };
 
   void worker_loop(std::size_t self);
@@ -158,11 +159,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::deque<detail::Task> inject_;
-  std::mutex inject_mutex_;
+  std::deque<detail::Task> inject_ LCP_GUARDED_BY(inject_mutex_);
+  Mutex inject_mutex_;
 
-  std::mutex sleep_mutex_;
-  std::condition_variable cv_;
+  // Pure rendezvous for cv_: the sleep predicate reads only the atomics
+  // below, so the mutex guards no data — it exists to make wakeups and
+  // predicate re-checks atomic with respect to each other.
+  Mutex sleep_mutex_;
+  CondVar cv_;
   std::atomic<std::size_t> pending_{0};  // queued, not-yet-acquired tasks
   std::atomic<bool> stopping_{false};
 };

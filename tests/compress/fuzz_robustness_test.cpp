@@ -84,8 +84,8 @@ TEST_P(FuzzRobustnessTest, ValidHeaderCorruptPayloadIsHandled) {
 
 INSTANTIATE_TEST_SUITE_P(BothCodecs, FuzzRobustnessTest,
                          ::testing::Values(CodecId::kSz, CodecId::kZfp),
-                         [](const auto& info) {
-                           return std::string{codec_name(info.param)};
+                         [](const auto& suite_info) {
+                           return std::string{codec_name(suite_info.param)};
                          });
 
 TEST(FuzzRobustnessTest, DecompressAnyOnRandomInput) {

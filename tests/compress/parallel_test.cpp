@@ -141,8 +141,8 @@ TEST_P(ParallelCodecTest, WorkerCountNeverChangesTheBytes) {
 
 INSTANTIATE_TEST_SUITE_P(BothCodecs, ParallelCodecTest,
                          ::testing::Values(CodecId::kSz, CodecId::kZfp),
-                         [](const auto& info) {
-                           return std::string{codec_name(info.param)};
+                         [](const auto& suite_info) {
+                           return std::string{codec_name(suite_info.param)};
                          });
 
 TEST(ParallelFrameTest, DecompressRejectsCodecMismatch) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "io/nfs_server.hpp"
 #include "io/replica_set.hpp"
 #include "support/checksum.hpp"
+#include "support/scoped_thread.hpp"
 
 namespace lcp::io {
 namespace {
@@ -154,6 +156,48 @@ TEST(ReplicaSetTest, RemoveFileFreesEveryCopyAndSkipsMissing) {
   for (std::size_t r = 0; r < 3; ++r) {
     EXPECT_FALSE(rig.server(r).has_file("f"));
   }
+}
+
+TEST(ReplicaSetTest, ConcurrentDownToggleDuringReads) {
+  // Regression for the data race the -Wthread-safety migration flushed
+  // out: Replica::down was a plain bool, so an admin thread flipping it
+  // raced every reader probing the same flag mid-failover. The flag is
+  // atomic now; under tsan this test fails on the old code.
+  Rig rig;
+  const auto data = pattern(256);
+  ASSERT_TRUE(rig.set.write_file("f", data).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads_ok{0};
+  std::vector<ScopedThread> readers;
+  for (std::size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Rotate the preferred replica so every reader keeps probing the
+        // toggled flag on replica 0 from a different failover position.
+        const auto got = rig.set.read_file("f", t % 3);
+        // Replicas 1 and 2 stay up, so the read must always verify.
+        ASSERT_TRUE(got.has_value()) << got.status().message();
+        ASSERT_EQ(got->bytes.size(), data.size());
+        reads_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Keep toggling until the readers have demonstrably overlapped with the
+  // flips (a fixed toggle count can finish before the first reader thread
+  // is even scheduled); readers always make progress, so this terminates.
+  std::size_t toggles = 0;
+  while (toggles < 2000 ||
+         reads_ok.load(std::memory_order_relaxed) < 300) {
+    rig.set.set_replica_down(0, (toggles & 1) == 0);
+    ++toggles;
+  }
+  rig.set.set_replica_down(0, false);
+  stop.store(true, std::memory_order_relaxed);
+  readers.clear();  // joins
+
+  EXPECT_GE(reads_ok.load(), 300u);
+  EXPECT_FALSE(rig.set.replica_down(0));
 }
 
 TEST(ReplicaSetTest, PerReplicaFaultInjectorIsIndependent) {

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py: every rule must fire on a bad fixture tree
+and stay silent on a clean one.
+
+Each case builds a throwaway repo skeleton under a temp dir, runs lint.py
+against it with --root (and --rule to isolate the rule under test), and
+asserts on exit code plus the rule tag in the output. Registered as a
+ctest (lint_selftest) so a rule that silently stops firing turns the suite
+red, not just the linter's own CI leg.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = pathlib.Path(__file__).resolve().parents[2] / "tools" / "lint.py"
+
+
+def run_lint(root: pathlib.Path, *rules: str):
+    cmd = [sys.executable, str(LINT), "--root", str(root)]
+    for rule in rules:
+        cmd += ["--rule", rule]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def write(root: pathlib.Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+class LintRuleTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def assert_fires(self, rule: str, expect_path: str):
+        proc = run_lint(self.root, rule)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn(f"[{rule}]", proc.stdout)
+        self.assertIn(expect_path, proc.stdout)
+
+    def assert_clean(self, *rules: str):
+        proc = run_lint(self.root, *rules)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+    # ------------------------------------------------- naked-concurrency
+
+    def test_naked_mutex_outside_support_fires(self):
+        write(self.root, "src/io/thing.hpp",
+              "struct T { std::mutex mu_; };\n")
+        self.assert_fires("naked-concurrency", "src/io/thing.hpp")
+
+    def test_naked_thread_outside_support_fires(self):
+        write(self.root, "src/core/runner.cpp",
+              "std::thread t{[] {}};\n")
+        self.assert_fires("naked-concurrency", "src/core/runner.cpp")
+
+    def test_wrappers_in_support_allowed(self):
+        write(self.root, "src/support/thread_annotations.hpp",
+              "class Mutex { std::mutex mu_; };\n")
+        write(self.root, "src/support/scoped_thread.hpp",
+              "class ScopedThread { std::thread t_; };\n")
+        self.assert_clean("naked-concurrency")
+
+    def test_comment_mention_allowed(self):
+        write(self.root, "src/io/thing.hpp",
+              "// replaces the old std::mutex member\nstruct T {};\n")
+        self.assert_clean("naked-concurrency")
+
+    # -------------------------------------------- no-analysis-suppression
+
+    def test_suppression_outside_header_fires(self):
+        write(self.root, "src/core/hack.cpp",
+              "void f() LCP_NO_THREAD_SAFETY_ANALYSIS {}\n")
+        self.assert_fires("no-analysis-suppression", "src/core/hack.cpp")
+
+    def test_raw_attribute_in_tests_fires(self):
+        write(self.root, "tests/io/hack_test.cpp",
+              "__attribute__((no_thread_safety_analysis)) void f();\n")
+        self.assert_fires("no-analysis-suppression", "tests/io/hack_test.cpp")
+
+    def test_suppression_in_wrapper_header_allowed(self):
+        write(self.root, "src/support/thread_annotations.hpp",
+              "#define LCP_NO_THREAD_SAFETY_ANALYSIS "
+              "LCP_THREAD_ANNOTATION_(no_thread_safety_analysis)\n")
+        self.assert_clean("no-analysis-suppression")
+
+    # ------------------------------------------------------- seeded-rng
+
+    def test_rand_fires(self):
+        write(self.root, "bench/extension_foo.cpp",
+              "int noise() { return rand() % 7; }\nint main() { return 1; }\n")
+        self.assert_fires("seeded-rng", "bench/extension_foo.cpp")
+
+    def test_random_device_fires(self):
+        write(self.root, "src/data/gen.cpp",
+              "std::mt19937 rng{std::random_device{}()};\n")
+        self.assert_fires("seeded-rng", "src/data/gen.cpp")
+
+    def test_support_rng_allowed(self):
+        write(self.root, "src/support/rng.hpp",
+              "// wraps srand( for legacy comparison\n"
+              "inline void seed_legacy(unsigned s) { srand(s); }\n")
+        self.assert_clean("seeded-rng")
+
+    def test_operand_named_like_rand_allowed(self):
+        write(self.root, "src/model/fit.cpp",
+              "double operand = 2.0;\ndouble x = operand * 3.0;\n")
+        self.assert_clean("seeded-rng")
+
+    # ------------------------------------------------- test-registration
+
+    def test_unregistered_test_file_fires(self):
+        write(self.root, "tests/CMakeLists.txt",
+              "lcp_add_test_binary(t io/a_test.cpp)\n")
+        write(self.root, "tests/io/a_test.cpp", "TEST(A, B) {}\n")
+        write(self.root, "tests/io/orphan_test.cpp", "TEST(C, D) {}\n")
+        self.assert_fires("test-registration", "tests/io/orphan_test.cpp")
+
+    def test_registered_and_helper_files_clean(self):
+        write(self.root, "tests/CMakeLists.txt",
+              "lcp_add_test_binary(t io/a_test.cpp)\n")
+        write(self.root, "tests/io/a_test.cpp", "TEST(A, B) {}\n")
+        # Helper with no TEST() macros needs no registration.
+        write(self.root, "tests/io/helpers.hpp", "inline int x() { return 1; }\n")
+        self.assert_clean("test-registration")
+
+    # ------------------------------------------------------ bench-gates
+
+    def test_bench_without_exit_path_fires(self):
+        write(self.root, "bench/extension_foo.cpp",
+              "int main() { return 0; }\n")
+        self.assert_fires("bench-gates", "bench/extension_foo.cpp")
+
+    def test_bench_gate_idioms_clean(self):
+        write(self.root, "bench/extension_a.cpp",
+              "int main() { return ok ? 0 : 1; }\n")
+        write(self.root, "bench/extension_b.cpp",
+              "int main() { if (bad) return 1; return 0; }\n")
+        write(self.root, "bench/micro_hotpaths.cpp",
+              "int main() { return failed ? EXIT_FAILURE : 0; }\n")
+        # Ungated figure benches are exempt by design.
+        write(self.root, "bench/fig1_compression_power.cpp",
+              "int main() { return 0; }\n")
+        self.assert_clean("bench-gates")
+
+    # ------------------------------------------------------ whole-linter
+
+    def test_all_rules_on_clean_tree(self):
+        write(self.root, "src/support/thread_annotations.hpp",
+              "class Mutex { std::mutex mu_; };\n")
+        write(self.root, "src/io/thing.hpp", "struct T { Mutex mu_; };\n")
+        write(self.root, "tests/CMakeLists.txt", "io/a_test.cpp\n")
+        write(self.root, "tests/io/a_test.cpp", "TEST(A, B) {}\n")
+        write(self.root, "bench/extension_a.cpp",
+              "int main() { return 1; }\n")
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_bad_root_exits_2(self):
+        proc = run_lint(self.root / "does-not-exist")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_repo_itself_is_clean(self):
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        proc = run_lint(repo)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: /.clang-tidy) over the exported compilation
+# database. Two modes:
+#
+#   tools/run_tidy.sh              # changed-files mode: lint only the
+#                                  # first-party C++ files touched vs the
+#                                  # merge base (or staged/unstaged when
+#                                  # the branch has no upstream)
+#   tools/run_tidy.sh --all        # full mode: every first-party TU in
+#                                  # compile_commands.json (what CI runs)
+#
+# Extra args after the mode are forwarded to clang-tidy (e.g. --fix).
+# Requires a configured build tree: cmake -B build -S .  (the top-level
+# CMakeLists.txt always exports compile_commands.json).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${LCP_BUILD_DIR:-$repo_root/build}"
+db="$build_dir/compile_commands.json"
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY to" >&2
+  echo "override). This container may only carry GCC; the static-analysis" >&2
+  echo "CI leg installs clang-tidy and runs this script in --all mode." >&2
+  exit 0
+fi
+
+if [[ ! -f "$db" ]]; then
+  echo "run_tidy.sh: $db not found; configure first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+mode="changed"
+if [[ "${1:-}" == "--all" ]]; then
+  mode="all"
+  shift
+fi
+
+# First-party translation units only: the database also holds gtest /
+# benchmark sources fetched by the build, which are not ours to lint.
+files=()
+if [[ "$mode" == "all" ]]; then
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(python3 - "$db" "$repo_root" <<'EOF'
+import json, sys
+db, root = sys.argv[1], sys.argv[2].rstrip("/")
+seen = set()
+for entry in json.load(open(db)):
+    f = entry["file"]
+    if not f.startswith("/"):
+        f = entry["directory"].rstrip("/") + "/" + f
+    for sub in ("/src/", "/tests/", "/bench/", "/examples/"):
+        if f.startswith(root + sub) and f not in seen:
+            seen.add(f)
+            print(f)
+EOF
+)
+else
+  base=""
+  if git -C "$repo_root" rev-parse --abbrev-ref '@{upstream}' \
+      >/dev/null 2>&1; then
+    base="$(git -C "$repo_root" merge-base HEAD '@{upstream}')"
+  fi
+  while IFS= read -r f; do
+    case "$f" in
+      src/*|tests/*|bench/*|examples/*) ;;
+      *) continue ;;
+    esac
+    case "$f" in
+      *.cpp|*.cc) files+=("$repo_root/$f") ;;
+    esac
+  done < <(
+    if [[ -n "$base" ]]; then
+      git -C "$repo_root" diff --name-only --diff-filter=d "$base"
+    else
+      git -C "$repo_root" diff --name-only --diff-filter=d HEAD
+    fi
+  )
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_tidy.sh: no files to lint ($mode mode)"
+  exit 0
+fi
+
+echo "run_tidy.sh: linting ${#files[@]} file(s) with $tidy ($mode mode)"
+"$tidy" -p "$build_dir" --quiet "$@" "${files[@]}"
+echo "run_tidy.sh: clean"
